@@ -1,0 +1,386 @@
+// Command reproduce regenerates every table and figure of the paper into an
+// output directory: gnuplot-ready .dat files per figure panel, text tables,
+// ASCII previews, and a summary comparing each qualitative result against
+// the paper's published tables.
+//
+// Usage:
+//
+//	reproduce [-out results] [-seed 1] [-scale 0.3] [-full] [-quick]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"text/tabwriter"
+
+	"topocmp/internal/ball"
+	"topocmp/internal/bgp"
+	"topocmp/internal/core"
+	"topocmp/internal/experiments"
+	"topocmp/internal/internetsim"
+	"topocmp/internal/metrics"
+	"topocmp/internal/plot"
+	"topocmp/internal/stats"
+)
+
+func main() {
+	out := flag.String("out", "results", "output directory")
+	seed := flag.Int64("seed", 1, "experiment seed")
+	scale := flag.Float64("scale", 0, "network scale override (0 = per-mode default)")
+	full := flag.Bool("full", false, "paper-scale run (tens of minutes)")
+	quick := flag.Bool("quick", false, "CI-scale run (a few minutes)")
+	flag.Parse()
+
+	cfg := experiments.Config{
+		Set:   core.PaperSetOptions{Seed: *seed, Scale: 0.25},
+		Suite: core.SuiteOptions{Sources: 16, MaxBallSize: 2000, EigenRank: 40, LinkSources: 448, Seed: *seed},
+	}
+	if *quick {
+		cfg = experiments.QuickConfig(*seed)
+	}
+	if *full {
+		cfg = experiments.FullConfig(*seed)
+	}
+	if *scale > 0 {
+		cfg.Set.Scale = *scale
+	}
+	if err := run(cfg, *out); err != nil {
+		fmt.Fprintln(os.Stderr, "reproduce:", err)
+		os.Exit(1)
+	}
+}
+
+func run(cfg experiments.Config, out string) error {
+	if err := os.MkdirAll(out, 0o755); err != nil {
+		return err
+	}
+	r := experiments.NewRunner(cfg)
+
+	fmt.Println("== Table 1: network inventory ==")
+	if err := writeTable1(r, out); err != nil {
+		return err
+	}
+
+	groups := []struct {
+		key   string
+		names []string
+	}{
+		{"canonical", experiments.CanonicalNames},
+		{"measured", experiments.MeasuredNames},
+		{"generated", experiments.GeneratedNames},
+	}
+	for _, g := range groups {
+		fmt.Printf("== Figure 2 (%s) ==\n", g.key)
+		p := r.Figure2(g.key, g.names)
+		if err := writePanel(out, "fig2_"+g.key, p.Expansion, p.Resilience, p.Distortion); err != nil {
+			return err
+		}
+		preview(p.Expansion, "expansion "+g.key, plot.Options{YScale: plot.Log})
+	}
+	fmt.Println("== Figure 2 (degree-based variants, j-l) ==")
+	vp := r.Figure12()
+	if err := writePanel(out, "fig2_variants", vp.Expansion, vp.Resilience, vp.Distortion); err != nil {
+		return err
+	}
+	if _, err := plot.WriteDat(out, "fig12_ccdf", vp.CCDF); err != nil {
+		return err
+	}
+
+	fmt.Println("== Tables 2 and 3: signatures ==")
+	if err := writeRows(filepath.Join(out, "table2_canonical.txt"), r.Table2()); err != nil {
+		return err
+	}
+	rows := r.Table3()
+	if err := writeRows(filepath.Join(out, "table3_classification.txt"), rows); err != nil {
+		return err
+	}
+	core.WriteTable(os.Stdout, rows)
+
+	fmt.Println("== Figures 3/4: link value distributions ==")
+	lv := r.Figure3([]string{"Tree", "Mesh", "Random", "RL", "AS", "TS", "Tiers", "Waxman", "PLRG"})
+	if _, err := plot.WriteDat(out, "fig3_linkvalues", lv); err != nil {
+		return err
+	}
+
+	fmt.Println("== Table 4: hierarchy groups ==")
+	if err := writeTable4(r, out); err != nil {
+		return err
+	}
+
+	fmt.Println("== Figure 5: link value / degree correlation ==")
+	if err := writeFigure5(r, out); err != nil {
+		return err
+	}
+
+	fmt.Println("== Figure 6: degree distributions ==")
+	for _, g := range groups {
+		if _, err := plot.WriteDat(out, "fig6_"+g.key, r.Figure6(g.names)); err != nil {
+			return err
+		}
+	}
+
+	fmt.Println("== Figure 7: eigenvalues and eccentricity ==")
+	for _, g := range groups {
+		names := g.names
+		if g.key == "measured" {
+			names = append([]string{"PLRG"}, names...)
+		}
+		if _, err := plot.WriteDat(out, "fig7_eigen_"+g.key, r.Figure7Eigen(names)); err != nil {
+			return err
+		}
+		if _, err := plot.WriteDat(out, "fig7_ecc_"+g.key, r.Figure7Ecc(names)); err != nil {
+			return err
+		}
+	}
+
+	fmt.Println("== Figure 8: vertex cover and biconnectivity ==")
+	for _, g := range groups {
+		if _, err := plot.WriteDat(out, "fig8_cover_"+g.key, r.Figure8Cover(g.names)); err != nil {
+			return err
+		}
+		if _, err := plot.WriteDat(out, "fig8_bicon_"+g.key, r.Figure8Bicon(g.names)); err != nil {
+			return err
+		}
+	}
+
+	fmt.Println("== Figure 9: attack and error tolerance ==")
+	for _, g := range groups {
+		att, errTol := r.Figure9(g.names)
+		if _, err := plot.WriteDat(out, "fig9_attack_"+g.key, att); err != nil {
+			return err
+		}
+		if _, err := plot.WriteDat(out, "fig9_error_"+g.key, errTol); err != nil {
+			return err
+		}
+	}
+
+	fmt.Println("== Figure 10: clustering ==")
+	for _, g := range groups {
+		if _, err := plot.WriteDat(out, "fig10_"+g.key, r.Figure10(g.names)); err != nil {
+			return err
+		}
+	}
+
+	fmt.Println("== Figure 11: parameter space ==")
+	if err := writeFigure11(r, out); err != nil {
+		return err
+	}
+
+	fmt.Println("== Figure 13: PLRG reconnection ==")
+	rp := r.Figure13()
+	if err := writePanel(out, "fig13", rp.Expansion, rp.Resilience, rp.Distortion); err != nil {
+		return err
+	}
+
+	fmt.Println("== Figure 14: variant link values ==")
+	if _, err := plot.WriteDat(out, "fig14_linkvalues", r.Figure14()); err != nil {
+		return err
+	}
+
+	fmt.Println("== Appendix D.1: connectivity methods ==")
+	cp := r.ConnectivityVariants()
+	if err := writePanel(out, "appD_connectivity", cp.Expansion, cp.Resilience, cp.Distortion); err != nil {
+		return err
+	}
+
+	fmt.Println("== Null model: degree-preserving rewiring ==")
+	rwp := r.RewiringPanel()
+	if err := writePanel(out, "nullmodel_rewire", rwp.Expansion, rwp.Resilience, rwp.Distortion); err != nil {
+		return err
+	}
+
+	fmt.Println("== Extras (beyond the paper) ==")
+	if err := writeExtras(r, out); err != nil {
+		return err
+	}
+
+	fmt.Println("== Summary vs. paper ==")
+	return writeSummary(r, out)
+}
+
+// writeExtras emits the beyond-the-paper artifacts: footnote 22's two
+// metrics, hop plots, small-world coefficients, Weibull tail fits of the
+// degree CCDFs, the AS size/degree coupling and the BGP vantage-coverage
+// curve.
+func writeExtras(r *experiments.Runner, out string) error {
+	names := []string{"AS", "PLRG", "Mesh", "Tree"}
+	var pathLen, maxFlow, hop []stats.Series
+	seed := r.Cfg.Suite.Seed
+	for _, name := range names {
+		g := r.Network(name).Graph
+		cfg := ball.Config{MaxSources: r.Cfg.Suite.Sources,
+			MaxBallSize: r.Cfg.Suite.MaxBallSize,
+			Rand:        rand.New(rand.NewSource(seed))}
+		s := metrics.BallPathLengthCurve(g, cfg)
+		s.Name = name
+		pathLen = append(pathLen, s)
+		cfg.Rand = rand.New(rand.NewSource(seed))
+		f := metrics.SurfaceMaxFlowCurve(g, cfg, 6)
+		f.Name = name
+		maxFlow = append(maxFlow, f)
+		h := metrics.HopPlot(g, 4*r.Cfg.Suite.Sources, rand.New(rand.NewSource(seed)))
+		h.Name = name
+		hop = append(hop, h)
+	}
+	if _, err := plot.WriteDat(out, "extra_ballpathlen", pathLen); err != nil {
+		return err
+	}
+	if _, err := plot.WriteDat(out, "extra_surfaceflow", maxFlow); err != nil {
+		return err
+	}
+	if _, err := plot.WriteDat(out, "extra_hopplot", hop); err != nil {
+		return err
+	}
+
+	f, err := os.Create(filepath.Join(out, "extras.txt"))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	tw := tabwriter.NewWriter(f, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "Network\tSmallWorldSigma\tClustering\tAPL\tWeibullK\tWeibullR2")
+	for _, name := range names {
+		g := r.Network(name).Graph
+		sw := metrics.SmallWorldness(g, 2*r.Cfg.Suite.Sources)
+		wb := stats.FitWeibullTail(stats.CCDF(g.Degrees()))
+		fmt.Fprintf(tw, "%s\t%.2f\t%.3f\t%.2f\t%.2f\t%.2f\n",
+			name, sw.Sigma, sw.Clustering, sw.PathLength, wb.K, wb.R2)
+	}
+	ms := r.Measured()
+	sd := internetsim.SizeDegreeData(ms.TruthAS, ms.TruthRL)
+	fmt.Fprintf(tw, "\nAS size/degree correlation (Tangmunarunkit et al. 2001): %.3f\n",
+		sd.Correlation())
+	vantages := bgp.PickVantages(ms.TruthAS.Graph, 12, rand.New(rand.NewSource(seed)))
+	cov := bgp.CoverageCurve(ms.TruthAS.Annotated, vantages)
+	fmt.Fprintf(tw, "BGP coverage: 1 vantage %.2f -> %d vantages %.2f (Chang et al. 2002)\n",
+		cov.Points[0].Y, cov.Len(), cov.Points[cov.Len()-1].Y)
+	if err := tw.Flush(); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+func writePanel(out, prefix string, exp, res, dist []stats.Series) error {
+	if _, err := plot.WriteDat(out, prefix+"_expansion", exp); err != nil {
+		return err
+	}
+	if _, err := plot.WriteDat(out, prefix+"_resilience", res); err != nil {
+		return err
+	}
+	_, err := plot.WriteDat(out, prefix+"_distortion", dist)
+	return err
+}
+
+func preview(series []stats.Series, title string, opts plot.Options) {
+	opts.Title = title
+	plot.ASCII(os.Stdout, series, opts)
+}
+
+func writeTable1(r *experiments.Runner, out string) error {
+	f, err := os.Create(filepath.Join(out, "table1_inventory.txt"))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	tw := tabwriter.NewWriter(f, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "Type\tTopology\tNodes\tEdges\tAvgDegree\tMaxDegree")
+	for _, d := range r.Table1() {
+		fmt.Fprintf(tw, "%s\t%s\t%d\t%d\t%.2f\t%d\n",
+			d.Category, d.Name, d.Nodes, d.Edges, d.AvgDegree, d.MaxDegree)
+	}
+	if err := tw.Flush(); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+func writeRows(path string, rows []core.Row) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := core.WriteTable(f, rows); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+func writeTable4(r *experiments.Runner, out string) error {
+	f, err := os.Create(filepath.Join(out, "table4_hierarchy.txt"))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	tw := tabwriter.NewWriter(f, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "Topology\tHierarchy\tExpected")
+	for _, row := range r.Table4() {
+		fmt.Fprintf(tw, "%s\t%s\t%s\n", row.Name, row.Class, core.ExpectedHierarchy[row.Name])
+	}
+	if err := tw.Flush(); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+func writeFigure5(r *experiments.Runner, out string) error {
+	f, err := os.Create(filepath.Join(out, "fig5_correlation.txt"))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	tw := tabwriter.NewWriter(f, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "Topology\tCorrelation")
+	for _, row := range r.Figure5() {
+		fmt.Fprintf(tw, "%s\t%.3f\n", row.Name, row.Correlation)
+	}
+	if err := tw.Flush(); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+func writeFigure11(r *experiments.Runner, out string) error {
+	f, err := os.Create(filepath.Join(out, "fig11_parameters.txt"))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	tw := tabwriter.NewWriter(f, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "Generator\tParams\tNodes\tAvgDegree\tSignature")
+	for _, row := range r.Figure11() {
+		fmt.Fprintf(tw, "%s\t%s\t%d\t%.2f\t%s\n",
+			row.Generator, row.Params, row.Nodes, row.AvgDegree, row.Signature)
+	}
+	if err := tw.Flush(); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+func writeSummary(r *experiments.Runner, out string) error {
+	f, err := os.Create(filepath.Join(out, "summary.txt"))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	tw := tabwriter.NewWriter(f, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "Check\tExpected\tGot\tMatch")
+	matches, total := 0, 0
+	for _, c := range r.Summary() {
+		fmt.Fprintf(tw, "%s\t%s\t%s\t%v\n", c.Name, c.Expected, c.Got, c.Match)
+		total++
+		if c.Match {
+			matches++
+		}
+	}
+	fmt.Fprintf(tw, "TOTAL\t\t\t%d/%d\n", matches, total)
+	if err := tw.Flush(); err != nil {
+		return err
+	}
+	fmt.Printf("summary: %d/%d checks match the paper\n", matches, total)
+	return f.Close()
+}

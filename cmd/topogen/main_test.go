@@ -1,0 +1,58 @@
+package main
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestGenerateAllTypes(t *testing.T) {
+	gp := genParams{
+		n: 300, beta: 2.2, alpha: 0.1, wbeta: 0.4, p: 0.02,
+		k: 3, depth: 4, rows: 10, cols: 12, m: 2,
+	}
+	types := []string{
+		"plrg", "waxman", "transitstub", "tiers", "tree", "mesh",
+		"random", "complete", "linear", "ba", "brite", "bt", "inet",
+		"internet-as",
+	}
+	for _, typ := range types {
+		g, err := generate(rand.New(rand.NewSource(1)), typ, gp)
+		if err != nil {
+			t.Fatalf("%s: %v", typ, err)
+		}
+		if g.NumNodes() == 0 {
+			t.Fatalf("%s: empty graph", typ)
+		}
+	}
+}
+
+func TestGenerateSizes(t *testing.T) {
+	gp := genParams{n: 300, k: 2, depth: 3, rows: 5, cols: 7, p: 0.05, beta: 2.2, alpha: 0.1, wbeta: 0.4, m: 2}
+	cases := map[string]int{
+		"tree":     15, // 2^4 - 1
+		"mesh":     35,
+		"complete": 300,
+		"linear":   300,
+	}
+	for typ, want := range cases {
+		g, err := generate(rand.New(rand.NewSource(2)), typ, gp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if g.NumNodes() != want {
+			t.Fatalf("%s: nodes = %d, want %d", typ, g.NumNodes(), want)
+		}
+	}
+}
+
+func TestGenerateUnknownType(t *testing.T) {
+	if _, err := generate(rand.New(rand.NewSource(1)), "nope", genParams{}); err == nil {
+		t.Fatal("expected error for unknown type")
+	}
+}
+
+func TestGenerateInvalidParams(t *testing.T) {
+	if _, err := generate(rand.New(rand.NewSource(1)), "plrg", genParams{n: 1, beta: 2.2}); err == nil {
+		t.Fatal("expected validation error")
+	}
+}

@@ -1,0 +1,11 @@
+// Package topocmp is a from-scratch Go reproduction of Tangmunarunkit,
+// Govindan, Jamin, Shenker and Willinger, "Network Topology Generators:
+// Degree-Based vs. Structural" (SIGCOMM 2002).
+//
+// The module's root package carries only the repository-level benchmarks
+// (bench_test.go), one per table and figure of the paper. The library lives
+// under internal/ — see README.md for the architecture, DESIGN.md for the
+// system inventory and experiment index, and EXPERIMENTS.md for the
+// paper-versus-measured record. The examples/ directory shows the intended
+// call patterns; cmd/reproduce regenerates every artifact.
+package topocmp

@@ -1,0 +1,45 @@
+// Compare: a miniature of the paper's headline experiment. Builds the
+// simulated measured Internet graphs plus every generator family, runs the
+// three basic metrics, and prints the classification table — showing that
+// only the degree-based generators share the measured graphs' HHL
+// signature.
+//
+//	go run ./examples/compare
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"topocmp/internal/core"
+)
+
+func main() {
+	opts := core.PaperSetOptions{Seed: 7, Scale: 0.12}
+	suite := core.SuiteOptions{
+		Sources: 12, MaxBallSize: 1200, EigenRank: 10,
+		LinkSources: 384, Seed: 7, SkipHierarchy: true,
+	}
+
+	fmt.Println("building simulated measured Internet (BGP + traceroute pipeline)...")
+	nets := core.BuildPaperNetworks(opts)
+
+	var rows []core.Row
+	for _, n := range nets {
+		fmt.Printf("  %-8s %6d nodes  %6d edges  avg degree %.2f\n",
+			n.Name, n.Graph.NumNodes(), n.Graph.NumEdges(), n.Graph.AvgDegree())
+		rows = append(rows, core.BuildRow(core.RunSuite(n, suite)))
+	}
+	fmt.Println()
+	core.WriteTable(os.Stdout, rows)
+
+	matches := 0
+	for _, r := range rows {
+		if r.MatchesPaper() {
+			matches++
+		}
+	}
+	fmt.Printf("\n%d/%d signatures match the paper's table (§4.4)\n", matches, len(rows))
+	fmt.Println("Only PLRG matches the measured AS and RL graphs in all three metrics;")
+	fmt.Println("TS misses resilience, Tiers misses expansion, Waxman misses distortion.")
+}

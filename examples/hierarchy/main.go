@@ -1,0 +1,62 @@
+// Hierarchy: the paper's §5 story end to end. Computes link values (the
+// weighted vertex cover of each link's traversal set) for a PLRG, a Tree
+// and a Random graph, classifies their hierarchy as strict/moderate/loose,
+// identifies the backbone links, and shows that in the PLRG the backbone is
+// exactly the hub-to-hub links — hierarchy arising purely from the
+// long-tailed degree distribution.
+//
+//	go run ./examples/hierarchy
+package main
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"topocmp/internal/gen/canonical"
+	"topocmp/internal/gen/plrg"
+	"topocmp/internal/graph"
+	"topocmp/internal/hierarchy"
+)
+
+func main() {
+	r := rand.New(rand.NewSource(5))
+	networks := []struct {
+		name string
+		g    *graph.Graph
+	}{
+		{"PLRG", plrg.MustGenerate(r, plrg.Params{N: 1500, Beta: 2.2})},
+		{"Tree", canonical.Tree(3, 6)},
+		{"Random", canonical.Random(r, 1100, 0.004)},
+	}
+	for _, n := range networks {
+		res := hierarchy.LinkValues(n.g, hierarchy.Options{
+			MaxSources: 400, Rand: rand.New(rand.NewSource(9)),
+		})
+		corr := res.DegreeCorrelation(n.g)
+		fmt.Printf("%s (%d nodes): hierarchy %s, link-value/degree correlation %.2f\n",
+			n.name, n.g.NumNodes(), hierarchy.Classify(res), corr)
+
+		// List the backbone: the three highest-valued links.
+		type lv struct {
+			e graph.Edge
+			v float64
+		}
+		ranked := make([]lv, len(res.Edges))
+		norm := res.Normalized()
+		for i := range ranked {
+			ranked[i] = lv{res.Edges[i], norm[i]}
+		}
+		sort.Slice(ranked, func(i, j int) bool { return ranked[i].v > ranked[j].v })
+		for i := 0; i < 3 && i < len(ranked); i++ {
+			e := ranked[i].e
+			fmt.Printf("  backbone link (%d,%d): value %.3f, endpoint degrees %d and %d\n",
+				e.U, e.V, ranked[i].v, n.g.Degree(e.U), n.g.Degree(e.V))
+		}
+		fmt.Println()
+	}
+	fmt.Println("In the PLRG the backbone links join the highest-degree hubs — its")
+	fmt.Println("hierarchy arises entirely from the long-tailed degree distribution,")
+	fmt.Println("while the Tree's hierarchy comes from deliberate link placement")
+	fmt.Println("(hence its near-zero correlation).")
+}

@@ -1,0 +1,61 @@
+// Measurement: walks the full measurement pipeline that substitutes for
+// the paper's proprietary data — synthesize a ground-truth Internet,
+// collect BGP tables, sweep traceroutes (with and without alias-resolution
+// noise), and quantify each artifact: vantage coverage (Chang et al.),
+// AS size/degree coupling (Tangmunarunkit et al. 2001), and the distortions
+// alias failures add to the router-level map.
+//
+//	go run ./examples/measurement
+package main
+
+import (
+	"fmt"
+	"math/rand"
+
+	"topocmp/internal/bgp"
+	"topocmp/internal/internetsim"
+	"topocmp/internal/traceroute"
+)
+
+func main() {
+	r := rand.New(rand.NewSource(41))
+	fmt.Println("1. ground truth: synthesizing the Internet...")
+	as := internetsim.MustGenerateAS(r, internetsim.ASParams{NumAS: 2500})
+	rl := internetsim.MustGenerateRouters(r, as, internetsim.RouterParams{})
+	sd := internetsim.SizeDegreeData(as, rl)
+	fmt.Printf("   %d ASes (%d adjacencies), %d routers; AS size/degree correlation %.2f\n",
+		as.Graph.NumNodes(), as.Graph.NumEdges(), rl.Graph.NumNodes(), sd.Correlation())
+
+	fmt.Println("2. BGP collection at backbone vantages...")
+	vantages := bgp.PickVantages(as.Graph, 12, r)
+	cov := bgp.CoverageCurve(as.Annotated, vantages)
+	fmt.Printf("   adjacency coverage: 1 vantage %.0f%%, %d vantages %.0f%% — backup links stay dark\n",
+		100*cov.Points[0].Y, cov.Len(), 100*cov.Points[cov.Len()-1].Y)
+
+	fmt.Println("3. traceroute sweep (clean alias resolution)...")
+	clean, _ := traceroute.Sweep(rl.Overlay, rl.Backbone, traceroute.Options{
+		Sources: 8, DestFraction: 0.5, Rand: rand.New(rand.NewSource(42)),
+	})
+	fmt.Printf("   measured RL map: %d of %d routers, avg degree %.2f (SCAN's was 2.53)\n",
+		clean.NumNodes(), rl.Graph.NumNodes(), clean.AvgDegree())
+
+	fmt.Println("4. traceroute sweep with 25% alias-resolution failure...")
+	noisy, orig := traceroute.Sweep(rl.Overlay, rl.Backbone, traceroute.Options{
+		Sources: 8, DestFraction: 0.5, AliasFailure: 0.25,
+		Rand: rand.New(rand.NewSource(42)),
+	})
+	split := map[int32]int{}
+	for _, router := range orig {
+		split[router]++
+	}
+	multi := 0
+	for _, c := range split {
+		if c > 1 {
+			multi++
+		}
+	}
+	fmt.Printf("   noisy map: %d pseudo-nodes (%d routers split into interfaces), avg degree %.2f\n",
+		noisy.NumNodes(), multi, noisy.AvgDegree())
+	fmt.Println("\nEvery 'measured' graph the comparison uses carries exactly these")
+	fmt.Println("biases — which is the point: the paper's graphs did too.")
+}

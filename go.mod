@@ -1,0 +1,3 @@
+module topocmp
+
+go 1.22

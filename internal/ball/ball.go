@@ -1,0 +1,100 @@
+// Package ball implements the paper's ball-growing technique (§3.2.1): all
+// metrics other than expansion are computed on the subgraphs induced by
+// balls of increasing radius around (sampled) nodes, so that graphs of very
+// different sizes can be compared at the same scale.
+package ball
+
+import (
+	"math/rand"
+	"sort"
+
+	"topocmp/internal/graph"
+)
+
+// Config controls how balls are grown.
+type Config struct {
+	// MaxSources caps how many ball centers are sampled; 0 means every
+	// node. The paper samples centers for large graphs to keep computation
+	// times reasonable (its footnotes 12 and 14).
+	MaxSources int
+	// MaxRadius stops growing at this radius; 0 grows to the center's
+	// eccentricity.
+	MaxRadius int
+	// MaxBallSize skips balls larger than this (0 = unlimited); expensive
+	// per-ball metrics use it to bound their cost.
+	MaxBallSize int
+	// MinBallSize skips balls smaller than this; avoids noise from trivial
+	// subgraphs in per-ball metrics.
+	MinBallSize int
+	// Rand drives center sampling; nil uses a fixed seed.
+	Rand *rand.Rand
+}
+
+func (c *Config) defaults() {
+	if c.Rand == nil {
+		c.Rand = rand.New(rand.NewSource(1))
+	}
+}
+
+// Ball is one grown ball: the center, hop radius, and member nodes (ids in
+// the parent graph, in BFS order from the center).
+type Ball struct {
+	Center int32
+	Radius int
+	Nodes  []int32
+}
+
+// Visit grows balls of every radius around each sampled center and invokes
+// fn once per (center, radius) with the ball's member prefix. The slice
+// passed to fn is only valid during the call. Growth around a center stops
+// once the ball covers the center's whole component, exceeds MaxBallSize,
+// or reaches MaxRadius.
+func Visit(g *graph.Graph, cfg Config, fn func(b Ball)) {
+	cfg.defaults()
+	for _, src := range Centers(g, &cfg) {
+		dist, order := g.BFS(src)
+		// order is sorted by distance already (BFS property).
+		maxR := int(dist[order[len(order)-1]])
+		if cfg.MaxRadius > 0 && maxR > cfg.MaxRadius {
+			maxR = cfg.MaxRadius
+		}
+		idx := 0
+		for h := 1; h <= maxR; h++ {
+			for idx < len(order) && int(dist[order[idx]]) <= h {
+				idx++
+			}
+			if cfg.MaxBallSize > 0 && idx > cfg.MaxBallSize {
+				break
+			}
+			if idx < cfg.MinBallSize {
+				continue
+			}
+			fn(Ball{Center: src, Radius: h, Nodes: order[:idx]})
+		}
+	}
+}
+
+// Centers returns the sampled ball centers for the configuration.
+func Centers(g *graph.Graph, cfg *Config) []int32 {
+	cfg.defaults()
+	n := g.NumNodes()
+	if cfg.MaxSources <= 0 || cfg.MaxSources >= n {
+		all := make([]int32, n)
+		for i := range all {
+			all[i] = int32(i)
+		}
+		return all
+	}
+	perm := cfg.Rand.Perm(n)
+	out := make([]int32, cfg.MaxSources)
+	for i := range out {
+		out[i] = int32(perm[i])
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Subgraph extracts the induced subgraph of a ball.
+func Subgraph(g *graph.Graph, b Ball) *graph.Graph {
+	return g.Subgraph(b.Nodes)
+}

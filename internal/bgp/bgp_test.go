@@ -1,0 +1,117 @@
+package bgp
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"topocmp/internal/internetsim"
+	"topocmp/internal/policy"
+	"topocmp/internal/stats"
+)
+
+func testInternet(t *testing.T, n int, seed int64) *internetsim.ASLevel {
+	t.Helper()
+	return internetsim.MustGenerateAS(rand.New(rand.NewSource(seed)), internetsim.ASParams{NumAS: n})
+}
+
+func TestCollectAndExtract(t *testing.T) {
+	as := testInternet(t, 1500, 1)
+	r := rand.New(rand.NewSource(2))
+	vantages := PickVantages(as.Graph, 10, r)
+	table := Collect(as.Annotated, vantages)
+	if len(table.Paths) < 1000 {
+		t.Fatalf("only %d paths collected", len(table.Paths))
+	}
+	measured, orig := table.ExtractGraph()
+	if measured.NumNodes() < as.Graph.NumNodes()*8/10 {
+		t.Fatalf("measured graph covers %d of %d ASes", measured.NumNodes(), as.Graph.NumNodes())
+	}
+	// Collection bias: the measured graph misses some ground-truth edges.
+	if measured.NumEdges() >= as.Graph.NumEdges() {
+		t.Fatalf("measured edges %d >= truth %d; expected incompleteness",
+			measured.NumEdges(), as.Graph.NumEdges())
+	}
+	if len(orig) != measured.NumNodes() {
+		t.Fatal("orig mapping length mismatch")
+	}
+	if !measured.IsConnected() {
+		t.Fatal("path-union graph must be connected")
+	}
+}
+
+func TestMeasuredGraphKeepsHeavyTail(t *testing.T) {
+	as := testInternet(t, 3000, 3)
+	vantages := PickVantages(as.Graph, 15, rand.New(rand.NewSource(4)))
+	table := Collect(as.Annotated, vantages)
+	measured, _ := table.ExtractGraph()
+	ccdf := stats.CCDF(measured.Degrees())
+	fit := stats.LogLogFit(ccdf.Points)
+	if fit.Slope > -0.7 {
+		t.Fatalf("measured CCDF slope = %.2f; heavy tail lost", fit.Slope)
+	}
+}
+
+func TestPickVantagesPrefersBackbone(t *testing.T) {
+	as := testInternet(t, 800, 5)
+	vs := PickVantages(as.Graph, 5, rand.New(rand.NewSource(6)))
+	if len(vs) != 5 {
+		t.Fatalf("vantages = %d", len(vs))
+	}
+	avgAll := as.Graph.AvgDegree()
+	for _, v := range vs {
+		if float64(as.Graph.Degree(v)) < avgAll {
+			t.Fatalf("vantage %d has below-average degree", v)
+		}
+	}
+}
+
+func TestTableRoundTrip(t *testing.T) {
+	table := &Table{Paths: [][]int32{{1, 2, 3}, {7, 5}, {9}}}
+	var buf bytes.Buffer
+	if err := table.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ParseTable(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Paths) != 3 || got.Paths[0][2] != 3 || got.Paths[1][1] != 5 {
+		t.Fatalf("round trip = %v", got.Paths)
+	}
+}
+
+func TestParseTableCollapsesPrepending(t *testing.T) {
+	table, err := ParseTable(bytes.NewBufferString("1 2 2 2 3\n# comment\n\n4 4\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(table.Paths) != 2 {
+		t.Fatalf("paths = %v", table.Paths)
+	}
+	if len(table.Paths[0]) != 3 {
+		t.Fatalf("prepending not collapsed: %v", table.Paths[0])
+	}
+	if len(table.Paths[1]) != 1 {
+		t.Fatalf("second path = %v", table.Paths[1])
+	}
+}
+
+func TestParseTableErrors(t *testing.T) {
+	if _, err := ParseTable(bytes.NewBufferString("1 x 3\n")); err == nil {
+		t.Fatal("expected parse error")
+	}
+}
+
+func TestGaoOnCollectedTable(t *testing.T) {
+	// End-to-end: ground truth -> BGP collection -> Gao inference.
+	// Accuracy should be substantially better than chance.
+	as := testInternet(t, 1200, 7)
+	vantages := PickVantages(as.Graph, 12, rand.New(rand.NewSource(8)))
+	table := Collect(as.Annotated, vantages)
+	inferred := policy.InferGao(as.Graph, table.Paths)
+	acc := policy.InferenceAccuracy(as.Annotated, inferred)
+	if acc < 0.6 {
+		t.Fatalf("Gao accuracy on simulated Internet = %.2f, want > 0.6", acc)
+	}
+}

@@ -1,0 +1,41 @@
+package bgp
+
+import (
+	"topocmp/internal/policy"
+	"topocmp/internal/stats"
+)
+
+// CoverageCurve measures how the fraction of ground-truth AS adjacencies
+// visible in the collected table grows with the number of vantage points —
+// the incompleteness phenomenon Chang et al. ("On Inferring AS-Level
+// Connectivity from BGP Routing Tables", INFOCOM 2002) quantified on real
+// collectors, and the reason the paper treats its measured graphs as
+// incomplete. The vantages are added in the given order.
+func CoverageCurve(a *policy.Annotated, vantages []int32) stats.Series {
+	truthEdges := a.G.NumEdges()
+	s := stats.Series{Name: "coverage"}
+	if truthEdges == 0 {
+		return s
+	}
+	type pair struct{ u, v int32 }
+	seen := map[pair]bool{}
+	n := a.G.NumNodes()
+	for i, vp := range vantages {
+		pt := a.Paths(vp)
+		for dst := int32(0); dst < int32(n); dst++ {
+			if dst == vp {
+				continue
+			}
+			path := pt.Path(dst)
+			for j := 0; j+1 < len(path); j++ {
+				u, v := path[j], path[j+1]
+				if u > v {
+					u, v = v, u
+				}
+				seen[pair{u, v}] = true
+			}
+		}
+		s.Add(float64(i+1), float64(len(seen))/float64(truthEdges))
+	}
+	return s
+}

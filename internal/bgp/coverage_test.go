@@ -1,0 +1,32 @@
+package bgp
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestCoverageCurveMonotoneAndIncomplete(t *testing.T) {
+	as := testInternet(t, 1500, 21)
+	vantages := PickVantages(as.Graph, 12, rand.New(rand.NewSource(22)))
+	curve := CoverageCurve(as.Annotated, vantages)
+	if curve.Len() != 12 {
+		t.Fatalf("points = %d", curve.Len())
+	}
+	for i := 1; i < curve.Len(); i++ {
+		if curve.Points[i].Y < curve.Points[i-1].Y {
+			t.Fatal("coverage must be nondecreasing")
+		}
+	}
+	first, last := curve.Points[0].Y, curve.Points[curve.Len()-1].Y
+	if last <= first {
+		t.Fatalf("more vantages should reveal more: %v -> %v", first, last)
+	}
+	// Chang et al.'s point: even many vantages miss edges (backup links
+	// off every best path).
+	if last >= 1 {
+		t.Fatalf("coverage = %v; expected residual incompleteness", last)
+	}
+	if first < 0.3 {
+		t.Fatalf("single backbone vantage coverage = %v; suspiciously low", first)
+	}
+}

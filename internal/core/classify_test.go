@@ -1,0 +1,138 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"topocmp/internal/stats"
+)
+
+func expSeries(rate float64, n int, total float64) stats.Series {
+	var s stats.Series
+	for h := 0; h < n; h++ {
+		y := math.Exp(rate*float64(h)) / total
+		if y > 1 {
+			y = 1
+		}
+		s.Add(float64(h), y)
+	}
+	return s
+}
+
+func polySeries(power float64, n int, total float64) stats.Series {
+	var s stats.Series
+	for h := 1; h < n; h++ {
+		y := math.Pow(float64(h), power) / total
+		if y > 1 {
+			y = 1
+		}
+		s.Add(float64(h), y)
+	}
+	return s
+}
+
+func TestClassifyExpansionForms(t *testing.T) {
+	if got := ClassifyExpansion(expSeries(1.2, 12, 10000)); got != High {
+		t.Fatalf("exponential expansion classified %v", got)
+	}
+	if got := ClassifyExpansion(polySeries(2, 40, 1600)); got != Low {
+		t.Fatalf("quadratic expansion classified %v", got)
+	}
+	// Degenerate: saturates instantly (complete graph) -> High.
+	var sat stats.Series
+	sat.Add(0, 0.01)
+	sat.Add(1, 1)
+	if got := ClassifyExpansion(sat); got != High {
+		t.Fatalf("instant saturation classified %v", got)
+	}
+}
+
+func TestClassifyResilienceForms(t *testing.T) {
+	// Linear R(n) = 0.4n: High.
+	var lin stats.Series
+	for n := 4.0; n < 2000; n *= 1.6 {
+		lin.Add(n, 0.4*n)
+	}
+	if got := ClassifyResilience(lin); got != High {
+		t.Fatalf("linear resilience classified %v", got)
+	}
+	// Flat R(n) ~ 2: Low.
+	var flat stats.Series
+	for n := 4.0; n < 2000; n *= 1.6 {
+		flat.Add(n, 2)
+	}
+	if got := ClassifyResilience(flat); got != Low {
+		t.Fatalf("flat resilience classified %v", got)
+	}
+	// Log-growth (tree-like): Low.
+	var lg stats.Series
+	for n := 4.0; n < 2000; n *= 1.6 {
+		lg.Add(n, math.Log2(n))
+	}
+	if got := ClassifyResilience(lg); got != Low {
+		t.Fatalf("log resilience classified %v", got)
+	}
+	// sqrt growth (mesh): High.
+	var sq stats.Series
+	for n := 4.0; n < 2000; n *= 1.6 {
+		sq.Add(n, 1.5*math.Sqrt(n))
+	}
+	if got := ClassifyResilience(sq); got != High {
+		t.Fatalf("sqrt resilience classified %v", got)
+	}
+	if got := ClassifyResilience(stats.Series{}); got != Low {
+		t.Fatalf("empty resilience classified %v", got)
+	}
+}
+
+func TestClassifyDistortionForms(t *testing.T) {
+	// Log-growing to ~6 (mesh/random): High.
+	var grow stats.Series
+	for n := 4.0; n < 3000; n *= 1.6 {
+		grow.Add(n, 1+1.5*math.Log10(n))
+	}
+	if got := ClassifyDistortion(grow); got != High {
+		t.Fatalf("log-growing distortion classified %v", got)
+	}
+	// Flat at 1 (tree): Low.
+	var one stats.Series
+	for n := 4.0; n < 3000; n *= 1.6 {
+		one.Add(n, 1)
+	}
+	if got := ClassifyDistortion(one); got != Low {
+		t.Fatalf("tree distortion classified %v", got)
+	}
+	// Flattening near 2 (measured/PLRG): Low.
+	var meas stats.Series
+	for n := 4.0; n < 3000; n *= 1.6 {
+		meas.Add(n, 2-1/math.Log2(n+2))
+	}
+	if got := ClassifyDistortion(meas); got != Low {
+		t.Fatalf("measured-like distortion classified %v", got)
+	}
+	if got := ClassifyDistortion(stats.Series{}); got != Low {
+		t.Fatalf("empty distortion classified %v", got)
+	}
+}
+
+func TestLevelStrings(t *testing.T) {
+	if Low.String() != "L" || High.String() != "H" {
+		t.Fatal("bad level strings")
+	}
+}
+
+func TestCategoryStrings(t *testing.T) {
+	want := map[Category]string{Measured: "measured", Generated: "generated", Canonical: "canonical"}
+	for c, s := range want {
+		if c.String() != s {
+			t.Fatalf("Category(%d) = %q, want %q", c, c.String(), s)
+		}
+	}
+}
+
+func TestMatchesPaperUnknownName(t *testing.T) {
+	r := Row{Name: "NotInPaper", Signature: Signature{Low, Low, Low}}
+	if !r.MatchesPaper() || !r.HierarchyMatchesPaper() {
+		t.Fatal("unknown networks should count as matching")
+	}
+}

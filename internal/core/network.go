@@ -1,0 +1,71 @@
+// Package core implements the paper's comparison methodology: a registry of
+// measured, generated and canonical networks (Figure 1), a metric-suite
+// runner over the eight topology metrics, the qualitative Low/High
+// classifier of §3.2.1/§4.4 calibrated on the canonical networks, and the
+// strict/moderate/loose hierarchy grouping of §5.1.
+package core
+
+import (
+	"topocmp/internal/graph"
+	"topocmp/internal/policy"
+)
+
+// Category groups networks as the paper's Figure 1 does.
+type Category int
+
+const (
+	// Measured networks come from the (simulated) Internet measurement
+	// pipeline.
+	Measured Category = iota
+	// Generated networks come from topology generators.
+	Generated
+	// Canonical networks calibrate the metrics.
+	Canonical
+)
+
+// String implements fmt.Stringer.
+func (c Category) String() string {
+	switch c {
+	case Measured:
+		return "measured"
+	case Generated:
+		return "generated"
+	default:
+		return "canonical"
+	}
+}
+
+// Network is one comparison subject.
+type Network struct {
+	Name     string
+	Category Category
+	Graph    *graph.Graph
+	// Policy, when non-nil, enables policy-routing variants of the metrics
+	// (AS-level networks).
+	Policy *policy.Annotated
+	// Overlay, when non-nil, enables router-level policy variants (RL
+	// networks).
+	Overlay *policy.RouterOverlay
+}
+
+// Describe returns the Figure 1 row for this network.
+type Description struct {
+	Name      string
+	Category  string
+	Nodes     int
+	Edges     int
+	AvgDegree float64
+	MaxDegree int
+}
+
+// Describe summarizes the network.
+func (n *Network) Describe() Description {
+	return Description{
+		Name:      n.Name,
+		Category:  n.Category.String(),
+		Nodes:     n.Graph.NumNodes(),
+		Edges:     n.Graph.NumEdges(),
+		AvgDegree: n.Graph.AvgDegree(),
+		MaxDegree: n.Graph.MaxDegree(),
+	}
+}

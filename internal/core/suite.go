@@ -1,0 +1,278 @@
+package core
+
+import (
+	"math/rand"
+	"sync"
+
+	"topocmp/internal/ball"
+	"topocmp/internal/graph"
+	"topocmp/internal/hierarchy"
+	"topocmp/internal/metrics"
+	"topocmp/internal/partition"
+	"topocmp/internal/policy"
+	"topocmp/internal/stats"
+)
+
+// SuiteOptions tunes the metric-suite run. Zero values pick defaults that
+// complete quickly at the repository's default experiment scales.
+type SuiteOptions struct {
+	Sources     int   // ball centers sampled per metric (default 24)
+	MaxBallSize int   // per-ball cost cap for the expensive metrics (default 3000)
+	EigenRank   int   // eigenvalues computed (default 40)
+	LinkSources int   // pair sources for link values (default 96)
+	Seed        int64 // base RNG seed (default 1)
+	// SkipHierarchy disables the link-value computation (the costliest
+	// stage) when only Figure 2 style metrics are needed.
+	SkipHierarchy bool
+	// ToleranceFractions are the removal fractions of Figure 9; default
+	// 0, 0.01, 0.02, 0.05, 0.10, 0.15, 0.20.
+	ToleranceFractions []float64
+}
+
+func (o *SuiteOptions) defaults() {
+	if o.Sources == 0 {
+		o.Sources = 24
+	}
+	if o.MaxBallSize == 0 {
+		o.MaxBallSize = 3000
+	}
+	if o.EigenRank == 0 {
+		o.EigenRank = 40
+	}
+	if o.LinkSources == 0 {
+		o.LinkSources = 384
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	if o.ToleranceFractions == nil {
+		o.ToleranceFractions = []float64{0, 0.01, 0.02, 0.05, 0.10, 0.15, 0.20}
+	}
+}
+
+// SuiteResult holds every metric curve for one network.
+type SuiteResult struct {
+	Network *Network
+
+	Expansion  stats.Series
+	Resilience stats.Series
+	Distortion stats.Series
+
+	Eigenvalues    stats.Series
+	Eccentricity   stats.Series
+	VertexCover    stats.Series
+	Biconnectivity stats.Series
+	Attack         stats.Series
+	Error          stats.Series
+	Clustering     stats.Series
+
+	// WholeGraphClustering is the single-number coefficient of §4.4.
+	WholeGraphClustering float64
+
+	// LinkValues is nil when SkipHierarchy is set.
+	LinkValues *hierarchy.Result
+
+	// Policy variants (present when the network carries annotations): the
+	// AS(Policy)/RL(Policy) curves of Figure 2(d-f) and Figures 3/4.
+	PolicyExpansion  stats.Series
+	PolicyResilience stats.Series
+	PolicyDistortion stats.Series
+	PolicyLinkValues *hierarchy.Result
+}
+
+// RunSuite computes the full metric suite on a network. Graphs are
+// immutable, so the independent metrics run concurrently; every metric
+// seeds its own RNG, so results are identical to a sequential run.
+func RunSuite(n *Network, opts SuiteOptions) *SuiteResult {
+	opts.defaults()
+	res := &SuiteResult{Network: n}
+	g := n.Graph
+
+	cfg := func(off int64) ball.Config {
+		return ball.Config{
+			MaxSources:  opts.Sources,
+			MaxBallSize: opts.MaxBallSize,
+			Rand:        rand.New(rand.NewSource(opts.Seed + off)),
+		}
+	}
+	var wg sync.WaitGroup
+	stage := func(f func()) {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			f()
+		}()
+	}
+	stage(func() {
+		res.Expansion = metrics.Expansion(g, ball.Config{
+			MaxSources: 4 * opts.Sources,
+			Rand:       rand.New(rand.NewSource(opts.Seed)),
+		})
+	})
+	stage(func() {
+		res.Resilience = metrics.Resilience(g, cfg(1), partition.Options{
+			Rand: rand.New(rand.NewSource(opts.Seed + 100)),
+		})
+	})
+	stage(func() { res.Distortion = metrics.Distortion(g, cfg(2), 3) })
+	stage(func() { res.Eigenvalues = metrics.EigenvalueSpectrum(g, opts.EigenRank) })
+	stage(func() { res.Eccentricity = metrics.EccentricityDistribution(g, 4*opts.Sources, 0.1) })
+	stage(func() { res.VertexCover = metrics.VertexCoverCurve(g, cfg(3)) })
+	stage(func() { res.Biconnectivity = metrics.BiconnectivityCurve(g, cfg(4)) })
+	stage(func() {
+		res.Attack = metrics.AttackTolerance(g, opts.ToleranceFractions, 2*opts.Sources)
+	})
+	stage(func() {
+		res.Error = metrics.ErrorTolerance(g, opts.ToleranceFractions, 2*opts.Sources,
+			rand.New(rand.NewSource(opts.Seed+200)))
+	})
+	stage(func() {
+		res.Clustering = metrics.ClusteringCurve(g, cfg(5))
+		res.WholeGraphClustering = metrics.ClusteringCoefficient(g)
+	})
+
+	if !opts.SkipHierarchy {
+		stage(func() {
+			// Like the paper (footnote 29), router-level graphs reduce to
+			// their core (recursive removal of degree-1 nodes) before link
+			// values: the full graph is computationally out of reach and
+			// the core's distribution is qualitatively the same.
+			lvGraph := g
+			if n.Overlay != nil {
+				if core, _ := g.Core(); core.NumNodes() >= 3 {
+					lvGraph = core
+				}
+			}
+			res.LinkValues = hierarchy.LinkValues(lvGraph, hierarchy.Options{
+				MaxSources: opts.LinkSources,
+				Rand:       rand.New(rand.NewSource(opts.Seed + 300)),
+			})
+		})
+		if n.Policy != nil {
+			stage(func() {
+				res.PolicyLinkValues = hierarchy.PolicyLinkValues(n.Policy, hierarchy.Options{
+					MaxSources: opts.LinkSources,
+					Rand:       rand.New(rand.NewSource(opts.Seed + 400)),
+				})
+			})
+		}
+	}
+	if n.Policy != nil || n.Overlay != nil {
+		stage(func() {
+			// Fresh Rand with the same seed so the policy variant samples
+			// the same ball centers as the plain expansion.
+			res.PolicyExpansion = policyExpansion(n, ball.Config{
+				MaxSources: 4 * opts.Sources,
+				Rand:       rand.New(rand.NewSource(opts.Seed)),
+			})
+		})
+		stage(func() {
+			res.PolicyResilience, res.PolicyDistortion = policyBallCurves(n, opts)
+		})
+	}
+	wg.Wait()
+	return res
+}
+
+// policyBallCurves computes resilience and distortion over policy-induced
+// balls, the AS(Policy)/RL(Policy) curves of Figure 2(e,f). Policy balls
+// contain only the links on policy-compliant shortest paths, which is what
+// lowers the measured resilience ("the resilience of the RL and AS graphs
+// decreases... although its qualitative behavior remains unchanged").
+func policyBallCurves(n *Network, opts SuiteOptions) (stats.Series, stats.Series) {
+	g := n.Graph
+	cfg := ball.Config{
+		MaxSources: opts.Sources,
+		Rand:       rand.New(rand.NewSource(opts.Seed + 1)),
+	}
+	centers := ball.Centers(g, &cfg)
+	grow := func(src int32, h int) policy.Ball {
+		if n.Overlay != nil {
+			return n.Overlay.PolicyBall(src, h)
+		}
+		return n.Policy.PolicyBall(src, h)
+	}
+	popts := partition.Options{Rand: rand.New(rand.NewSource(opts.Seed + 100))}
+	var resRaw, distRaw []stats.Point
+	for _, src := range centers {
+		prev := 0
+		for h := 1; ; h++ {
+			b := grow(src, h)
+			if len(b.Nodes) == prev && h > 1 {
+				break // policy reach exhausted
+			}
+			prev = len(b.Nodes)
+			if opts.MaxBallSize > 0 && len(b.Nodes) > opts.MaxBallSize {
+				break
+			}
+			if len(b.Nodes) < 3 {
+				continue
+			}
+			sub := b.Subgraph()
+			cut := partition.CutSize(sub, popts)
+			resRaw = append(resRaw, stats.Point{X: float64(sub.NumNodes()), Y: float64(cut)})
+			if d := metrics.SubgraphDistortion(sub, 3); d > 0 {
+				distRaw = append(distRaw, stats.Point{X: float64(sub.NumNodes()), Y: d})
+			}
+		}
+	}
+	res := stats.Bucketize(resRaw, 1.45)
+	res.Name = "resilience(policy)"
+	dist := stats.Bucketize(distRaw, 1.45)
+	dist.Name = "distortion(policy)"
+	return res, dist
+}
+
+// policyExpansion computes E(h) over policy-induced balls (the AS(Policy)
+// curves of Figure 2(d)).
+func policyExpansion(n *Network, cfg ball.Config) stats.Series {
+	g := n.Graph
+	total := float64(g.NumNodes())
+	centers := ball.Centers(g, &cfg)
+	// Per-center cumulative reach profiles, saturated to the global
+	// maximum eccentricity afterwards.
+	var profiles [][]float64
+	maxH := 0
+	for _, src := range centers {
+		var dist []int32
+		if n.Overlay != nil {
+			dist = n.Overlay.Dist(src)
+		} else {
+			dist = n.Policy.Dist(src)
+		}
+		counts := map[int]int{}
+		ecc := 0
+		for _, d := range dist {
+			if d == graph.Unreached {
+				continue
+			}
+			counts[int(d)]++
+			if int(d) > ecc {
+				ecc = int(d)
+			}
+		}
+		cum := make([]float64, ecc+1)
+		run := 0
+		for h := 0; h <= ecc; h++ {
+			run += counts[h]
+			cum[h] = float64(run)
+		}
+		profiles = append(profiles, cum)
+		if ecc > maxH {
+			maxH = ecc
+		}
+	}
+	s := stats.Series{Name: "expansion(policy)"}
+	for h := 0; h <= maxH; h++ {
+		sum := 0.0
+		for _, cum := range profiles {
+			if h < len(cum) {
+				sum += cum[h]
+			} else {
+				sum += cum[len(cum)-1]
+			}
+		}
+		s.Add(float64(h), sum/float64(len(profiles))/total)
+	}
+	return s
+}

@@ -1,0 +1,110 @@
+package core
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"text/tabwriter"
+
+	"topocmp/internal/hierarchy"
+)
+
+// Row is one line of the §4.4 classification table (and the §5.1 grouping).
+type Row struct {
+	Name      string
+	Category  Category
+	Signature Signature
+	Hierarchy hierarchy.Class
+	// HasHierarchy distinguishes "loose" from "not computed".
+	HasHierarchy bool
+}
+
+// ExpectedSignatures is the paper's §4.4 table, the golden reference the
+// reproduction is judged against.
+var ExpectedSignatures = map[string]string{
+	"Mesh":     "LHH",
+	"Random":   "HHH",
+	"Tree":     "HLL",
+	"Complete": "HHL",
+	"Linear":   "LLL",
+	"AS":       "HHL",
+	"RL":       "HHL",
+	"PLRG":     "HHL",
+	"Tiers":    "LHL",
+	"TS":       "HLL",
+	"Waxman":   "HHH",
+}
+
+// ExpectedHierarchy is the paper's §5.1 grouping table.
+var ExpectedHierarchy = map[string]hierarchy.Class{
+	"Mesh":   hierarchy.Loose,
+	"Random": hierarchy.Loose,
+	"Tree":   hierarchy.Strict,
+	"AS":     hierarchy.Moderate,
+	"RL":     hierarchy.Moderate,
+	"PLRG":   hierarchy.Moderate,
+	"Tiers":  hierarchy.Strict,
+	"TS":     hierarchy.Strict,
+	"Waxman": hierarchy.Loose,
+}
+
+// BuildRow classifies one suite result.
+func BuildRow(res *SuiteResult) Row {
+	r := Row{
+		Name:      res.Network.Name,
+		Category:  res.Network.Category,
+		Signature: Classify(res),
+	}
+	if res.LinkValues != nil {
+		r.Hierarchy = hierarchy.Classify(res.LinkValues)
+		r.HasHierarchy = true
+	}
+	return r
+}
+
+// WriteTable renders rows as the paper's classification table.
+func WriteTable(w io.Writer, rows []Row) error {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "Topology\tCategory\tExpansion\tResilience\tDistortion\tHierarchy\tExpected")
+	sorted := append([]Row(nil), rows...)
+	sort.Slice(sorted, func(i, j int) bool {
+		if sorted[i].Category != sorted[j].Category {
+			return sorted[i].Category < sorted[j].Category
+		}
+		return sorted[i].Name < sorted[j].Name
+	})
+	for _, r := range sorted {
+		h := "-"
+		if r.HasHierarchy {
+			h = r.Hierarchy.String()
+		}
+		expected := ExpectedSignatures[r.Name]
+		if expected == "" {
+			expected = "?"
+		}
+		fmt.Fprintf(tw, "%s\t%s\t%s\t%s\t%s\t%s\t%s\n",
+			r.Name, r.Category, r.Signature.Expansion, r.Signature.Resilience,
+			r.Signature.Distortion, h, expected)
+	}
+	return tw.Flush()
+}
+
+// MatchesPaper reports whether a row's signature agrees with the paper's
+// table (unknown names count as matching).
+func (r Row) MatchesPaper() bool {
+	want, ok := ExpectedSignatures[r.Name]
+	if !ok {
+		return true
+	}
+	return r.Signature.String() == want
+}
+
+// HierarchyMatchesPaper reports whether the row's hierarchy grouping agrees
+// with §5.1 (rows without hierarchy, or unknown names, count as matching).
+func (r Row) HierarchyMatchesPaper() bool {
+	want, ok := ExpectedHierarchy[r.Name]
+	if !ok || !r.HasHierarchy {
+		return true
+	}
+	return r.Hierarchy == want
+}

@@ -1,0 +1,367 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation. Each method of Runner corresponds to one artifact (see
+// DESIGN.md's experiment index); cmd/reproduce renders them to results/
+// and the repository-root benchmarks time and print them.
+package experiments
+
+import (
+	"fmt"
+	"sort"
+
+	"topocmp/internal/core"
+	"topocmp/internal/hierarchy"
+	"topocmp/internal/stats"
+)
+
+// Config selects the experiment scale.
+type Config struct {
+	Set   core.PaperSetOptions
+	Suite core.SuiteOptions
+}
+
+// QuickConfig returns a configuration sized for CI-style runs (a few
+// minutes for the full set).
+func QuickConfig(seed int64) Config {
+	return Config{
+		Set: core.PaperSetOptions{Seed: seed, Scale: 0.12},
+		Suite: core.SuiteOptions{
+			Sources: 12, MaxBallSize: 1500, EigenRank: 20,
+			LinkSources: 384, Seed: seed,
+		},
+	}
+}
+
+// FullConfig returns the paper-scale configuration (tens of minutes).
+func FullConfig(seed int64) Config {
+	return Config{
+		Set: core.PaperSetOptions{Seed: seed, Scale: 0.45},
+		Suite: core.SuiteOptions{
+			Sources: 24, MaxBallSize: 2500, EigenRank: 60,
+			LinkSources: 512, Seed: seed,
+		},
+	}
+}
+
+// Runner lazily builds the network set and memoizes per-network suite
+// results so every figure can reuse them.
+type Runner struct {
+	Cfg      Config
+	measured *core.MeasuredSet
+	nets     []*core.Network
+	suites   map[string]*core.SuiteResult
+}
+
+// NewRunner returns a runner for the configuration.
+func NewRunner(cfg Config) *Runner {
+	return &Runner{Cfg: cfg, suites: map[string]*core.SuiteResult{}}
+}
+
+// Measured returns (building on first use) the simulated measurement
+// pipeline products.
+func (r *Runner) Measured() *core.MeasuredSet {
+	if r.measured == nil {
+		r.measured = core.BuildMeasured(r.Cfg.Set)
+	}
+	return r.measured
+}
+
+// Networks returns the full Figure 1 inventory.
+func (r *Runner) Networks() []*core.Network {
+	if r.nets == nil {
+		ms := r.Measured()
+		r.nets = []*core.Network{ms.AS, ms.RL}
+		r.nets = append(r.nets, core.BuildGenerated(r.Cfg.Set)...)
+		r.nets = append(r.nets, core.BuildCanonical(r.Cfg.Set)...)
+	}
+	return r.nets
+}
+
+// Network returns the named network, or nil.
+func (r *Runner) Network(name string) *core.Network {
+	for _, n := range r.Networks() {
+		if n.Name == name {
+			return n
+		}
+	}
+	return nil
+}
+
+// Suite returns the memoized metric-suite result for the named network.
+func (r *Runner) Suite(name string) *core.SuiteResult {
+	if res, ok := r.suites[name]; ok {
+		return res
+	}
+	n := r.Network(name)
+	if n == nil {
+		panic(fmt.Sprintf("experiments: unknown network %q", name))
+	}
+	res := core.RunSuite(n, r.Cfg.Suite)
+	r.suites[name] = res
+	return res
+}
+
+// Groups of the paper's figure panels.
+var (
+	CanonicalNames = []string{"Tree", "Mesh", "Random"}
+	MeasuredNames  = []string{"RL", "AS"}
+	GeneratedNames = []string{"TS", "Tiers", "Waxman", "PLRG"}
+	AllTableNames  = []string{"AS", "RL", "PLRG", "TS", "Tiers", "Waxman",
+		"Mesh", "Random", "Tree", "Complete", "Linear"}
+)
+
+// Table1 regenerates the Figure 1 inventory table.
+func (r *Runner) Table1() []core.Description {
+	var out []core.Description
+	for _, n := range r.Networks() {
+		out = append(out, n.Describe())
+	}
+	return out
+}
+
+// Figure2Panel holds one panel (row of Figure 2) for a network group.
+type Figure2Panel struct {
+	Group      string
+	Expansion  []stats.Series
+	Resilience []stats.Series
+	Distortion []stats.Series
+}
+
+// Figure2 regenerates the three-metric panels for the given group. For the
+// measured group the policy-routing expansion variants are included, as in
+// Figure 2(d).
+func (r *Runner) Figure2(group string, names []string) Figure2Panel {
+	p := Figure2Panel{Group: group}
+	for _, name := range names {
+		res := r.Suite(name)
+		e := res.Expansion
+		e.Name = name
+		p.Expansion = append(p.Expansion, e)
+		if res.PolicyExpansion.Len() > 0 {
+			pe := res.PolicyExpansion
+			pe.Name = name + "(Policy)"
+			p.Expansion = append(p.Expansion, pe)
+		}
+		rs := res.Resilience
+		rs.Name = name
+		p.Resilience = append(p.Resilience, rs)
+		if res.PolicyResilience.Len() > 0 {
+			pr := res.PolicyResilience
+			pr.Name = name + "(Policy)"
+			p.Resilience = append(p.Resilience, pr)
+		}
+		d := res.Distortion
+		d.Name = name
+		p.Distortion = append(p.Distortion, d)
+		if res.PolicyDistortion.Len() > 0 {
+			pd := res.PolicyDistortion
+			pd.Name = name + "(Policy)"
+			p.Distortion = append(p.Distortion, pd)
+		}
+	}
+	return p
+}
+
+// Table2 regenerates the §3.2.1 five-network calibration table.
+func (r *Runner) Table2() []core.Row {
+	var rows []core.Row
+	for _, name := range []string{"Mesh", "Random", "Tree", "Complete", "Linear"} {
+		rows = append(rows, core.BuildRow(r.Suite(name)))
+	}
+	return rows
+}
+
+// Table3 regenerates the §4.4 classification table over measured and
+// generated networks (plus the canonical rows for context).
+func (r *Runner) Table3() []core.Row {
+	var rows []core.Row
+	for _, name := range AllTableNames {
+		rows = append(rows, core.BuildRow(r.Suite(name)))
+	}
+	return rows
+}
+
+// Figure3 regenerates the link-value rank distributions (Figures 3 and 4
+// share the data; only the axis scaling differs). Policy variants are
+// included for the measured networks.
+func (r *Runner) Figure3(names []string) []stats.Series {
+	var out []stats.Series
+	for _, name := range names {
+		res := r.Suite(name)
+		if res.LinkValues == nil {
+			continue
+		}
+		s := res.LinkValues.RankDistribution()
+		s.Name = name
+		out = append(out, s)
+		if res.PolicyLinkValues != nil {
+			ps := res.PolicyLinkValues.RankDistribution()
+			ps.Name = name + "(Policy)"
+			out = append(out, ps)
+		}
+	}
+	return out
+}
+
+// Table4 regenerates the §5.1 strict/moderate/loose grouping.
+type HierarchyRow struct {
+	Name  string
+	Class hierarchy.Class
+}
+
+// Table4 returns hierarchy groupings for the standard networks.
+func (r *Runner) Table4() []HierarchyRow {
+	var rows []HierarchyRow
+	for _, name := range []string{"Mesh", "Random", "Tree", "AS", "RL", "PLRG", "Tiers", "TS", "Waxman"} {
+		res := r.Suite(name)
+		if res.LinkValues == nil {
+			continue
+		}
+		rows = append(rows, HierarchyRow{name, hierarchy.Classify(res.LinkValues)})
+	}
+	return rows
+}
+
+// Figure5Row is one bar of the correlation chart.
+type Figure5Row struct {
+	Name        string
+	Correlation float64
+}
+
+// Figure5 regenerates the link-value/min-degree correlations, including the
+// policy variants for the measured graphs, sorted descending like the
+// paper's bar chart.
+func (r *Runner) Figure5() []Figure5Row {
+	var rows []Figure5Row
+	for _, name := range []string{"PLRG", "Waxman", "Random", "AS", "TS", "Mesh", "Tiers", "RL", "Tree"} {
+		res := r.Suite(name)
+		if res.LinkValues == nil {
+			continue
+		}
+		g := r.Network(name).Graph
+		if name == "RL" {
+			// Link values were computed on the core (footnote 29);
+			// correlate against the core's degrees.
+			g, _ = g.Core()
+		}
+		rows = append(rows, Figure5Row{name, res.LinkValues.DegreeCorrelation(g)})
+		if res.PolicyLinkValues != nil {
+			rows = append(rows, Figure5Row{
+				name + "(Policy)",
+				res.PolicyLinkValues.DegreeCorrelation(r.Network(name).Graph),
+			})
+		}
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].Correlation > rows[j].Correlation })
+	return rows
+}
+
+// Figure6 regenerates the degree CCDFs of Appendix A for a network group.
+func (r *Runner) Figure6(names []string) []stats.Series {
+	var out []stats.Series
+	for _, name := range names {
+		s := stats.CCDF(r.Network(name).Graph.Degrees())
+		s.Name = name
+		out = append(out, s)
+	}
+	return out
+}
+
+// Figure7Eigen regenerates the eigenvalue-vs-rank plots.
+func (r *Runner) Figure7Eigen(names []string) []stats.Series {
+	var out []stats.Series
+	for _, name := range names {
+		s := r.Suite(name).Eigenvalues
+		s.Name = name
+		out = append(out, s)
+	}
+	return out
+}
+
+// Figure7Ecc regenerates the node-diameter (eccentricity) distributions.
+func (r *Runner) Figure7Ecc(names []string) []stats.Series {
+	var out []stats.Series
+	for _, name := range names {
+		s := r.Suite(name).Eccentricity
+		s.Name = name
+		out = append(out, s)
+	}
+	return out
+}
+
+// Figure8Cover regenerates the vertex-cover-vs-ball-size plots.
+func (r *Runner) Figure8Cover(names []string) []stats.Series {
+	var out []stats.Series
+	for _, name := range names {
+		s := r.Suite(name).VertexCover
+		s.Name = name
+		out = append(out, s)
+	}
+	return out
+}
+
+// Figure8Bicon regenerates the biconnectivity plots.
+func (r *Runner) Figure8Bicon(names []string) []stats.Series {
+	var out []stats.Series
+	for _, name := range names {
+		s := r.Suite(name).Biconnectivity
+		s.Name = name
+		out = append(out, s)
+	}
+	return out
+}
+
+// Figure9 regenerates attack (targeted) and error (random) tolerance.
+func (r *Runner) Figure9(names []string) (attack, errTol []stats.Series) {
+	for _, name := range names {
+		a := r.Suite(name).Attack
+		a.Name = name + ".att"
+		attack = append(attack, a)
+		e := r.Suite(name).Error
+		e.Name = name + ".err"
+		errTol = append(errTol, e)
+	}
+	return attack, errTol
+}
+
+// Figure10 regenerates the clustering-coefficient-vs-ball-size plots.
+func (r *Runner) Figure10(names []string) []stats.Series {
+	var out []stats.Series
+	for _, name := range names {
+		s := r.Suite(name).Clustering
+		s.Name = name
+		out = append(out, s)
+	}
+	return out
+}
+
+// SummaryChecks compares the reproduction against the paper's qualitative
+// claims; the returned map is the backbone of EXPERIMENTS.md.
+type SummaryCheck struct {
+	Name     string
+	Expected string
+	Got      string
+	Match    bool
+}
+
+// Summary checks all §4.4 signatures and §5.1 groupings.
+func (r *Runner) Summary() []SummaryCheck {
+	var out []SummaryCheck
+	for _, name := range AllTableNames {
+		row := core.BuildRow(r.Suite(name))
+		out = append(out, SummaryCheck{
+			Name:     name + " signature",
+			Expected: core.ExpectedSignatures[name],
+			Got:      row.Signature.String(),
+			Match:    row.MatchesPaper(),
+		})
+		if want, ok := core.ExpectedHierarchy[name]; ok {
+			out = append(out, SummaryCheck{
+				Name:     name + " hierarchy",
+				Expected: want.String(),
+				Got:      row.Hierarchy.String(),
+				Match:    row.HierarchyMatchesPaper(),
+			})
+		}
+	}
+	return out
+}

@@ -1,0 +1,317 @@
+package experiments
+
+import (
+	"math/rand"
+	"testing"
+
+	"topocmp/internal/core"
+	"topocmp/internal/gen/plrg"
+	"topocmp/internal/hierarchy"
+	"topocmp/internal/metrics"
+)
+
+func tiny() *Runner {
+	cfg := QuickConfig(1)
+	cfg.Set.Scale = 0.12
+	cfg.Suite.Sources = 8
+	cfg.Suite.MaxBallSize = 800
+	cfg.Suite.LinkSources = 384
+	return NewRunner(cfg)
+}
+
+func TestTable1CoversInventory(t *testing.T) {
+	r := tiny()
+	rows := r.Table1()
+	if len(rows) != 11 {
+		t.Fatalf("inventory rows = %d, want 11", len(rows))
+	}
+	names := map[string]bool{}
+	for _, row := range rows {
+		names[row.Name] = true
+		if row.Nodes <= 0 || row.AvgDegree <= 0 {
+			t.Fatalf("bad row %+v", row)
+		}
+	}
+	for _, want := range AllTableNames {
+		if !names[want] {
+			t.Fatalf("missing network %s", want)
+		}
+	}
+}
+
+func TestSuiteMemoized(t *testing.T) {
+	r := tiny()
+	a := r.Suite("Tree")
+	b := r.Suite("Tree")
+	if a != b {
+		t.Fatal("suite results should be memoized")
+	}
+}
+
+func TestFigure2PanelShapes(t *testing.T) {
+	r := tiny()
+	p := r.Figure2("canonical", CanonicalNames)
+	if len(p.Expansion) != 3 || len(p.Resilience) != 3 || len(p.Distortion) != 3 {
+		t.Fatalf("panel sizes %d/%d/%d", len(p.Expansion), len(p.Resilience), len(p.Distortion))
+	}
+	for _, s := range p.Expansion {
+		if s.Len() == 0 {
+			t.Fatalf("empty expansion for %s", s.Name)
+		}
+	}
+	// Measured panel includes policy variants.
+	mp := r.Figure2("measured", MeasuredNames)
+	withPolicy := 0
+	for _, s := range mp.Expansion {
+		if len(s.Name) > 8 && s.Name[len(s.Name)-8:] == "(Policy)" {
+			withPolicy++
+		}
+	}
+	if withPolicy != 2 {
+		t.Fatalf("policy expansion variants = %d, want 2", withPolicy)
+	}
+}
+
+func TestFigure3AndTable4(t *testing.T) {
+	r := tiny()
+	series := r.Figure3([]string{"AS", "PLRG"})
+	if len(series) < 2 {
+		t.Fatalf("series = %d", len(series))
+	}
+	for _, s := range series {
+		if s.Len() == 0 {
+			t.Fatalf("empty link-value series %s", s.Name)
+		}
+	}
+	rows := r.Table4()
+	if len(rows) != 9 {
+		t.Fatalf("table4 rows = %d", len(rows))
+	}
+}
+
+func TestFigure5Correlations(t *testing.T) {
+	r := tiny()
+	rows := r.Figure5()
+	if len(rows) < 9 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for i := 1; i < len(rows); i++ {
+		if rows[i].Correlation > rows[i-1].Correlation {
+			t.Fatal("rows not sorted")
+		}
+	}
+	// Figure 5's key contrast: PLRG correlation far above Tree.
+	var plrgC, treeC float64
+	for _, row := range rows {
+		switch row.Name {
+		case "PLRG":
+			plrgC = row.Correlation
+		case "Tree":
+			treeC = row.Correlation
+		}
+	}
+	if plrgC <= treeC {
+		t.Fatalf("PLRG corr %v <= Tree corr %v", plrgC, treeC)
+	}
+}
+
+func TestFigure6Through10(t *testing.T) {
+	r := tiny()
+	if got := r.Figure6(CanonicalNames); len(got) != 3 {
+		t.Fatalf("figure6 = %d series", len(got))
+	}
+	if got := r.Figure7Eigen([]string{"Tree", "PLRG"}); len(got) != 2 || got[1].Len() == 0 {
+		t.Fatal("figure7 eigen broken")
+	}
+	if got := r.Figure7Ecc([]string{"Mesh"}); len(got) != 1 || got[0].Len() == 0 {
+		t.Fatal("figure7 ecc broken")
+	}
+	if got := r.Figure8Cover([]string{"Mesh"}); got[0].Len() == 0 {
+		t.Fatal("figure8 cover broken")
+	}
+	if got := r.Figure8Bicon([]string{"Tree"}); got[0].Len() == 0 {
+		t.Fatal("figure8 bicon broken")
+	}
+	att, errTol := r.Figure9([]string{"PLRG"})
+	if att[0].Len() == 0 || errTol[0].Len() == 0 {
+		t.Fatal("figure9 broken")
+	}
+	if got := r.Figure10([]string{"Random"}); got[0].Len() == 0 {
+		t.Fatal("figure10 broken")
+	}
+}
+
+func TestDegreeBasedVariantsAllHeavyTailed(t *testing.T) {
+	r := tiny()
+	for _, n := range r.DegreeBasedVariants() {
+		if n.Graph.MaxDegree() < 15 {
+			t.Fatalf("%s max degree %d; no hubs", n.Name, n.Graph.MaxDegree())
+		}
+	}
+}
+
+func TestFigure12AllVariantsMatchPLRGShape(t *testing.T) {
+	// Appendix D conclusion: every degree-based variant has high expansion
+	// and resilience and low distortion.
+	r := tiny()
+	p := r.Figure12()
+	for i := range p.Expansion {
+		name := p.Expansion[i].Name
+		sig := core.Signature{
+			Expansion:  core.ClassifyExpansion(p.Expansion[i]),
+			Resilience: core.ClassifyResilience(p.Resilience[i]),
+			Distortion: core.ClassifyDistortion(p.Distortion[i]),
+		}
+		if sig.String() != "HHL" {
+			t.Errorf("%s: signature %s, want HHL", name, sig)
+		}
+	}
+}
+
+func TestFigure13ReconnectionPreservesShape(t *testing.T) {
+	r := tiny()
+	p := r.Figure13()
+	if len(p.Expansion) != 4 {
+		t.Fatalf("panels = %d", len(p.Expansion))
+	}
+	for i := range p.Expansion {
+		if core.ClassifyExpansion(p.Expansion[i]) != core.High {
+			t.Errorf("%s: expansion not high", p.Expansion[i].Name)
+		}
+		if core.ClassifyDistortion(p.Distortion[i]) != core.Low {
+			t.Errorf("%s: distortion not low", p.Distortion[i].Name)
+		}
+	}
+}
+
+func TestFigure14VariantsModerate(t *testing.T) {
+	r := tiny()
+	series := r.Figure14()
+	if len(series) != 5 {
+		t.Fatalf("series = %d", len(series))
+	}
+	for _, s := range series {
+		if s.Len() == 0 {
+			t.Fatalf("empty series %s", s.Name)
+		}
+		// Moderate hierarchy: fast fall-off — the top 10% of links hold
+		// most of the value.
+		top := s.Points[0].Y
+		mid := s.YAt(0.5)
+		if top <= 0 || mid/top > 0.5 {
+			t.Errorf("%s: distribution too flat (top=%v mid=%v)", s.Name, top, mid)
+		}
+	}
+}
+
+func TestFigure11Rows(t *testing.T) {
+	r := tiny()
+	rows := r.Figure11()
+	if len(rows) < 10 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, row := range rows {
+		if row.Nodes <= 0 {
+			t.Fatalf("bad row %+v", row)
+		}
+	}
+	// Robustness claim: every PLRG row classifies HHL.
+	for _, row := range rows {
+		if row.Generator == "PLRG" && row.Signature.String() != "HHL" {
+			t.Errorf("PLRG %s: signature %s", row.Params, row.Signature)
+		}
+	}
+}
+
+func TestSummaryAllMatch(t *testing.T) {
+	r := tiny()
+	for _, c := range r.Summary() {
+		if !c.Match {
+			t.Errorf("%s: got %s, expected %s", c.Name, c.Got, c.Expected)
+		}
+	}
+}
+
+func TestConnectivityVariants(t *testing.T) {
+	r := tiny()
+	p := r.ConnectivityVariants()
+	if len(p.Expansion) != 4 {
+		t.Fatalf("panels = %d", len(p.Expansion))
+	}
+	// The three random methods all produce the PLRG's HHL shape.
+	for i := 0; i < 3; i++ {
+		sig := core.Signature{
+			Expansion:  core.ClassifyExpansion(p.Expansion[i]),
+			Resilience: core.ClassifyResilience(p.Resilience[i]),
+			Distortion: core.ClassifyDistortion(p.Distortion[i]),
+		}
+		if sig.String() != "HHL" {
+			t.Errorf("%s: signature %s, want HHL", p.Expansion[i].Name, sig)
+		}
+	}
+}
+
+func TestDeterministicConnectivityIsDifferent(t *testing.T) {
+	// Appendix D.1: "deterministic connectivity results in graphs that are
+	// quite different from the PLRG (and thus different from the AS and RL
+	// graphs)". The contrast shows up violently in local and hierarchy
+	// properties.
+	cloneG := plrg.MustGenerate(rand.New(rand.NewSource(101)),
+		plrg.Params{N: 2000, Beta: 2.246, Connect: plrg.CloneMatching})
+	detG := plrg.MustGenerate(rand.New(rand.NewSource(101)),
+		plrg.Params{N: 2000, Beta: 2.246, Connect: plrg.Deterministic})
+	// Deterministic wiring fractures the graph: its giant component is a
+	// fraction of clone matching's.
+	if detG.NumNodes()*2 > cloneG.NumNodes() {
+		t.Fatalf("deterministic component %d vs clone %d: expected fragmentation",
+			detG.NumNodes(), cloneG.NumNodes())
+	}
+	// It is intensely clustered (sorted-degree wiring creates cliques)...
+	ccClone := metrics.ClusteringCoefficient(cloneG)
+	ccDet := metrics.ClusteringCoefficient(detG)
+	if ccDet < 5*ccClone {
+		t.Fatalf("clustering: deterministic %v vs clone %v", ccDet, ccClone)
+	}
+	// ...and its hierarchy no longer correlates with degree.
+	lvClone := hierarchy.LinkValues(cloneG, hierarchy.Options{MaxSources: 320,
+		Rand: rand.New(rand.NewSource(1))})
+	lvDet := hierarchy.LinkValues(detG, hierarchy.Options{MaxSources: 320,
+		Rand: rand.New(rand.NewSource(1))})
+	if lvDet.DegreeCorrelation(detG) >= lvClone.DegreeCorrelation(cloneG)/2 {
+		t.Fatalf("degree correlation: deterministic %v vs clone %v",
+			lvDet.DegreeCorrelation(detG), lvClone.DegreeCorrelation(cloneG))
+	}
+}
+
+func TestRewiringPreservesLargeScaleStructure(t *testing.T) {
+	// The null-model version of the paper's thesis: degree-preserving
+	// rewiring of the measured AS graph must keep its HHL signature (the
+	// degree sequence alone carries the large-scale structure)...
+	r := tiny()
+	p := r.RewiringPanel()
+	for i := range p.Expansion {
+		sig := core.Signature{
+			Expansion:  core.ClassifyExpansion(p.Expansion[i]),
+			Resilience: core.ClassifyResilience(p.Resilience[i]),
+			Distortion: core.ClassifyDistortion(p.Distortion[i]),
+		}
+		if sig.String() != "HHL" {
+			t.Errorf("%s: signature %s, want HHL", p.Expansion[i].Name, sig)
+		}
+	}
+	// ...and its moderate hierarchy.
+	asGraph := r.Measured().AS.Graph
+	rewired := plrg.DegreePreservingRewire(rand.New(rand.NewSource(99)), asGraph, 3)
+	lv := hierarchy.LinkValues(rewired, hierarchy.Options{
+		MaxSources: 384, Rand: rand.New(rand.NewSource(7)),
+	})
+	if c := hierarchy.Classify(lv); c != hierarchy.Moderate {
+		t.Errorf("rewired AS hierarchy = %v, want moderate", c)
+	}
+	// While local clustering washes out relative to the original.
+	ccOrig := metrics.ClusteringCoefficient(asGraph)
+	ccRewired := metrics.ClusteringCoefficient(rewired)
+	if ccRewired > ccOrig {
+		t.Errorf("rewiring should not raise clustering: %v -> %v", ccOrig, ccRewired)
+	}
+}

@@ -1,0 +1,124 @@
+// Package flow implements maximum flow on unit-capacity undirected graphs
+// with Dinic's algorithm. The paper's footnote 22 mentions computing "the
+// expected max-flow between the center of a ball of size n and any node on
+// the surface of the ball" among the extra metrics that corroborated its
+// findings; internal/metrics builds that curve on top of this package. By
+// Menger's theorem the unit-capacity max flow equals the number of
+// edge-disjoint paths, so this doubles as an edge-connectivity probe.
+package flow
+
+import (
+	"topocmp/internal/graph"
+)
+
+// arc is one direction of an undirected unit-capacity edge; arcs are stored
+// in pairs so arc i's reverse is i^1.
+type arc struct {
+	to  int32
+	cap int8
+}
+
+// Network is a reusable Dinic solver over a fixed graph.
+type Network struct {
+	n     int
+	arcs  []arc
+	head  [][]int32 // arc indices per node
+	level []int32
+	iter  []int
+}
+
+// NewNetwork builds a unit-capacity flow network from an undirected graph.
+func NewNetwork(g *graph.Graph) *Network {
+	n := g.NumNodes()
+	nw := &Network{
+		n:     n,
+		head:  make([][]int32, n),
+		level: make([]int32, n),
+		iter:  make([]int, n),
+	}
+	for _, e := range g.Edges() {
+		// Undirected unit edge: capacity 1 in each direction.
+		nw.addEdge(e.U, e.V)
+	}
+	return nw
+}
+
+func (nw *Network) addEdge(u, v int32) {
+	nw.head[u] = append(nw.head[u], int32(len(nw.arcs)))
+	nw.arcs = append(nw.arcs, arc{to: v, cap: 1})
+	nw.head[v] = append(nw.head[v], int32(len(nw.arcs)))
+	nw.arcs = append(nw.arcs, arc{to: u, cap: 1})
+}
+
+// reset restores all arc capacities to 1.
+func (nw *Network) reset() {
+	for i := range nw.arcs {
+		nw.arcs[i].cap = 1
+	}
+}
+
+// MaxFlow computes the maximum unit-capacity flow (= number of
+// edge-disjoint paths) from s to t. The network is reusable: capacities are
+// reset on each call.
+func (nw *Network) MaxFlow(s, t int32) int {
+	if s == t {
+		return 0
+	}
+	nw.reset()
+	total := 0
+	for nw.bfs(s, t) {
+		for i := range nw.iter {
+			nw.iter[i] = 0
+		}
+		for {
+			f := nw.dfs(s, t)
+			if f == 0 {
+				break
+			}
+			total += f
+		}
+	}
+	return total
+}
+
+func (nw *Network) bfs(s, t int32) bool {
+	for i := range nw.level {
+		nw.level[i] = -1
+	}
+	queue := []int32{s}
+	nw.level[s] = 0
+	for head := 0; head < len(queue); head++ {
+		u := queue[head]
+		for _, ai := range nw.head[u] {
+			a := nw.arcs[ai]
+			if a.cap > 0 && nw.level[a.to] == -1 {
+				nw.level[a.to] = nw.level[u] + 1
+				queue = append(queue, a.to)
+			}
+		}
+	}
+	return nw.level[t] >= 0
+}
+
+func (nw *Network) dfs(u, t int32) int {
+	if u == t {
+		return 1
+	}
+	for ; nw.iter[u] < len(nw.head[u]); nw.iter[u]++ {
+		ai := nw.head[u][nw.iter[u]]
+		a := &nw.arcs[ai]
+		if a.cap > 0 && nw.level[a.to] == nw.level[u]+1 {
+			if nw.dfs(a.to, t) > 0 {
+				a.cap--
+				nw.arcs[ai^1].cap++
+				return 1
+			}
+		}
+	}
+	return 0
+}
+
+// EdgeDisjointPaths is a convenience wrapper building a throwaway network.
+func EdgeDisjointPaths(g *graph.Graph, s, t int32) int {
+	return NewNetwork(g).MaxFlow(s, t)
+}

@@ -1,0 +1,83 @@
+package ba
+
+import (
+	"math/rand"
+	"testing"
+
+	"topocmp/internal/stats"
+)
+
+func TestValidate(t *testing.T) {
+	bad := []Params{
+		{N: 100, M: 0},
+		{N: 2, M: 3},
+		{N: 100, M: 2, M0: 2},
+		{N: 100, M: 2, P: 0.6, Q: 0.5},
+		{N: 100, M: 2, P: -0.1},
+	}
+	for i, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Fatalf("case %d: expected error for %+v", i, p)
+		}
+	}
+}
+
+func TestClassicBA(t *testing.T) {
+	g := MustGenerate(rand.New(rand.NewSource(1)), Params{N: 3000, M: 2})
+	if g.NumNodes() != 3000 {
+		t.Fatalf("nodes = %d, want 3000 (classic BA is connected)", g.NumNodes())
+	}
+	if !g.IsConnected() {
+		t.Fatal("BA must be connected")
+	}
+	// ~M edges per node beyond the seed.
+	if e := g.NumEdges(); e < 5500 || e > 6500 {
+		t.Fatalf("edges = %d, want ~6000", e)
+	}
+}
+
+func TestBADegreeTail(t *testing.T) {
+	g := MustGenerate(rand.New(rand.NewSource(2)), Params{N: 8000, M: 2})
+	if g.MaxDegree() < 50 {
+		t.Fatalf("max degree = %d; BA should grow hubs", g.MaxDegree())
+	}
+	ccdf := stats.CCDF(g.Degrees())
+	fit := stats.LogLogFit(ccdf.Points)
+	// BA gives P(k) ~ k^-3, CCDF slope ~ -2; accept a broad band.
+	if fit.Slope > -1.0 {
+		t.Fatalf("CCDF slope = %.2f; tail too flat", fit.Slope)
+	}
+}
+
+func TestExtensionAddsLinks(t *testing.T) {
+	classic := MustGenerate(rand.New(rand.NewSource(3)), Params{N: 2000, M: 2})
+	extended := MustGenerate(rand.New(rand.NewSource(3)), Params{N: 2000, M: 2, P: 0.3})
+	if extended.AvgDegree() <= classic.AvgDegree() {
+		t.Fatalf("link-addition steps should raise density: %.2f vs %.2f",
+			extended.AvgDegree(), classic.AvgDegree())
+	}
+}
+
+func TestMinDegreeIsM(t *testing.T) {
+	g := MustGenerate(rand.New(rand.NewSource(4)), Params{N: 1000, M: 3})
+	low := 0
+	for _, d := range g.Degrees() {
+		if d < 3 {
+			low++
+		}
+	}
+	// Almost every node should carry at least its M attachment links;
+	// allow a handful of misses from the bounded retry loop.
+	if low > 10 {
+		t.Fatalf("%d nodes below degree M", low)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	p := Params{N: 1500, M: 2, P: 0.1, Q: 0.1}
+	a := MustGenerate(rand.New(rand.NewSource(5)), p)
+	b := MustGenerate(rand.New(rand.NewSource(5)), p)
+	if a.NumEdges() != b.NumEdges() {
+		t.Fatal("same seed should reproduce the same graph")
+	}
+}

@@ -1,0 +1,135 @@
+// Package brite implements the BRITE v1.0 topology generator (Medina,
+// Lakhina, Matta, Byers, "BRITE: An Approach to Universal Topology
+// Generation", MASCOTS 2001) as used in the paper: Barabási–Albert style
+// incremental growth with preferential connectivity, combined with node
+// placement on a plane that is either random or heavy-tailed. The paper's
+// instance used the heavy-tailed placement option.
+package brite
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"topocmp/internal/geo"
+	"topocmp/internal/graph"
+)
+
+// Placement selects how nodes are placed on the plane.
+type Placement int
+
+const (
+	// PlacementRandom scatters nodes uniformly.
+	PlacementRandom Placement = iota
+	// PlacementHeavyTailed assigns per-cell node counts from a heavy-tailed
+	// distribution, BRITE's "heavy-tailed" option.
+	PlacementHeavyTailed
+)
+
+// Params configures the generator.
+type Params struct {
+	N         int       // final node count
+	M         int       // links per new node
+	Placement Placement // node placement model
+	// Locality couples attachment probability to Euclidean distance with a
+	// Waxman factor exp(-d/(Locality*L)); zero disables geographic bias
+	// (pure preferential connectivity, the mode the paper evaluates).
+	Locality float64
+	Side     float64 // plane side; defaults to 1000
+	Cells    int     // placement grid for heavy-tailed mode; defaults to 10
+}
+
+// Validate reports whether the parameters are usable.
+func (p Params) Validate() error {
+	if p.M < 1 {
+		return fmt.Errorf("brite: M = %d < 1", p.M)
+	}
+	if p.N < p.M+1 {
+		return fmt.Errorf("brite: N = %d too small for M = %d", p.N, p.M)
+	}
+	if p.Locality < 0 {
+		return fmt.Errorf("brite: negative Locality %v", p.Locality)
+	}
+	return nil
+}
+
+// Generate grows a BRITE graph and returns it (connected by construction).
+func Generate(r *rand.Rand, p Params) (*graph.Graph, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	side := p.Side
+	if side <= 0 {
+		side = 1000
+	}
+	cells := p.Cells
+	if cells <= 0 {
+		cells = 10
+	}
+	var pts []geo.Point
+	switch p.Placement {
+	case PlacementHeavyTailed:
+		pts = geo.HeavyTailedPoints(r, p.N, side, cells)
+	default:
+		pts = geo.RandomPoints(r, p.N, side)
+	}
+	maxDist := side * math.Sqrt2
+
+	b := graph.NewBuilder(p.N)
+	deg := make([]float64, p.N)
+	m0 := p.M + 1
+	for i := 0; i < m0; i++ {
+		for j := i + 1; j < m0; j++ {
+			b.AddEdge(int32(i), int32(j))
+			deg[i]++
+			deg[j]++
+		}
+	}
+	weights := make([]float64, 0, p.N)
+	for u := m0; u < p.N; u++ {
+		// Attachment weight: degree, optionally damped by distance.
+		weights = weights[:0]
+		total := 0.0
+		for v := 0; v < u; v++ {
+			w := deg[v]
+			if p.Locality > 0 {
+				w *= math.Exp(-pts[u].Dist(pts[v]) / (p.Locality * maxDist))
+			}
+			weights = append(weights, w)
+			total += w
+		}
+		added := 0
+		for attempt := 0; added < p.M && attempt < 64*p.M; attempt++ {
+			x := r.Float64() * total
+			acc := 0.0
+			pick := -1
+			for v, w := range weights {
+				acc += w
+				if x < acc {
+					pick = v
+					break
+				}
+			}
+			if pick < 0 {
+				pick = u - 1
+			}
+			if b.HasEdge(int32(u), int32(pick)) {
+				continue
+			}
+			b.AddEdge(int32(u), int32(pick))
+			deg[u]++
+			deg[pick]++
+			added++
+		}
+	}
+	return b.Graph(), nil
+}
+
+// MustGenerate is Generate but panics on error.
+func MustGenerate(r *rand.Rand, p Params) *graph.Graph {
+	g, err := Generate(r, p)
+	if err != nil {
+		panic(err)
+	}
+	return g
+}

@@ -1,0 +1,65 @@
+package brite
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestValidate(t *testing.T) {
+	bad := []Params{
+		{N: 100, M: 0},
+		{N: 2, M: 3},
+		{N: 100, M: 2, Locality: -1},
+	}
+	for i, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Fatalf("case %d: expected error for %+v", i, p)
+		}
+	}
+}
+
+func TestGenerateConnected(t *testing.T) {
+	for _, pl := range []Placement{PlacementRandom, PlacementHeavyTailed} {
+		g := MustGenerate(rand.New(rand.NewSource(1)), Params{N: 2000, M: 2, Placement: pl})
+		if g.NumNodes() != 2000 {
+			t.Fatalf("placement %d: nodes = %d", pl, g.NumNodes())
+		}
+		if !g.IsConnected() {
+			t.Fatalf("placement %d: not connected", pl)
+		}
+	}
+}
+
+func TestHubsEmerge(t *testing.T) {
+	g := MustGenerate(rand.New(rand.NewSource(2)), Params{N: 5000, M: 2, Placement: PlacementHeavyTailed})
+	if g.MaxDegree() < 40 {
+		t.Fatalf("max degree = %d; preferential growth should create hubs", g.MaxDegree())
+	}
+}
+
+func TestLocalityReducesLongLinks(t *testing.T) {
+	// With strong locality the hub structure weakens (links stay local), so
+	// the maximum degree should drop relative to pure preferential growth.
+	pure := MustGenerate(rand.New(rand.NewSource(3)), Params{N: 2500, M: 2})
+	local := MustGenerate(rand.New(rand.NewSource(3)), Params{N: 2500, M: 2, Locality: 0.05})
+	if local.MaxDegree() >= pure.MaxDegree() {
+		t.Fatalf("locality should weaken hubs: %d vs %d", local.MaxDegree(), pure.MaxDegree())
+	}
+}
+
+func TestEdgeBudget(t *testing.T) {
+	g := MustGenerate(rand.New(rand.NewSource(4)), Params{N: 1200, M: 3})
+	want := 3 * 1200
+	if e := g.NumEdges(); e < want-600 || e > want+100 {
+		t.Fatalf("edges = %d, want ~%d", e, want)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	p := Params{N: 1000, M: 2, Placement: PlacementHeavyTailed}
+	a := MustGenerate(rand.New(rand.NewSource(5)), p)
+	b := MustGenerate(rand.New(rand.NewSource(5)), p)
+	if a.NumEdges() != b.NumEdges() {
+		t.Fatal("same seed should reproduce the same graph")
+	}
+}

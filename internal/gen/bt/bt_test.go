@@ -1,0 +1,72 @@
+package bt
+
+import (
+	"math/rand"
+	"testing"
+
+	"topocmp/internal/stats"
+)
+
+func TestValidate(t *testing.T) {
+	bad := []Params{
+		{N: 100, M: 0},
+		{N: 2, M: 3},
+		{N: 100, M: 1, P: 1.0},
+		{N: 100, M: 1, P: -0.2},
+		{N: 100, M: 1, BetaGLP: 1.5},
+	}
+	for i, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Fatalf("case %d: expected error for %+v", i, p)
+		}
+	}
+}
+
+func TestGenerate(t *testing.T) {
+	g := MustGenerate(rand.New(rand.NewSource(1)), Params{N: 3000, M: 1, P: 0.47, BetaGLP: 0.64})
+	if g.NumNodes() < 2500 {
+		t.Fatalf("largest component = %d nodes", g.NumNodes())
+	}
+	if !g.IsConnected() {
+		t.Fatal("component must be connected")
+	}
+	if g.MaxDegree() < 30 {
+		t.Fatalf("max degree = %d; GLP should grow hubs", g.MaxDegree())
+	}
+}
+
+func TestHeavyTail(t *testing.T) {
+	g := MustGenerate(rand.New(rand.NewSource(2)), Params{N: 6000, M: 1, P: 0.4, BetaGLP: 0.6})
+	ccdf := stats.CCDF(g.Degrees())
+	fit := stats.LogLogFit(ccdf.Points)
+	if fit.Slope > -0.8 {
+		t.Fatalf("CCDF slope = %.2f; tail too flat for GLP", fit.Slope)
+	}
+}
+
+func TestLinkStepsRaiseDensity(t *testing.T) {
+	sparse := MustGenerate(rand.New(rand.NewSource(3)), Params{N: 2000, M: 1, P: 0.1, BetaGLP: 0.5})
+	dense := MustGenerate(rand.New(rand.NewSource(3)), Params{N: 2000, M: 1, P: 0.6, BetaGLP: 0.5})
+	if dense.AvgDegree() <= sparse.AvgDegree() {
+		t.Fatalf("higher P should raise density: %.2f vs %.2f",
+			dense.AvgDegree(), sparse.AvgDegree())
+	}
+}
+
+func TestBetaGLPConcentratesHubs(t *testing.T) {
+	uniformish := MustGenerate(rand.New(rand.NewSource(4)), Params{N: 3000, M: 1, P: 0.3, BetaGLP: -5})
+	hubby := MustGenerate(rand.New(rand.NewSource(4)), Params{N: 3000, M: 1, P: 0.3, BetaGLP: 0.9})
+	if hubby.MaxDegree() <= uniformish.MaxDegree() {
+		t.Fatalf("BetaGLP near 1 should concentrate: %d vs %d",
+			hubby.MaxDegree(), uniformish.MaxDegree())
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	p := Params{N: 1500, M: 1, P: 0.47, BetaGLP: 0.64}
+	a := MustGenerate(rand.New(rand.NewSource(5)), p)
+	b := MustGenerate(rand.New(rand.NewSource(5)), p)
+	if a.NumEdges() != b.NumEdges() {
+		t.Fatal("same seed should reproduce the same graph")
+	}
+}

@@ -1,0 +1,129 @@
+// Package canonical builds the calibration networks of the paper: the k-ary
+// Tree, the rectangular grid (Mesh), the Erdős–Rényi Random graph, the
+// Complete graph and the Linear chain. The paper uses these "admittedly
+// unrealistic" networks to calibrate the low/high behaviour of each metric
+// (§3.1.3, §3.2.1).
+package canonical
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"topocmp/internal/graph"
+)
+
+// Tree returns the complete k-ary tree of the given depth. Depth 0 is a
+// single node. The paper's instance is k=3, D=6 (1093 nodes).
+func Tree(k, depth int) *graph.Graph {
+	if k < 1 {
+		panic(fmt.Sprintf("canonical: tree arity %d < 1", k))
+	}
+	if depth < 0 {
+		panic("canonical: negative tree depth")
+	}
+	// Number of nodes: (k^(depth+1)-1)/(k-1), or depth+1 for k == 1.
+	n := 0
+	pow := 1
+	for d := 0; d <= depth; d++ {
+		n += pow
+		pow *= k
+	}
+	b := graph.NewBuilder(n)
+	// Children of node i are k*i+1 .. k*i+k (standard heap layout).
+	for i := 0; i < n; i++ {
+		for c := 1; c <= k; c++ {
+			child := k*i + c
+			if child < n {
+				b.AddEdge(int32(i), int32(child))
+			}
+		}
+	}
+	return b.Graph()
+}
+
+// Mesh returns the rows×cols rectangular grid. The paper's instance is the
+// 30×30 grid (900 nodes, average degree 3.87).
+func Mesh(rows, cols int) *graph.Graph {
+	if rows < 1 || cols < 1 {
+		panic("canonical: mesh dimensions must be positive")
+	}
+	b := graph.NewBuilder(rows * cols)
+	id := func(r, c int) int32 { return int32(r*cols + c) }
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			if c+1 < cols {
+				b.AddEdge(id(r, c), id(r, c+1))
+			}
+			if r+1 < rows {
+				b.AddEdge(id(r, c), id(r+1, c))
+			}
+		}
+	}
+	return b.Graph()
+}
+
+// Random returns the largest connected component of an Erdős–Rényi G(n, p)
+// graph. The paper's instance is n=5018 at link probability 0.0008 (average
+// degree ≈ 4.18); it reports the connected component, as we do here.
+func Random(r *rand.Rand, n int, p float64) *graph.Graph {
+	if p < 0 || p > 1 {
+		panic(fmt.Sprintf("canonical: edge probability %v outside [0,1]", p))
+	}
+	b := graph.NewBuilder(n)
+	// Geometric skipping: enumerate present edges directly so sparse graphs
+	// cost O(E) instead of O(n^2).
+	if p > 0 {
+		total := int64(n) * int64(n-1) / 2
+		idx := int64(-1)
+		for {
+			// Skip ahead geometrically.
+			u := r.Float64()
+			for u == 0 {
+				u = r.Float64()
+			}
+			skip := int64(math.Log(u) / math.Log(1-p))
+			idx += 1 + skip
+			if idx >= total {
+				break
+			}
+			i, j := unrankPair(idx, n)
+			b.AddEdge(int32(i), int32(j))
+		}
+	}
+	lc, _ := b.Graph().LargestComponent()
+	return lc
+}
+
+// Complete returns the complete graph on n nodes.
+func Complete(n int) *graph.Graph {
+	b := graph.NewBuilder(n)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			b.AddEdge(int32(i), int32(j))
+		}
+	}
+	return b.Graph()
+}
+
+// Linear returns the n-node chain.
+func Linear(n int) *graph.Graph {
+	b := graph.NewBuilder(n)
+	for i := 0; i+1 < n; i++ {
+		b.AddEdge(int32(i), int32(i+1))
+	}
+	return b.Graph()
+}
+
+// unrankPair maps a linear index in [0, n(n-1)/2) to the unordered pair
+// (i, j), i < j, in row-major order of the strict upper triangle.
+func unrankPair(idx int64, n int) (int, int) {
+	i := 0
+	rowLen := int64(n - 1)
+	for idx >= rowLen {
+		idx -= rowLen
+		rowLen--
+		i++
+	}
+	return i, i + 1 + int(idx)
+}

@@ -1,0 +1,227 @@
+// Package inet implements the Inet topology generator (Jin, Chen, Jamin,
+// "Inet: Internet Topology Generator", UM tech report CSE-TR-433-00), the
+// "Inet" generator of the paper's Appendix D.
+//
+// Inet assigns power-law degrees to N nodes, verifies the sequence is
+// feasible (even total), then connects in three phases (Appendix D.1):
+//
+//  1. a spanning tree among all nodes of degree > 1, grown by attaching
+//     each node to an already-placed tree node with probability
+//     proportional to its degree;
+//  2. degree-1 nodes attach to tree nodes with proportional preference;
+//  3. remaining degree slots are filled in decreasing-degree order,
+//     matching to other nodes with free slots proportionally.
+package inet
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"topocmp/internal/graph"
+	"topocmp/internal/rng"
+)
+
+// Params configures the generator.
+type Params struct {
+	N      int     // node count
+	Beta   float64 // power-law degree exponent
+	MaxDeg int     // degree cap; defaults to N/10 (Inet trims extremes)
+}
+
+// Validate reports whether the parameters are usable.
+func (p Params) Validate() error {
+	if p.N < 4 {
+		return fmt.Errorf("inet: N = %d < 4", p.N)
+	}
+	if p.Beta <= 1 {
+		return fmt.Errorf("inet: Beta = %v must exceed 1", p.Beta)
+	}
+	if p.MaxDeg < 0 {
+		return fmt.Errorf("inet: negative MaxDeg %d", p.MaxDeg)
+	}
+	return nil
+}
+
+// Generate builds an Inet graph and returns its largest connected component
+// (phase 3's proportional matching can strand a few slots, as in Inet).
+func Generate(r *rand.Rand, p Params) (*graph.Graph, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	maxDeg := p.MaxDeg
+	if maxDeg == 0 {
+		maxDeg = p.N / 10
+		if maxDeg < 3 {
+			maxDeg = 3
+		}
+	}
+	degrees := rng.PowerLawDegrees(r, p.N, p.Beta, maxDeg)
+	// Feasibility: the handshake lemma needs an even degree sum; bump one
+	// node if necessary (Inet's feasibility adjustment).
+	sum := 0
+	for _, d := range degrees {
+		sum += d
+	}
+	if sum%2 == 1 {
+		degrees[0]++
+	}
+	// Inet additionally requires enough degree->1 connectivity; ensure at
+	// least two nodes of degree > 1.
+	bigger := 0
+	for _, d := range degrees {
+		if d > 1 {
+			bigger++
+		}
+	}
+	for i := 0; bigger < 2 && i < len(degrees); i++ {
+		if degrees[i] == 1 {
+			degrees[i] = 2
+			bigger++
+		}
+	}
+
+	b := graph.NewBuilder(p.N)
+	remaining := append([]int(nil), degrees...)
+
+	// Phase 1: spanning tree over degree>1 nodes.
+	var treeNodes []int32
+	for v, d := range degrees {
+		if d > 1 {
+			treeNodes = append(treeNodes, int32(v))
+		}
+	}
+	// Highest-degree node seeds the tree; attach the rest in random order.
+	sort.Slice(treeNodes, func(i, j int) bool {
+		return degrees[treeNodes[i]] > degrees[treeNodes[j]]
+	})
+	placed := []int32{treeNodes[0]}
+	rest := append([]int32(nil), treeNodes[1:]...)
+	rng.Shuffle(r, rest)
+	for _, u := range rest {
+		v := pickProportional(r, placed, degrees)
+		b.AddEdge(u, v)
+		remaining[u]--
+		remaining[v]--
+		placed = append(placed, u)
+	}
+
+	// Phase 2: degree-1 nodes attach proportionally to tree nodes.
+	for v, d := range degrees {
+		if d != 1 {
+			continue
+		}
+		t := pickProportionalWithFree(r, placed, degrees, remaining)
+		if t < 0 {
+			t = placed[r.Intn(len(placed))] // oversubscribe rather than strand
+		}
+		b.AddEdge(int32(v), t)
+		remaining[v]--
+		remaining[t]--
+	}
+
+	// Phase 3: fill remaining slots in decreasing-degree order.
+	order := make([]int32, 0, len(degrees))
+	for v := range degrees {
+		order = append(order, int32(v))
+	}
+	sort.Slice(order, func(i, j int) bool { return degrees[order[i]] > degrees[order[j]] })
+	// Pool of endpoint "slots" proportional to remaining degree.
+	for _, u := range order {
+		for remaining[u] > 0 {
+			v := sampleFreeSlot(r, remaining, u, b)
+			if v < 0 {
+				break // no partner available
+			}
+			b.AddEdge(u, v)
+			remaining[u]--
+			remaining[v]--
+		}
+	}
+	lc, _ := b.Graph().LargestComponent()
+	return lc, nil
+}
+
+// MustGenerate is Generate but panics on error.
+func MustGenerate(r *rand.Rand, p Params) *graph.Graph {
+	g, err := Generate(r, p)
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+// pickProportional picks a node from candidates with probability
+// proportional to its assigned degree.
+func pickProportional(r *rand.Rand, candidates []int32, degrees []int) int32 {
+	total := 0
+	for _, v := range candidates {
+		total += degrees[v]
+	}
+	x := r.Intn(total)
+	acc := 0
+	for _, v := range candidates {
+		acc += degrees[v]
+		if x < acc {
+			return v
+		}
+	}
+	return candidates[len(candidates)-1]
+}
+
+// pickProportionalWithFree is pickProportional restricted to candidates
+// with remaining degree; returns -1 if none qualify.
+func pickProportionalWithFree(r *rand.Rand, candidates []int32, degrees, remaining []int) int32 {
+	total := 0
+	for _, v := range candidates {
+		if remaining[v] > 0 {
+			total += degrees[v]
+		}
+	}
+	if total == 0 {
+		return -1
+	}
+	x := r.Intn(total)
+	acc := 0
+	for _, v := range candidates {
+		if remaining[v] <= 0 {
+			continue
+		}
+		acc += degrees[v]
+		if x < acc {
+			return v
+		}
+	}
+	return -1
+}
+
+// sampleFreeSlot picks a partner for u proportional to remaining degree,
+// avoiding self-links and existing edges. Returns -1 when no partner exists.
+func sampleFreeSlot(r *rand.Rand, remaining []int, u int32, b *graph.Builder) int32 {
+	for attempt := 0; attempt < 24; attempt++ {
+		total := 0
+		for v, rem := range remaining {
+			if int32(v) != u && rem > 0 {
+				total += rem
+			}
+		}
+		if total == 0 {
+			return -1
+		}
+		x := r.Intn(total)
+		acc := 0
+		for v, rem := range remaining {
+			if int32(v) == u || rem <= 0 {
+				continue
+			}
+			acc += rem
+			if x < acc {
+				if b.HasEdge(u, int32(v)) {
+					break // resample
+				}
+				return int32(v)
+			}
+		}
+	}
+	return -1
+}

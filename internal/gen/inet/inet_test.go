@@ -1,0 +1,74 @@
+package inet
+
+import (
+	"math/rand"
+	"testing"
+
+	"topocmp/internal/stats"
+)
+
+func TestValidate(t *testing.T) {
+	bad := []Params{
+		{N: 2, Beta: 2.2},
+		{N: 100, Beta: 0.9},
+		{N: 100, Beta: 2.2, MaxDeg: -2},
+	}
+	for i, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Fatalf("case %d: expected error for %+v", i, p)
+		}
+	}
+}
+
+func TestGenerate(t *testing.T) {
+	g := MustGenerate(rand.New(rand.NewSource(1)), Params{N: 4000, Beta: 2.2})
+	if g.NumNodes() < 3500 {
+		t.Fatalf("largest component = %d of 4000", g.NumNodes())
+	}
+	if !g.IsConnected() {
+		t.Fatal("component must be connected")
+	}
+}
+
+func TestHeavyTail(t *testing.T) {
+	g := MustGenerate(rand.New(rand.NewSource(2)), Params{N: 8000, Beta: 2.2})
+	if g.MaxDegree() < 40 {
+		t.Fatalf("max degree = %d", g.MaxDegree())
+	}
+	ccdf := stats.CCDF(g.Degrees())
+	fit := stats.LogLogFit(ccdf.Points)
+	if fit.Slope > -0.8 || fit.R2 < 0.8 {
+		t.Fatalf("CCDF fit slope=%.2f R2=%.2f; not heavy-tailed", fit.Slope, fit.R2)
+	}
+}
+
+func TestSpanningTreeKeepsDegree1Leaves(t *testing.T) {
+	// Degree-1 nodes must remain degree 1: they are attached once in phase 2
+	// and never matched again.
+	g := MustGenerate(rand.New(rand.NewSource(3)), Params{N: 3000, Beta: 2.4})
+	ones := 0
+	for _, d := range g.Degrees() {
+		if d == 1 {
+			ones++
+		}
+	}
+	if frac := float64(ones) / float64(g.NumNodes()); frac < 0.3 {
+		t.Fatalf("degree-1 fraction = %.2f; Inet graphs are leaf-heavy", frac)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	p := Params{N: 2000, Beta: 2.3}
+	a := MustGenerate(rand.New(rand.NewSource(4)), p)
+	b := MustGenerate(rand.New(rand.NewSource(4)), p)
+	if a.NumEdges() != b.NumEdges() {
+		t.Fatal("same seed should reproduce the same graph")
+	}
+}
+
+func TestSmallInstance(t *testing.T) {
+	g := MustGenerate(rand.New(rand.NewSource(5)), Params{N: 10, Beta: 2.0})
+	if g.NumNodes() < 2 || !g.IsConnected() {
+		t.Fatalf("small instance bad: %d nodes", g.NumNodes())
+	}
+}

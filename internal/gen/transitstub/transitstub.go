@@ -1,0 +1,209 @@
+// Package transitstub reimplements the GT-ITM Transit-Stub structural
+// topology generator (Calvert, Doar, Zegura, "Modelling Internet Topology",
+// IEEE Communications 1997). Transit-Stub builds a two-level hierarchy:
+//
+//  1. A connected random graph of T transit domains; each transit domain is
+//     itself a connected random graph of NT routers.
+//  2. Attached to each transit node are S stub domains, each a connected
+//     random graph of NS routers, joined to their transit node by one edge.
+//  3. ET extra transit–stub and ES extra stub–stub edges are added between
+//     uniformly chosen endpoints.
+//
+// The parameter vocabulary matches the columns of the paper's Figure 11:
+// (S, ET, ES, T, PT-domain edge prob, NT, PT-node edge prob, NS, PS edge
+// prob).
+package transitstub
+
+import (
+	"fmt"
+	"math/rand"
+
+	"topocmp/internal/graph"
+)
+
+// Params mirrors GT-ITM's transit-stub parameter set as listed in the
+// paper's Appendix C. The paper's headline instance (Figure 1) is
+// {StubsPerTransit: 3, ExtraTS: 0, ExtraSS: 0, Domains: 6, PDomain: 0.55,
+// TransitNodes: 6, PTransit: 0.32, StubNodes: 9, PStub: 0.248}, a 1008-node
+// network with average degree 2.78.
+type Params struct {
+	StubsPerTransit int     // stub domains attached to each transit node
+	ExtraTS         int     // extra random transit-to-stub edges
+	ExtraSS         int     // extra random stub-to-stub edges
+	Domains         int     // number of transit domains
+	PDomain         float64 // edge probability between transit domains
+	TransitNodes    int     // nodes per transit domain
+	PTransit        float64 // edge probability within a transit domain
+	StubNodes       int     // nodes per stub domain
+	PStub           float64 // edge probability within a stub domain
+}
+
+// Paper returns the headline Figure 1 parameterization.
+func Paper() Params {
+	return Params{
+		StubsPerTransit: 3, ExtraTS: 0, ExtraSS: 0,
+		Domains: 6, PDomain: 0.55,
+		TransitNodes: 6, PTransit: 0.32,
+		StubNodes: 9, PStub: 0.248,
+	}
+}
+
+// Validate reports whether the parameters are usable.
+func (p Params) Validate() error {
+	if p.Domains < 1 || p.TransitNodes < 1 || p.StubNodes < 1 {
+		return fmt.Errorf("transitstub: counts must be positive: %+v", p)
+	}
+	if p.StubsPerTransit < 0 || p.ExtraTS < 0 || p.ExtraSS < 0 {
+		return fmt.Errorf("transitstub: negative edge counts: %+v", p)
+	}
+	for _, pr := range []float64{p.PDomain, p.PTransit, p.PStub} {
+		if pr < 0 || pr > 1 {
+			return fmt.Errorf("transitstub: probability %v outside [0,1]", pr)
+		}
+	}
+	return nil
+}
+
+// NumNodes returns the total router count the parameters produce:
+// Domains*TransitNodes transit routers plus one stub domain of StubNodes per
+// (transit node, stub slot) pair.
+func (p Params) NumNodes() int {
+	transit := p.Domains * p.TransitNodes
+	return transit + transit*p.StubsPerTransit*p.StubNodes
+}
+
+// Generate builds a Transit-Stub topology. The result is always connected:
+// like GT-ITM, each random subgraph is repaired into a connected graph by
+// linking its components.
+func Generate(r *rand.Rand, p Params) (*graph.Graph, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	n := p.NumNodes()
+	b := graph.NewBuilder(n)
+
+	numTransit := p.Domains * p.TransitNodes
+	transitOf := func(domain, node int) int32 { return int32(domain*p.TransitNodes + node) }
+
+	// Stub domain s attached to transit node t occupies a contiguous block.
+	stubBase := numTransit
+	stubStart := func(t, s int) int {
+		return stubBase + (t*p.StubsPerTransit+s)*p.StubNodes
+	}
+
+	// 1. Domain-level graph: one representative edge set among domains.
+	// GT-ITM connects domains by a connected random graph; an inter-domain
+	// edge links uniformly chosen routers of the two domains.
+	domainEdges := connectedRandomPairs(r, p.Domains, p.PDomain)
+	for _, e := range domainEdges {
+		u := transitOf(e[0], r.Intn(p.TransitNodes))
+		v := transitOf(e[1], r.Intn(p.TransitNodes))
+		b.AddEdge(u, v)
+	}
+
+	// 2. Connected random graph inside each transit domain.
+	for d := 0; d < p.Domains; d++ {
+		for _, e := range connectedRandomPairs(r, p.TransitNodes, p.PTransit) {
+			b.AddEdge(transitOf(d, e[0]), transitOf(d, e[1]))
+		}
+	}
+
+	// 3. Stub domains: connected random graphs, one uplink to their transit
+	// node.
+	for t := 0; t < numTransit; t++ {
+		for s := 0; s < p.StubsPerTransit; s++ {
+			start := stubStart(t, s)
+			for _, e := range connectedRandomPairs(r, p.StubNodes, p.PStub) {
+				b.AddEdge(int32(start+e[0]), int32(start+e[1]))
+			}
+			b.AddEdge(int32(t), int32(start+r.Intn(p.StubNodes)))
+		}
+	}
+
+	// 4. Extra transit-stub and stub-stub edges between uniform endpoints.
+	numStubNodes := n - numTransit
+	for i := 0; i < p.ExtraTS; i++ {
+		u := int32(r.Intn(numTransit))
+		v := int32(stubBase + r.Intn(numStubNodes))
+		b.AddEdge(u, v)
+	}
+	for i := 0; i < p.ExtraSS; i++ {
+		u := int32(stubBase + r.Intn(numStubNodes))
+		v := int32(stubBase + r.Intn(numStubNodes))
+		if u != v {
+			b.AddEdge(u, v)
+		}
+	}
+	g := b.Graph()
+	if !g.IsConnected() {
+		// The per-level repairs guarantee connectivity; this is a defensive
+		// invariant check rather than an expected path.
+		return nil, fmt.Errorf("transitstub: internal error: disconnected graph")
+	}
+	return g, nil
+}
+
+// MustGenerate is Generate but panics on error.
+func MustGenerate(r *rand.Rand, p Params) *graph.Graph {
+	g, err := Generate(r, p)
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+// connectedRandomPairs returns the edge set of a connected Erdős–Rényi-style
+// random graph on n local vertices: each pair appears with probability prob,
+// then components are joined with random extra edges (GT-ITM's repair).
+func connectedRandomPairs(r *rand.Rand, n int, prob float64) [][2]int {
+	var edges [][2]int
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if r.Float64() < prob {
+				edges = append(edges, [2]int{i, j})
+			}
+		}
+	}
+	// Union-find repair.
+	parent := make([]int, n)
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	for _, e := range edges {
+		parent[find(e[0])] = find(e[1])
+	}
+	// Collect one representative per component, then chain random members.
+	reps := map[int][]int{}
+	for i := 0; i < n; i++ {
+		root := find(i)
+		reps[root] = append(reps[root], i)
+	}
+	if len(reps) > 1 {
+		var comps [][]int
+		for _, members := range reps {
+			comps = append(comps, members)
+		}
+		// Deterministic order: sort by smallest member.
+		for i := 0; i < len(comps); i++ {
+			for j := i + 1; j < len(comps); j++ {
+				if comps[j][0] < comps[i][0] {
+					comps[i], comps[j] = comps[j], comps[i]
+				}
+			}
+		}
+		for i := 1; i < len(comps); i++ {
+			u := comps[i-1][r.Intn(len(comps[i-1]))]
+			v := comps[i][r.Intn(len(comps[i]))]
+			edges = append(edges, [2]int{u, v})
+		}
+	}
+	return edges
+}

@@ -1,0 +1,127 @@
+package transitstub
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestPaperInstance(t *testing.T) {
+	// Figure 1: 1008 nodes, average degree 2.78.
+	p := Paper()
+	if p.NumNodes() != 1008 {
+		t.Fatalf("NumNodes = %d, want 1008", p.NumNodes())
+	}
+	g := MustGenerate(rand.New(rand.NewSource(1)), p)
+	if g.NumNodes() != 1008 {
+		t.Fatalf("generated nodes = %d, want 1008", g.NumNodes())
+	}
+	if d := g.AvgDegree(); math.Abs(d-2.78) > 0.5 {
+		t.Fatalf("avg degree = %.2f, want ~2.78", d)
+	}
+	if !g.IsConnected() {
+		t.Fatal("transit-stub must be connected")
+	}
+}
+
+func TestValidate(t *testing.T) {
+	bad := []Params{
+		{Domains: 0, TransitNodes: 3, StubNodes: 3},
+		{Domains: 2, TransitNodes: 0, StubNodes: 3},
+		{Domains: 2, TransitNodes: 3, StubNodes: 3, PDomain: 1.5},
+		{Domains: 2, TransitNodes: 3, StubNodes: 3, ExtraTS: -1},
+	}
+	for i, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Fatalf("case %d: expected error", i)
+		}
+	}
+}
+
+func TestHierarchyStructure(t *testing.T) {
+	// Transit routers should have visibly higher average degree than stub
+	// routers: that's the deliberate hierarchy of the generator.
+	p := Paper()
+	g := MustGenerate(rand.New(rand.NewSource(2)), p)
+	numTransit := p.Domains * p.TransitNodes
+	var transitDeg, stubDeg float64
+	for v := 0; v < numTransit; v++ {
+		transitDeg += float64(g.Degree(int32(v)))
+	}
+	transitDeg /= float64(numTransit)
+	for v := numTransit; v < g.NumNodes(); v++ {
+		stubDeg += float64(g.Degree(int32(v)))
+	}
+	stubDeg /= float64(g.NumNodes() - numTransit)
+	if transitDeg <= stubDeg {
+		t.Fatalf("transit avg degree %.2f should exceed stub avg degree %.2f",
+			transitDeg, stubDeg)
+	}
+}
+
+func TestExtraEdgesIncreaseDegree(t *testing.T) {
+	base := Paper()
+	rich := base
+	rich.ExtraTS = 200
+	rich.ExtraSS = 400
+	g1 := MustGenerate(rand.New(rand.NewSource(3)), base)
+	g2 := MustGenerate(rand.New(rand.NewSource(3)), rich)
+	if g2.NumEdges() <= g1.NumEdges() {
+		t.Fatalf("extra edges should add edges: %d vs %d", g2.NumEdges(), g1.NumEdges())
+	}
+}
+
+// Property: every parameterization yields a connected graph on exactly
+// NumNodes() nodes.
+func TestConnectedProperty(t *testing.T) {
+	f := func(seed int64, dRaw, tRaw, sRaw, spRaw uint8) bool {
+		p := Params{
+			StubsPerTransit: int(spRaw)%3 + 1,
+			Domains:         int(dRaw)%4 + 1,
+			TransitNodes:    int(tRaw)%5 + 1,
+			StubNodes:       int(sRaw)%6 + 1,
+			PDomain:         0.5, PTransit: 0.3, PStub: 0.3,
+		}
+		g, err := Generate(rand.New(rand.NewSource(seed)), p)
+		if err != nil {
+			return false
+		}
+		return g.NumNodes() == p.NumNodes() && g.IsConnected()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	p := Paper()
+	a := MustGenerate(rand.New(rand.NewSource(5)), p)
+	b := MustGenerate(rand.New(rand.NewSource(5)), p)
+	if a.NumEdges() != b.NumEdges() {
+		t.Fatal("same seed should reproduce the same graph")
+	}
+}
+
+func TestFigure11Parameterizations(t *testing.T) {
+	// A few rows from Appendix C's table; generated sizes must match.
+	cases := []struct {
+		p         Params
+		wantNodes int
+	}{
+		{Params{3, 5, 10, 6, 0.55, 6, 0.32, 9, 0.248}, 1008},
+		{Params{1, 0, 0, 1, 0.5, 50, 0.05, 50, 0.05}, 2550},
+		{Params{3, 8, 12, 10, 0.4, 15, 0.25, 12, 0.27}, 5550},
+		{Params{1, 0, 0, 1, 0.2, 100, 0.05, 100, 0.05}, 10100},
+	}
+	for i, c := range cases {
+		if got := c.p.NumNodes(); got != c.wantNodes {
+			t.Fatalf("case %d: NumNodes = %d, want %d", i, got, c.wantNodes)
+		}
+		g := MustGenerate(rand.New(rand.NewSource(int64(i))), c.p)
+		if g.NumNodes() != c.wantNodes || !g.IsConnected() {
+			t.Fatalf("case %d: bad graph %d nodes connected=%v",
+				i, g.NumNodes(), g.IsConnected())
+		}
+	}
+}

@@ -1,0 +1,106 @@
+package waxman
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestModelStrings(t *testing.T) {
+	want := map[Model]string{
+		ModelWaxman1: "waxman1", ModelWaxman2: "waxman2",
+		ModelPureRandom: "pure-random", ModelExponential: "exponential",
+		ModelLocality: "locality", Model(9): "Model(9)",
+	}
+	for m, s := range want {
+		if m.String() != s {
+			t.Fatalf("String(%d) = %q, want %q", int(m), m.String(), s)
+		}
+	}
+}
+
+func TestModelValidate(t *testing.T) {
+	bad := []ModelParams{
+		{N: 1, Model: ModelPureRandom, Alpha: 0.1},
+		{N: 100, Model: ModelWaxman1, Alpha: 0, Beta: 0.5},
+		{N: 100, Model: ModelWaxman1, Alpha: 0.1, Beta: 0},
+		{N: 100, Model: ModelLocality, Alpha: 0.1, Beta: 1.5},
+		{N: 100, Model: Model(9), Alpha: 0.1},
+	}
+	for i, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Fatalf("case %d: expected error for %+v", i, p)
+		}
+	}
+}
+
+func TestAllModelsGenerate(t *testing.T) {
+	models := []ModelParams{
+		{N: 400, Model: ModelWaxman1, Alpha: 0.08, Beta: 0.4},
+		{N: 400, Model: ModelWaxman2, Alpha: 0.05, Beta: 0.4},
+		{N: 400, Model: ModelPureRandom, Alpha: 0.02},
+		{N: 400, Model: ModelExponential, Alpha: 0.3},
+		{N: 400, Model: ModelLocality, Alpha: 0.15, Beta: 0.002},
+	}
+	for _, p := range models {
+		g, err := GenerateModel(rand.New(rand.NewSource(1)), p)
+		if err != nil {
+			t.Fatalf("%v: %v", p.Model, err)
+		}
+		if g.NumNodes() < 100 {
+			t.Fatalf("%v: giant component only %d nodes", p.Model, g.NumNodes())
+		}
+		if !g.IsConnected() {
+			t.Fatalf("%v: component not connected", p.Model)
+		}
+	}
+}
+
+func TestPureRandomMatchesExpectation(t *testing.T) {
+	// P = alpha everywhere: expected edges = alpha * C(n,2).
+	p := ModelParams{N: 500, Model: ModelPureRandom, Alpha: 0.03}
+	g, err := GenerateModel(rand.New(rand.NewSource(2)), p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := p.Alpha * 500 * 499 / 2
+	got := float64(g.NumEdges())
+	if got < want*0.85 || got > want*1.15 {
+		t.Fatalf("edges = %v, want ~%v", got, want)
+	}
+}
+
+func TestLocalityClusters(t *testing.T) {
+	// The locality model's links are overwhelmingly short-range, giving a
+	// mesh-like (geometric) structure: its diameter should dwarf the pure
+	// random model's at similar density.
+	loc, err := GenerateModel(rand.New(rand.NewSource(3)),
+		ModelParams{N: 700, Model: ModelLocality, Alpha: 0.35, Beta: 0.0002, Gamma: 0.08})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pure, err := GenerateModel(rand.New(rand.NewSource(3)),
+		ModelParams{N: 700, Model: ModelPureRandom, Alpha: float64(2*loc.NumEdges()) / (700 * 699)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loc.Eccentricity(0) <= pure.Eccentricity(0) {
+		t.Fatalf("locality diameter %d should exceed pure-random %d",
+			loc.Eccentricity(0), pure.Eccentricity(0))
+	}
+}
+
+func TestExponentialBiasesShort(t *testing.T) {
+	// The exponential model's probability vanishes near the max distance,
+	// so it should also show geometric structure relative to pure random.
+	exp, err := GenerateModel(rand.New(rand.NewSource(4)),
+		ModelParams{N: 600, Model: ModelExponential, Alpha: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if exp.NumEdges() == 0 {
+		t.Fatal("no edges")
+	}
+	if !exp.IsConnected() {
+		t.Fatal("component not connected")
+	}
+}

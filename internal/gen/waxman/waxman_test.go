@@ -1,0 +1,96 @@
+package waxman
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestValidate(t *testing.T) {
+	bad := []Params{
+		{N: 1, Alpha: 0.5, Beta: 0.5},
+		{N: 10, Alpha: 0, Beta: 0.5},
+		{N: 10, Alpha: 1.5, Beta: 0.5},
+		{N: 10, Alpha: 0.5, Beta: 0},
+		{N: 10, Alpha: 0.5, Beta: 2},
+	}
+	for i, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Fatalf("case %d: expected error for %+v", i, p)
+		}
+	}
+	good := Params{N: 100, Alpha: 0.1, Beta: 0.3}
+	if err := good.Validate(); err != nil {
+		t.Fatalf("unexpected error: %v", err)
+	}
+}
+
+func TestGenerateConnected(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	g := MustGenerate(r, Params{N: 500, Alpha: 0.05, Beta: 0.5})
+	if !g.IsConnected() {
+		t.Fatal("largest component must be connected")
+	}
+	if g.NumNodes() < 400 {
+		t.Fatalf("giant component too small: %d", g.NumNodes())
+	}
+}
+
+func TestGeographicBiasShortensLinks(t *testing.T) {
+	// Smaller beta biases toward short links, so the resulting giant
+	// component should be smaller (paper §4.4's extreme-bias regime) for the
+	// same alpha.
+	r1 := rand.New(rand.NewSource(2))
+	r2 := rand.New(rand.NewSource(2))
+	loose := MustGenerate(r1, Params{N: 800, Alpha: 0.02, Beta: 0.8})
+	tight := MustGenerate(r2, Params{N: 800, Alpha: 0.02, Beta: 0.02})
+	if tight.NumNodes() >= loose.NumNodes() {
+		t.Fatalf("extreme bias giant %d should be smaller than loose %d",
+			tight.NumNodes(), loose.NumNodes())
+	}
+}
+
+func TestPaperInstanceShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("paper-scale instance")
+	}
+	// Figure 1: 5000 nodes, alpha=0.005, beta=0.30, avg degree 7.22. Our
+	// distance normalization may shift the constant; assert the right
+	// ballpark and full connectivity of the giant component.
+	r := rand.New(rand.NewSource(3))
+	g := MustGenerate(r, Params{N: 5000, Alpha: 0.005, Beta: 0.30})
+	if g.NumNodes() < 4800 {
+		t.Fatalf("giant component = %d, want nearly all of 5000", g.NumNodes())
+	}
+	if d := g.AvgDegree(); math.Abs(d-7.22) > 3 {
+		t.Fatalf("avg degree = %.2f, want roughly 7.2", d)
+	}
+}
+
+func TestAlphaScalesDensity(t *testing.T) {
+	r1 := rand.New(rand.NewSource(4))
+	r2 := rand.New(rand.NewSource(4))
+	sparse := MustGenerate(r1, Params{N: 600, Alpha: 0.02, Beta: 0.5})
+	dense := MustGenerate(r2, Params{N: 600, Alpha: 0.08, Beta: 0.5})
+	if dense.AvgDegree() <= sparse.AvgDegree() {
+		t.Fatalf("alpha should scale density: %.2f vs %.2f",
+			dense.AvgDegree(), sparse.AvgDegree())
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	a := MustGenerate(rand.New(rand.NewSource(9)), Params{N: 300, Alpha: 0.05, Beta: 0.4})
+	b := MustGenerate(rand.New(rand.NewSource(9)), Params{N: 300, Alpha: 0.05, Beta: 0.4})
+	if a.NumNodes() != b.NumNodes() || a.NumEdges() != b.NumEdges() {
+		t.Fatal("same seed should give the same graph")
+	}
+}
+
+func TestMustGeneratePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	MustGenerate(rand.New(rand.NewSource(1)), Params{N: 0, Alpha: 1, Beta: 1})
+}

@@ -1,0 +1,137 @@
+// Package geo provides the planar-geometry helpers used by the structural
+// and random generators: points in a square region, Euclidean distances, and
+// a Prim minimum spanning tree over point sets (the backbone-construction
+// step of the Tiers generator).
+package geo
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// Point is a location on the generator plane.
+type Point struct{ X, Y float64 }
+
+// Dist returns the Euclidean distance between p and q.
+func (p Point) Dist(q Point) float64 {
+	dx, dy := p.X-q.X, p.Y-q.Y
+	return math.Sqrt(dx*dx + dy*dy)
+}
+
+// RandomPoints places n points uniformly at random in the side×side square.
+func RandomPoints(r *rand.Rand, n int, side float64) []Point {
+	ps := make([]Point, n)
+	for i := range ps {
+		ps[i] = Point{r.Float64() * side, r.Float64() * side}
+	}
+	return ps
+}
+
+// HeavyTailedPoints places n points with a heavy-tailed spatial density, as
+// in BRITE's "heavy-tailed" placement: the square is divided into a
+// cells×cells grid and the number of points per cell follows a bounded
+// Pareto distribution.
+func HeavyTailedPoints(r *rand.Rand, n int, side float64, cells int) []Point {
+	if cells < 1 {
+		cells = 1
+	}
+	weights := make([]float64, cells*cells)
+	total := 0.0
+	for i := range weights {
+		u := r.Float64()
+		for u == 0 {
+			u = r.Float64()
+		}
+		// Pareto weight with shape 1: heavy-tailed cell occupancy.
+		weights[i] = 1 / u
+		total += weights[i]
+	}
+	ps := make([]Point, 0, n)
+	cell := side / float64(cells)
+	for i := range weights {
+		cnt := int(math.Round(weights[i] / total * float64(n)))
+		cx := float64(i%cells) * cell
+		cy := float64(i/cells) * cell
+		for j := 0; j < cnt && len(ps) < n; j++ {
+			ps = append(ps, Point{cx + r.Float64()*cell, cy + r.Float64()*cell})
+		}
+	}
+	for len(ps) < n {
+		ps = append(ps, Point{r.Float64() * side, r.Float64() * side})
+	}
+	return ps
+}
+
+// MSTEdge is an edge of a spanning tree over a point set, indexing into the
+// point slice.
+type MSTEdge struct {
+	U, V int
+	Len  float64
+}
+
+// MST computes a Euclidean minimum spanning tree over the points with Prim's
+// algorithm in O(n^2), fine for the tier sizes the generators use. It
+// returns n-1 edges (or none for n < 2).
+func MST(ps []Point) []MSTEdge {
+	n := len(ps)
+	if n < 2 {
+		return nil
+	}
+	inTree := make([]bool, n)
+	best := make([]float64, n)
+	bestFrom := make([]int, n)
+	for i := range best {
+		best[i] = math.Inf(1)
+		bestFrom[i] = -1
+	}
+	inTree[0] = true
+	for i := 1; i < n; i++ {
+		best[i] = ps[0].Dist(ps[i])
+		bestFrom[i] = 0
+	}
+	edges := make([]MSTEdge, 0, n-1)
+	for len(edges) < n-1 {
+		pick, pickDist := -1, math.Inf(1)
+		for i := 0; i < n; i++ {
+			if !inTree[i] && best[i] < pickDist {
+				pick, pickDist = i, best[i]
+			}
+		}
+		if pick == -1 {
+			break
+		}
+		inTree[pick] = true
+		edges = append(edges, MSTEdge{U: bestFrom[pick], V: pick, Len: pickDist})
+		for i := 0; i < n; i++ {
+			if !inTree[i] {
+				if d := ps[pick].Dist(ps[i]); d < best[i] {
+					best[i] = d
+					bestFrom[i] = pick
+				}
+			}
+		}
+	}
+	return edges
+}
+
+// AllPairs returns every unordered point pair (i < j) sorted by increasing
+// distance; Tiers adds redundancy edges in this order.
+type Pair struct {
+	U, V int
+	Len  float64
+}
+
+// PairsByDistance lists all unordered pairs sorted by increasing Euclidean
+// distance.
+func PairsByDistance(ps []Point) []Pair {
+	n := len(ps)
+	pairs := make([]Pair, 0, n*(n-1)/2)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			pairs = append(pairs, Pair{i, j, ps[i].Dist(ps[j])})
+		}
+	}
+	sort.Slice(pairs, func(a, b int) bool { return pairs[a].Len < pairs[b].Len })
+	return pairs
+}

@@ -1,0 +1,171 @@
+package geo
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestDist(t *testing.T) {
+	if d := (Point{0, 0}).Dist(Point{3, 4}); d != 5 {
+		t.Fatalf("Dist = %v, want 5", d)
+	}
+	if d := (Point{1, 1}).Dist(Point{1, 1}); d != 0 {
+		t.Fatalf("Dist = %v, want 0", d)
+	}
+}
+
+func TestRandomPointsInSquare(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	ps := RandomPoints(r, 500, 10)
+	if len(ps) != 500 {
+		t.Fatalf("len = %d", len(ps))
+	}
+	for _, p := range ps {
+		if p.X < 0 || p.X > 10 || p.Y < 0 || p.Y > 10 {
+			t.Fatalf("point %v outside square", p)
+		}
+	}
+}
+
+func TestHeavyTailedPointsCountAndBounds(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	ps := HeavyTailedPoints(r, 300, 8, 5)
+	if len(ps) != 300 {
+		t.Fatalf("len = %d, want 300", len(ps))
+	}
+	for _, p := range ps {
+		if p.X < 0 || p.X > 8 || p.Y < 0 || p.Y > 8 {
+			t.Fatalf("point %v outside square", p)
+		}
+	}
+}
+
+func TestHeavyTailedPointsAreClustered(t *testing.T) {
+	// Heavy-tailed placement should put visibly more points in its densest
+	// grid cell than uniform placement does on average.
+	r := rand.New(rand.NewSource(3))
+	ps := HeavyTailedPoints(r, 1000, 10, 10)
+	counts := map[[2]int]int{}
+	for _, p := range ps {
+		cx, cy := int(p.X), int(p.Y)
+		if cx > 9 {
+			cx = 9
+		}
+		if cy > 9 {
+			cy = 9
+		}
+		counts[[2]int{cx, cy}]++
+	}
+	max := 0
+	for _, c := range counts {
+		if c > max {
+			max = c
+		}
+	}
+	if max < 30 { // uniform would give ~10 per cell
+		t.Fatalf("densest cell has %d points; expected clustering", max)
+	}
+}
+
+func TestMSTSpansAndIsMinimal(t *testing.T) {
+	// Four corners of a unit square plus center: MST length is known.
+	ps := []Point{{0, 0}, {1, 0}, {0, 1}, {1, 1}}
+	edges := MST(ps)
+	if len(edges) != 3 {
+		t.Fatalf("MST edges = %d, want 3", len(edges))
+	}
+	total := 0.0
+	for _, e := range edges {
+		total += e.Len
+	}
+	if math.Abs(total-3) > 1e-9 {
+		t.Fatalf("MST total length = %v, want 3", total)
+	}
+}
+
+func TestMSTSmallInputs(t *testing.T) {
+	if MST(nil) != nil {
+		t.Fatal("MST(nil) should be nil")
+	}
+	if MST([]Point{{0, 0}}) != nil {
+		t.Fatal("MST of 1 point should be nil")
+	}
+}
+
+// Property: MST connects all points (union-find check) and has n-1 edges.
+func TestMSTConnectsProperty(t *testing.T) {
+	f := func(seed int64, nRaw uint8) bool {
+		n := int(nRaw)%40 + 2
+		r := rand.New(rand.NewSource(seed))
+		ps := RandomPoints(r, n, 1)
+		edges := MST(ps)
+		if len(edges) != n-1 {
+			return false
+		}
+		parent := make([]int, n)
+		for i := range parent {
+			parent[i] = i
+		}
+		var find func(int) int
+		find = func(x int) int {
+			for parent[x] != x {
+				parent[x] = parent[parent[x]]
+				x = parent[x]
+			}
+			return x
+		}
+		for _, e := range edges {
+			parent[find(e.U)] = find(e.V)
+		}
+		root := find(0)
+		for i := 1; i < n; i++ {
+			if find(i) != root {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: MST total weight <= any random spanning tree weight.
+func TestMSTWeightMinimalProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 12
+		ps := RandomPoints(r, n, 1)
+		mst := MST(ps)
+		mstW := 0.0
+		for _, e := range mst {
+			mstW += e.Len
+		}
+		// Random spanning tree: connect node i to a random earlier node.
+		rstW := 0.0
+		for i := 1; i < n; i++ {
+			rstW += ps[i].Dist(ps[r.Intn(i)])
+		}
+		return mstW <= rstW+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPairsByDistanceSorted(t *testing.T) {
+	r := rand.New(rand.NewSource(4))
+	ps := RandomPoints(r, 25, 1)
+	pairs := PairsByDistance(ps)
+	want := 25 * 24 / 2
+	if len(pairs) != want {
+		t.Fatalf("pairs = %d, want %d", len(pairs), want)
+	}
+	for i := 1; i < len(pairs); i++ {
+		if pairs[i].Len < pairs[i-1].Len {
+			t.Fatalf("pairs not sorted at %d", i)
+		}
+	}
+}

@@ -1,0 +1,44 @@
+package graph
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+)
+
+// WriteDOT writes the graph in Graphviz DOT format for visualization.
+// attrs, if non-nil, supplies per-node attribute strings (e.g.
+// `color="red"`); nodes with empty attributes are emitted only if they have
+// no edges (DOT infers the rest).
+func (g *Graph) WriteDOT(w io.Writer, name string, attrs func(v int32) string) error {
+	bw := bufio.NewWriter(w)
+	if name == "" {
+		name = "G"
+	}
+	if _, err := fmt.Fprintf(bw, "graph %q {\n", name); err != nil {
+		return err
+	}
+	for v := int32(0); v < int32(g.NumNodes()); v++ {
+		var a string
+		if attrs != nil {
+			a = attrs(v)
+		}
+		switch {
+		case a != "":
+			fmt.Fprintf(bw, "  %d [%s];\n", v, a)
+		case g.Degree(v) == 0:
+			fmt.Fprintf(bw, "  %d;\n", v)
+		}
+	}
+	for u := int32(0); u < int32(g.NumNodes()); u++ {
+		for _, v := range g.Neighbors(u) {
+			if u < v {
+				fmt.Fprintf(bw, "  %d -- %d;\n", u, v)
+			}
+		}
+	}
+	if _, err := fmt.Fprintln(bw, "}"); err != nil {
+		return err
+	}
+	return bw.Flush()
+}

@@ -1,0 +1,528 @@
+// Package graph provides the undirected-graph substrate used throughout
+// topocmp: a compact immutable adjacency representation, a builder that
+// normalizes away self-loops and duplicate edges, breadth-first traversals
+// (distances, shortest-path counts, balls), component analysis, induced
+// subgraphs, core reduction, and degree statistics.
+//
+// Node identifiers are dense int32 values in [0, N). Graphs are immutable
+// once constructed, which makes them safe for concurrent metric computation.
+package graph
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Graph is an immutable simple undirected graph. The zero value is the empty
+// graph.
+type Graph struct {
+	// off[i]..off[i+1] delimits node i's neighbor slice in adj.
+	off []int32
+	adj []int32
+	m   int // number of undirected edges
+}
+
+// NumNodes returns the number of nodes.
+func (g *Graph) NumNodes() int {
+	if len(g.off) == 0 {
+		return 0
+	}
+	return len(g.off) - 1
+}
+
+// NumEdges returns the number of undirected edges.
+func (g *Graph) NumEdges() int { return g.m }
+
+// Degree returns the degree of node v.
+func (g *Graph) Degree(v int32) int { return int(g.off[v+1] - g.off[v]) }
+
+// Neighbors returns the neighbor slice of node v. The slice is shared with
+// the graph's internal storage and must not be modified.
+func (g *Graph) Neighbors(v int32) []int32 { return g.adj[g.off[v]:g.off[v+1]] }
+
+// AvgDegree returns the average node degree 2|E|/|V|.
+func (g *Graph) AvgDegree() float64 {
+	n := g.NumNodes()
+	if n == 0 {
+		return 0
+	}
+	return 2 * float64(g.m) / float64(n)
+}
+
+// MaxDegree returns the largest node degree, or 0 for an empty graph.
+func (g *Graph) MaxDegree() int {
+	max := 0
+	for v := int32(0); v < int32(g.NumNodes()); v++ {
+		if d := g.Degree(v); d > max {
+			max = d
+		}
+	}
+	return max
+}
+
+// HasEdge reports whether an edge {u,v} exists. It runs in O(min deg) by
+// binary search over the sorted neighbor slices.
+func (g *Graph) HasEdge(u, v int32) bool {
+	if g.Degree(u) > g.Degree(v) {
+		u, v = v, u
+	}
+	nb := g.Neighbors(u)
+	i := sort.Search(len(nb), func(i int) bool { return nb[i] >= v })
+	return i < len(nb) && nb[i] == v
+}
+
+// Edge is an undirected edge with U < V.
+type Edge struct{ U, V int32 }
+
+// Edges returns all edges with U < V, ordered by (U, V).
+func (g *Graph) Edges() []Edge {
+	es := make([]Edge, 0, g.m)
+	for u := int32(0); u < int32(g.NumNodes()); u++ {
+		for _, v := range g.Neighbors(u) {
+			if u < v {
+				es = append(es, Edge{u, v})
+			}
+		}
+	}
+	return es
+}
+
+// Degrees returns a slice of node degrees indexed by node id.
+func (g *Graph) Degrees() []int {
+	ds := make([]int, g.NumNodes())
+	for v := range ds {
+		ds[v] = g.Degree(int32(v))
+	}
+	return ds
+}
+
+// DegreeHistogram returns counts[k] = number of nodes with degree k.
+func (g *Graph) DegreeHistogram() []int {
+	h := make([]int, g.MaxDegree()+1)
+	for v := int32(0); v < int32(g.NumNodes()); v++ {
+		h[g.Degree(v)]++
+	}
+	return h
+}
+
+// Builder accumulates edges for a graph of a fixed node count. Self-loops
+// and duplicate edges are silently dropped, matching the paper's handling of
+// the "superfluous links" the PLRG matching can produce.
+type Builder struct {
+	n     int
+	edges map[uint64]struct{}
+}
+
+// NewBuilder returns a builder for a graph with n nodes.
+func NewBuilder(n int) *Builder {
+	return &Builder{n: n, edges: make(map[uint64]struct{})}
+}
+
+func edgeKey(u, v int32) uint64 {
+	if u > v {
+		u, v = v, u
+	}
+	return uint64(u)<<32 | uint64(uint32(v))
+}
+
+// AddEdge records the undirected edge {u,v}. Self-loops are ignored.
+// It panics if either endpoint is out of range.
+func (b *Builder) AddEdge(u, v int32) {
+	if u < 0 || v < 0 || int(u) >= b.n || int(v) >= b.n {
+		panic(fmt.Sprintf("graph: edge (%d,%d) out of range [0,%d)", u, v, b.n))
+	}
+	if u == v {
+		return
+	}
+	b.edges[edgeKey(u, v)] = struct{}{}
+}
+
+// HasEdge reports whether {u,v} has been added.
+func (b *Builder) HasEdge(u, v int32) bool {
+	if u == v {
+		return false
+	}
+	_, ok := b.edges[edgeKey(u, v)]
+	return ok
+}
+
+// NumEdges returns the number of distinct edges added so far.
+func (b *Builder) NumEdges() int { return len(b.edges) }
+
+// NumNodes returns the node count the builder was created with.
+func (b *Builder) NumNodes() int { return b.n }
+
+// Graph freezes the builder into an immutable Graph with sorted neighbor
+// slices. The builder remains usable afterwards.
+func (b *Builder) Graph() *Graph {
+	deg := make([]int32, b.n)
+	for k := range b.edges {
+		u, v := int32(k>>32), int32(uint32(k))
+		deg[u]++
+		deg[v]++
+	}
+	off := make([]int32, b.n+1)
+	for i := 0; i < b.n; i++ {
+		off[i+1] = off[i] + deg[i]
+	}
+	adj := make([]int32, off[b.n])
+	pos := make([]int32, b.n)
+	copy(pos, off[:b.n])
+	for k := range b.edges {
+		u, v := int32(k>>32), int32(uint32(k))
+		adj[pos[u]] = v
+		pos[u]++
+		adj[pos[v]] = u
+		pos[v]++
+	}
+	g := &Graph{off: off, adj: adj, m: len(b.edges)}
+	for v := int32(0); v < int32(b.n); v++ {
+		nb := g.adj[g.off[v]:g.off[v+1]]
+		sort.Slice(nb, func(i, j int) bool { return nb[i] < nb[j] })
+	}
+	return g
+}
+
+// FromEdges constructs a graph with n nodes from an edge list.
+func FromEdges(n int, edges []Edge) *Graph {
+	b := NewBuilder(n)
+	for _, e := range edges {
+		b.AddEdge(e.U, e.V)
+	}
+	return b.Graph()
+}
+
+// Unreached marks nodes not reached by a traversal.
+const Unreached = int32(math.MaxInt32)
+
+// BFS computes hop distances from src. dist[v] == Unreached for nodes in
+// other components. The returned queue buffer holds the visit order of the
+// reached nodes (src first).
+func (g *Graph) BFS(src int32) (dist []int32, order []int32) {
+	n := g.NumNodes()
+	dist = make([]int32, n)
+	for i := range dist {
+		dist[i] = Unreached
+	}
+	order = make([]int32, 0, n)
+	dist[src] = 0
+	order = append(order, src)
+	for head := 0; head < len(order); head++ {
+		u := order[head]
+		du := dist[u]
+		for _, v := range g.Neighbors(u) {
+			if dist[v] == Unreached {
+				dist[v] = du + 1
+				order = append(order, v)
+			}
+		}
+	}
+	return dist, order
+}
+
+// BFSCounts computes hop distances and the number of distinct shortest paths
+// sigma[v] from src to every node (float64 to avoid overflow on dense
+// shortest-path DAGs). order is the BFS visit order.
+func (g *Graph) BFSCounts(src int32) (dist []int32, sigma []float64, order []int32) {
+	n := g.NumNodes()
+	dist = make([]int32, n)
+	sigma = make([]float64, n)
+	for i := range dist {
+		dist[i] = Unreached
+	}
+	order = make([]int32, 0, n)
+	dist[src] = 0
+	sigma[src] = 1
+	order = append(order, src)
+	for head := 0; head < len(order); head++ {
+		u := order[head]
+		du := dist[u]
+		for _, v := range g.Neighbors(u) {
+			if dist[v] == Unreached {
+				dist[v] = du + 1
+				order = append(order, v)
+			}
+			if dist[v] == du+1 {
+				sigma[v] += sigma[u]
+			}
+		}
+	}
+	return dist, sigma, order
+}
+
+// Ball returns the nodes within h hops of src (including src), in BFS order.
+func (g *Graph) Ball(src int32, h int) []int32 {
+	dist := make(map[int32]int32, 64)
+	queue := []int32{src}
+	dist[src] = 0
+	for head := 0; head < len(queue); head++ {
+		u := queue[head]
+		du := dist[u]
+		if int(du) >= h {
+			continue
+		}
+		for _, v := range g.Neighbors(u) {
+			if _, ok := dist[v]; !ok {
+				dist[v] = du + 1
+				queue = append(queue, v)
+			}
+		}
+	}
+	return queue
+}
+
+// Eccentricity returns the maximum finite BFS distance from src, i.e. the
+// hop radius of src's component as seen from src.
+func (g *Graph) Eccentricity(src int32) int {
+	dist, order := g.BFS(src)
+	return int(dist[order[len(order)-1]])
+}
+
+// Components labels each node with a component id and returns the labels and
+// the size of each component.
+func (g *Graph) Components() (label []int32, sizes []int) {
+	n := g.NumNodes()
+	label = make([]int32, n)
+	for i := range label {
+		label[i] = -1
+	}
+	var queue []int32
+	for s := int32(0); s < int32(n); s++ {
+		if label[s] != -1 {
+			continue
+		}
+		id := int32(len(sizes))
+		label[s] = id
+		queue = append(queue[:0], s)
+		size := 0
+		for head := 0; head < len(queue); head++ {
+			u := queue[head]
+			size++
+			for _, v := range g.Neighbors(u) {
+				if label[v] == -1 {
+					label[v] = id
+					queue = append(queue, v)
+				}
+			}
+		}
+		sizes = append(sizes, size)
+	}
+	return label, sizes
+}
+
+// IsConnected reports whether the graph is connected (the empty graph is
+// considered connected).
+func (g *Graph) IsConnected() bool {
+	if g.NumNodes() == 0 {
+		return true
+	}
+	_, sizes := g.Components()
+	return len(sizes) == 1
+}
+
+// LargestComponent returns the induced subgraph of the largest connected
+// component plus the mapping orig[newID] = oldID. Ties break toward the
+// component with the smallest minimum node id.
+func (g *Graph) LargestComponent() (*Graph, []int32) {
+	label, sizes := g.Components()
+	best := 0
+	for i, s := range sizes {
+		if s > sizes[best] {
+			best = i
+		}
+	}
+	nodes := make([]int32, 0, sizes[best])
+	for v := int32(0); v < int32(g.NumNodes()); v++ {
+		if label[v] == int32(best) {
+			nodes = append(nodes, v)
+		}
+	}
+	sub := g.Subgraph(nodes)
+	return sub, nodes
+}
+
+// Subgraph returns the subgraph induced by nodes, which must not contain
+// duplicates. New node i corresponds to nodes[i].
+func (g *Graph) Subgraph(nodes []int32) *Graph {
+	idx := make(map[int32]int32, len(nodes))
+	for i, v := range nodes {
+		idx[v] = int32(i)
+	}
+	b := NewBuilder(len(nodes))
+	for i, v := range nodes {
+		for _, w := range g.Neighbors(v) {
+			if j, ok := idx[w]; ok && int32(i) < j {
+				b.AddEdge(int32(i), j)
+			}
+		}
+	}
+	return b.Graph()
+}
+
+// Core returns the subgraph obtained by recursively removing degree-1 nodes
+// (the "core topology" the paper uses for router-level link values), plus the
+// mapping orig[newID] = oldID. Isolated nodes are removed as well.
+func (g *Graph) Core() (*Graph, []int32) {
+	n := g.NumNodes()
+	deg := make([]int, n)
+	removed := make([]bool, n)
+	var stack []int32
+	for v := int32(0); v < int32(n); v++ {
+		deg[v] = g.Degree(v)
+		if deg[v] <= 1 {
+			stack = append(stack, v)
+			removed[v] = true
+		}
+	}
+	for len(stack) > 0 {
+		u := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, v := range g.Neighbors(u) {
+			if removed[v] {
+				continue
+			}
+			deg[v]--
+			if deg[v] <= 1 {
+				removed[v] = true
+				stack = append(stack, v)
+			}
+		}
+	}
+	var nodes []int32
+	for v := int32(0); v < int32(n); v++ {
+		if !removed[v] {
+			nodes = append(nodes, v)
+		}
+	}
+	return g.Subgraph(nodes), nodes
+}
+
+// RemoveNodes returns the subgraph with the given nodes deleted, plus the
+// orig mapping of the surviving nodes.
+func (g *Graph) RemoveNodes(drop []int32) (*Graph, []int32) {
+	gone := make([]bool, g.NumNodes())
+	for _, v := range drop {
+		gone[v] = true
+	}
+	var keep []int32
+	for v := int32(0); v < int32(g.NumNodes()); v++ {
+		if !gone[v] {
+			keep = append(keep, v)
+		}
+	}
+	return g.Subgraph(keep), keep
+}
+
+// KCore returns the maximal subgraph in which every node has degree >= k
+// (the k-core), plus the mapping orig[newID] = oldID. KCore(2) equals
+// Core().
+func (g *Graph) KCore(k int) (*Graph, []int32) {
+	n := g.NumNodes()
+	deg := make([]int, n)
+	removed := make([]bool, n)
+	var stack []int32
+	for v := int32(0); v < int32(n); v++ {
+		deg[v] = g.Degree(v)
+		if deg[v] < k {
+			stack = append(stack, v)
+			removed[v] = true
+		}
+	}
+	for len(stack) > 0 {
+		u := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, v := range g.Neighbors(u) {
+			if removed[v] {
+				continue
+			}
+			deg[v]--
+			if deg[v] < k {
+				removed[v] = true
+				stack = append(stack, v)
+			}
+		}
+	}
+	var nodes []int32
+	for v := int32(0); v < int32(n); v++ {
+		if !removed[v] {
+			nodes = append(nodes, v)
+		}
+	}
+	return g.Subgraph(nodes), nodes
+}
+
+// CoreNumbers returns each node's core number: the largest k such that the
+// node belongs to the k-core. Computed by the standard peeling order.
+func (g *Graph) CoreNumbers() []int {
+	n := g.NumNodes()
+	deg := make([]int, n)
+	maxDeg := 0
+	for v := int32(0); v < int32(n); v++ {
+		deg[v] = g.Degree(v)
+		if deg[v] > maxDeg {
+			maxDeg = deg[v]
+		}
+	}
+	// Bucket sort nodes by degree for O(V+E) peeling.
+	buckets := make([][]int32, maxDeg+1)
+	for v := int32(0); v < int32(n); v++ {
+		buckets[deg[v]] = append(buckets[deg[v]], v)
+	}
+	core := make([]int, n)
+	processed := make([]bool, n)
+	cur := make([]int, n)
+	copy(cur, deg)
+	k := 0
+	for d := 0; d <= maxDeg; d++ {
+		for i := 0; i < len(buckets[d]); i++ {
+			v := buckets[d][i]
+			if processed[v] || cur[v] != d {
+				continue
+			}
+			if d > k {
+				k = d
+			}
+			core[v] = k
+			processed[v] = true
+			for _, w := range g.Neighbors(v) {
+				if !processed[w] && cur[w] > d {
+					cur[w]--
+					buckets[cur[w]] = append(buckets[cur[w]], w)
+				}
+			}
+		}
+	}
+	return core
+}
+
+// DegreeAssortativity returns the Pearson correlation of degrees across
+// edge endpoints (Newman's assortativity coefficient). Internet graphs are
+// disassortative (hubs attach to leaves, r < 0); Barabási-Albert graphs
+// are near-neutral. Returns 0 for graphs without edges or with uniform
+// degrees.
+func (g *Graph) DegreeAssortativity() float64 {
+	m := g.NumEdges()
+	if m == 0 {
+		return 0
+	}
+	// Pearson over the 2m ordered endpoint pairs.
+	var sxy, sx, sx2 float64
+	for u := int32(0); u < int32(g.NumNodes()); u++ {
+		du := float64(g.Degree(u))
+		for _, v := range g.Neighbors(u) {
+			dv := float64(g.Degree(v))
+			sxy += du * dv
+			sx += du
+			sx2 += du * du
+		}
+	}
+	n2 := float64(2 * m)
+	mean := sx / n2
+	varr := sx2/n2 - mean*mean
+	if varr == 0 {
+		return 0
+	}
+	cov := sxy/n2 - mean*mean
+	return cov / varr
+}

@@ -1,0 +1,495 @@
+package graph
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func pathGraph(n int) *Graph {
+	b := NewBuilder(n)
+	for i := 0; i < n-1; i++ {
+		b.AddEdge(int32(i), int32(i+1))
+	}
+	return b.Graph()
+}
+
+func cycleGraph(n int) *Graph {
+	b := NewBuilder(n)
+	for i := 0; i < n; i++ {
+		b.AddEdge(int32(i), int32((i+1)%n))
+	}
+	return b.Graph()
+}
+
+func completeGraph(n int) *Graph {
+	b := NewBuilder(n)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			b.AddEdge(int32(i), int32(j))
+		}
+	}
+	return b.Graph()
+}
+
+// randomGraph returns a G(n,p)-ish graph for property tests.
+func randomGraph(r *rand.Rand, n int, p float64) *Graph {
+	b := NewBuilder(n)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if r.Float64() < p {
+				b.AddEdge(int32(i), int32(j))
+			}
+		}
+	}
+	return b.Graph()
+}
+
+func TestBuilderDedup(t *testing.T) {
+	b := NewBuilder(4)
+	b.AddEdge(0, 1)
+	b.AddEdge(1, 0) // duplicate reversed
+	b.AddEdge(0, 1) // duplicate
+	b.AddEdge(2, 2) // self loop ignored
+	b.AddEdge(2, 3)
+	g := b.Graph()
+	if g.NumEdges() != 2 {
+		t.Fatalf("NumEdges = %d, want 2", g.NumEdges())
+	}
+	if !g.HasEdge(0, 1) || !g.HasEdge(1, 0) || !g.HasEdge(2, 3) {
+		t.Fatal("expected edges missing")
+	}
+	if g.HasEdge(2, 2) || g.HasEdge(0, 2) {
+		t.Fatal("unexpected edge present")
+	}
+}
+
+func TestBuilderPanicsOutOfRange(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for out-of-range edge")
+		}
+	}()
+	NewBuilder(2).AddEdge(0, 5)
+}
+
+func TestDegreeAndAverages(t *testing.T) {
+	g := completeGraph(5)
+	for v := int32(0); v < 5; v++ {
+		if g.Degree(v) != 4 {
+			t.Fatalf("Degree(%d) = %d, want 4", v, g.Degree(v))
+		}
+	}
+	if got := g.AvgDegree(); got != 4 {
+		t.Fatalf("AvgDegree = %v, want 4", got)
+	}
+	if g.MaxDegree() != 4 {
+		t.Fatalf("MaxDegree = %d, want 4", g.MaxDegree())
+	}
+}
+
+func TestBFSPath(t *testing.T) {
+	g := pathGraph(6)
+	dist, order := g.BFS(0)
+	for v := 0; v < 6; v++ {
+		if dist[v] != int32(v) {
+			t.Fatalf("dist[%d] = %d, want %d", v, dist[v], v)
+		}
+	}
+	if len(order) != 6 || order[0] != 0 {
+		t.Fatalf("bad BFS order %v", order)
+	}
+}
+
+func TestBFSDisconnected(t *testing.T) {
+	b := NewBuilder(4)
+	b.AddEdge(0, 1)
+	b.AddEdge(2, 3)
+	g := b.Graph()
+	dist, order := g.BFS(0)
+	if dist[2] != Unreached || dist[3] != Unreached {
+		t.Fatal("expected Unreached for other component")
+	}
+	if len(order) != 2 {
+		t.Fatalf("order = %v, want 2 nodes", order)
+	}
+}
+
+func TestBFSCountsCycle(t *testing.T) {
+	g := cycleGraph(6)
+	_, sigma, _ := g.BFSCounts(0)
+	// Node 3 is antipodal: two shortest paths around the cycle.
+	if sigma[3] != 2 {
+		t.Fatalf("sigma[3] = %v, want 2", sigma[3])
+	}
+	if sigma[1] != 1 || sigma[5] != 1 {
+		t.Fatalf("sigma[1],sigma[5] = %v,%v, want 1,1", sigma[1], sigma[5])
+	}
+}
+
+func TestBallSizes(t *testing.T) {
+	g := pathGraph(10)
+	for h, want := range map[int]int{0: 1, 1: 2, 2: 3, 9: 10, 15: 10} {
+		if got := len(g.Ball(0, h)); got != want {
+			t.Fatalf("Ball(0,%d) size = %d, want %d", h, got, want)
+		}
+	}
+	mid := g.Ball(5, 2)
+	if len(mid) != 5 {
+		t.Fatalf("Ball(5,2) size = %d, want 5", len(mid))
+	}
+}
+
+func TestEccentricity(t *testing.T) {
+	g := pathGraph(7)
+	if got := g.Eccentricity(0); got != 6 {
+		t.Fatalf("Eccentricity(0) = %d, want 6", got)
+	}
+	if got := g.Eccentricity(3); got != 3 {
+		t.Fatalf("Eccentricity(3) = %d, want 3", got)
+	}
+}
+
+func TestComponents(t *testing.T) {
+	b := NewBuilder(7)
+	b.AddEdge(0, 1)
+	b.AddEdge(1, 2)
+	b.AddEdge(3, 4)
+	// 5, 6 isolated
+	g := b.Graph()
+	_, sizes := g.Components()
+	if len(sizes) != 4 {
+		t.Fatalf("components = %d, want 4", len(sizes))
+	}
+	lc, orig := g.LargestComponent()
+	if lc.NumNodes() != 3 || lc.NumEdges() != 2 {
+		t.Fatalf("largest component %d nodes %d edges, want 3/2", lc.NumNodes(), lc.NumEdges())
+	}
+	if !reflect.DeepEqual(orig, []int32{0, 1, 2}) {
+		t.Fatalf("orig = %v", orig)
+	}
+	if g.IsConnected() {
+		t.Fatal("graph should not be connected")
+	}
+	if !lc.IsConnected() {
+		t.Fatal("largest component should be connected")
+	}
+}
+
+func TestSubgraphInduced(t *testing.T) {
+	g := completeGraph(5)
+	sub := g.Subgraph([]int32{0, 2, 4})
+	if sub.NumNodes() != 3 || sub.NumEdges() != 3 {
+		t.Fatalf("subgraph %d/%d, want 3 nodes 3 edges", sub.NumNodes(), sub.NumEdges())
+	}
+}
+
+func TestCoreRemovesTrees(t *testing.T) {
+	// A 4-cycle with a path of two pendant nodes hanging off node 0.
+	b := NewBuilder(6)
+	b.AddEdge(0, 1)
+	b.AddEdge(1, 2)
+	b.AddEdge(2, 3)
+	b.AddEdge(3, 0)
+	b.AddEdge(0, 4)
+	b.AddEdge(4, 5)
+	g := b.Graph()
+	core, orig := g.Core()
+	if core.NumNodes() != 4 || core.NumEdges() != 4 {
+		t.Fatalf("core %d/%d, want 4/4", core.NumNodes(), core.NumEdges())
+	}
+	if !reflect.DeepEqual(orig, []int32{0, 1, 2, 3}) {
+		t.Fatalf("core orig = %v", orig)
+	}
+}
+
+func TestCoreOfTreeIsEmpty(t *testing.T) {
+	g := pathGraph(8)
+	core, _ := g.Core()
+	if core.NumNodes() != 0 {
+		t.Fatalf("core of a path has %d nodes, want 0", core.NumNodes())
+	}
+}
+
+func TestRemoveNodes(t *testing.T) {
+	g := cycleGraph(5)
+	sub, keep := g.RemoveNodes([]int32{0})
+	if sub.NumNodes() != 4 || sub.NumEdges() != 3 {
+		t.Fatalf("after removal %d/%d, want 4/3", sub.NumNodes(), sub.NumEdges())
+	}
+	if len(keep) != 4 {
+		t.Fatalf("keep = %v", keep)
+	}
+}
+
+func TestEdgesRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	g := randomGraph(r, 40, 0.1)
+	g2 := FromEdges(g.NumNodes(), g.Edges())
+	if g2.NumEdges() != g.NumEdges() {
+		t.Fatalf("edge count mismatch %d vs %d", g2.NumEdges(), g.NumEdges())
+	}
+	for _, e := range g.Edges() {
+		if !g2.HasEdge(e.U, e.V) {
+			t.Fatalf("missing edge %v", e)
+		}
+	}
+}
+
+func TestEdgeListIORoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	g := randomGraph(r, 60, 0.08)
+	var buf bytes.Buffer
+	if err := g.WriteEdgeList(&buf); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := ReadEdgeList(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.NumNodes() != g.NumNodes() || g2.NumEdges() != g.NumEdges() {
+		t.Fatalf("round trip %d/%d vs %d/%d", g2.NumNodes(), g2.NumEdges(), g.NumNodes(), g.NumEdges())
+	}
+	if !reflect.DeepEqual(g.Edges(), g2.Edges()) {
+		t.Fatal("edge sets differ after round trip")
+	}
+}
+
+func TestReadEdgeListErrors(t *testing.T) {
+	for _, bad := range []string{"0\n", "a b\n", "0 b\n", "-1 2\n"} {
+		if _, err := ReadEdgeList(bytes.NewBufferString(bad)); err == nil {
+			t.Fatalf("ReadEdgeList(%q) succeeded, want error", bad)
+		}
+	}
+	// Header declares too few nodes.
+	if _, err := ReadEdgeList(bytes.NewBufferString("# nodes 2 edges 1\n0 5\n")); err == nil {
+		t.Fatal("expected node-count error")
+	}
+}
+
+func TestReadEdgeListNoHeader(t *testing.T) {
+	g, err := ReadEdgeList(bytes.NewBufferString("0 1\n1 2\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumNodes() != 3 || g.NumEdges() != 2 {
+		t.Fatalf("got %d/%d, want 3/2", g.NumNodes(), g.NumEdges())
+	}
+}
+
+// Property: sum of degrees equals 2|E| (handshake lemma).
+func TestHandshakeLemmaProperty(t *testing.T) {
+	f := func(seed int64, nRaw uint8, pRaw uint8) bool {
+		n := int(nRaw%50) + 2
+		p := float64(pRaw%90+5) / 100
+		g := randomGraph(rand.New(rand.NewSource(seed)), n, p)
+		sum := 0
+		for _, d := range g.Degrees() {
+			sum += d
+		}
+		return sum == 2*g.NumEdges()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: neighbor slices are sorted, symmetric and loop-free.
+func TestAdjacencyInvariants(t *testing.T) {
+	f := func(seed int64) bool {
+		g := randomGraph(rand.New(rand.NewSource(seed)), 30, 0.15)
+		for u := int32(0); u < int32(g.NumNodes()); u++ {
+			nb := g.Neighbors(u)
+			for i, v := range nb {
+				if v == u {
+					return false // self loop
+				}
+				if i > 0 && nb[i-1] >= v {
+					return false // unsorted or duplicate
+				}
+				if !g.HasEdge(v, u) {
+					return false // asymmetric
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: BFS distances satisfy the triangle property along edges:
+// |dist(u) - dist(v)| <= 1 for every edge {u,v} in the same component.
+func TestBFSEdgeDistanceProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		g := randomGraph(rand.New(rand.NewSource(seed)), 40, 0.08)
+		if g.NumNodes() == 0 {
+			return true
+		}
+		dist, _ := g.BFS(0)
+		for _, e := range g.Edges() {
+			du, dv := dist[e.U], dist[e.V]
+			if (du == Unreached) != (dv == Unreached) {
+				return false
+			}
+			if du != Unreached && (du-dv > 1 || dv-du > 1) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: component sizes sum to N, and ball of radius >= eccentricity
+// covers the whole component.
+func TestBallCoversComponentProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		g := randomGraph(rand.New(rand.NewSource(seed)), 35, 0.1)
+		label, sizes := g.Components()
+		total := 0
+		for _, s := range sizes {
+			total += s
+		}
+		if total != g.NumNodes() {
+			return false
+		}
+		if g.NumNodes() == 0 {
+			return true
+		}
+		ecc := g.Eccentricity(0)
+		ball := g.Ball(0, ecc)
+		return len(ball) == sizes[label[0]]
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkBFS10k(b *testing.B) {
+	r := rand.New(rand.NewSource(1))
+	builder := NewBuilder(10000)
+	for i := 0; i < 25000; i++ {
+		builder.AddEdge(int32(r.Intn(10000)), int32(r.Intn(10000)))
+	}
+	g := builder.Graph()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.BFS(int32(i % 10000))
+	}
+}
+
+func TestKCore(t *testing.T) {
+	// Triangle with two pendant chains: 3-core empty, 2-core = triangle.
+	b := NewBuilder(7)
+	b.AddEdge(0, 1)
+	b.AddEdge(1, 2)
+	b.AddEdge(2, 0)
+	b.AddEdge(0, 3)
+	b.AddEdge(3, 4)
+	b.AddEdge(2, 5)
+	b.AddEdge(5, 6)
+	g := b.Graph()
+	two, orig := g.KCore(2)
+	if two.NumNodes() != 3 || two.NumEdges() != 3 {
+		t.Fatalf("2-core = %d/%d, want 3/3", two.NumNodes(), two.NumEdges())
+	}
+	if !reflect.DeepEqual(orig, []int32{0, 1, 2}) {
+		t.Fatalf("2-core orig = %v", orig)
+	}
+	three, _ := g.KCore(3)
+	if three.NumNodes() != 0 {
+		t.Fatalf("3-core = %d nodes, want 0", three.NumNodes())
+	}
+	// KCore(2) matches Core().
+	coreG, coreOrig := g.Core()
+	if coreG.NumNodes() != two.NumNodes() || !reflect.DeepEqual(coreOrig, orig) {
+		t.Fatal("KCore(2) should equal Core()")
+	}
+}
+
+func TestKCoreComplete(t *testing.T) {
+	g := completeGraph(6)
+	five, orig := g.KCore(5)
+	if five.NumNodes() != 6 || len(orig) != 6 {
+		t.Fatalf("K6 5-core = %d nodes", five.NumNodes())
+	}
+	six, _ := g.KCore(6)
+	if six.NumNodes() != 0 {
+		t.Fatalf("K6 6-core = %d nodes, want 0", six.NumNodes())
+	}
+}
+
+func TestCoreNumbersKnown(t *testing.T) {
+	// Triangle + pendant: triangle nodes have core 2, pendants 1.
+	b := NewBuilder(5)
+	b.AddEdge(0, 1)
+	b.AddEdge(1, 2)
+	b.AddEdge(2, 0)
+	b.AddEdge(0, 3)
+	b.AddEdge(3, 4)
+	cores := b.Graph().CoreNumbers()
+	want := []int{2, 2, 2, 1, 1}
+	if !reflect.DeepEqual(cores, want) {
+		t.Fatalf("core numbers = %v, want %v", cores, want)
+	}
+}
+
+// Property: node v is in the k-core iff CoreNumbers()[v] >= k.
+func TestCoreNumbersConsistentWithKCore(t *testing.T) {
+	f := func(seed int64) bool {
+		g := randomGraph(rand.New(rand.NewSource(seed)), 40, 0.1)
+		cores := g.CoreNumbers()
+		for k := 1; k <= 4; k++ {
+			_, members := g.KCore(k)
+			inCore := map[int32]bool{}
+			for _, v := range members {
+				inCore[v] = true
+			}
+			for v := 0; v < g.NumNodes(); v++ {
+				if inCore[int32(v)] != (cores[v] >= k) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDegreeAssortativity(t *testing.T) {
+	// A star is maximally disassortative (r = -1 for any star).
+	b := NewBuilder(6)
+	for i := int32(1); i < 6; i++ {
+		b.AddEdge(0, i)
+	}
+	if r := b.Graph().DegreeAssortativity(); math.Abs(r+1) > 1e-9 {
+		t.Fatalf("star assortativity = %v, want -1", r)
+	}
+	// Regular graphs have zero variance: defined as 0.
+	if r := cycleGraph(8).DegreeAssortativity(); r != 0 {
+		t.Fatalf("cycle assortativity = %v, want 0", r)
+	}
+	if r := pathGraph(1).DegreeAssortativity(); r != 0 {
+		t.Fatalf("edgeless assortativity = %v, want 0", r)
+	}
+	// Two disjoint stars joined hub-to-hub push r upward vs a single star.
+	b2 := NewBuilder(10)
+	for i := int32(1); i < 5; i++ {
+		b2.AddEdge(0, i)
+		b2.AddEdge(5, 5+i)
+	}
+	b2.AddEdge(0, 5)
+	joined := b2.Graph().DegreeAssortativity()
+	if joined <= -1 || joined >= 1 {
+		t.Fatalf("joined-stars assortativity = %v out of range", joined)
+	}
+}

@@ -1,0 +1,112 @@
+package graph
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// WriteEdgeList writes the graph in the classic whitespace edge-list format
+// used by topology tools: a header line "# nodes N edges M" followed by one
+// "u v" pair per line with u < v.
+func (g *Graph) WriteEdgeList(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "# nodes %d edges %d\n", g.NumNodes(), g.NumEdges()); err != nil {
+		return err
+	}
+	for u := int32(0); u < int32(g.NumNodes()); u++ {
+		for _, v := range g.Neighbors(u) {
+			if u < v {
+				if _, err := fmt.Fprintf(bw, "%d %d\n", u, v); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// WriteEdgeListFile writes the graph to path via WriteEdgeList.
+func (g *Graph) WriteEdgeListFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := g.WriteEdgeList(f); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// ReadEdgeList parses the format produced by WriteEdgeList. Lines starting
+// with '#' other than the header are ignored, as are blank lines. If no
+// header is present the node count is inferred as max id + 1.
+func ReadEdgeList(r io.Reader) (*Graph, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	n := -1
+	var edges []Edge
+	maxID := int32(-1)
+	lineno := 0
+	for sc.Scan() {
+		lineno++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			var hn, hm int
+			if _, err := fmt.Sscanf(line, "# nodes %d edges %d", &hn, &hm); err == nil {
+				n = hn
+			}
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 2 {
+			return nil, fmt.Errorf("graph: line %d: want \"u v\", got %q", lineno, line)
+		}
+		u, err := strconv.ParseInt(fields[0], 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("graph: line %d: bad node id %q: %v", lineno, fields[0], err)
+		}
+		v, err := strconv.ParseInt(fields[1], 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("graph: line %d: bad node id %q: %v", lineno, fields[1], err)
+		}
+		if u < 0 || v < 0 {
+			return nil, fmt.Errorf("graph: line %d: negative node id", lineno)
+		}
+		e := Edge{int32(u), int32(v)}
+		if e.U > e.V {
+			e.U, e.V = e.V, e.U
+		}
+		if e.V > maxID {
+			maxID = e.V
+		}
+		edges = append(edges, e)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if n < 0 {
+		n = int(maxID + 1)
+	}
+	if int(maxID) >= n {
+		return nil, fmt.Errorf("graph: node id %d exceeds declared node count %d", maxID, n)
+	}
+	return FromEdges(n, edges), nil
+}
+
+// ReadEdgeListFile reads a graph from path via ReadEdgeList.
+func ReadEdgeListFile(path string) (*Graph, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadEdgeList(f)
+}

@@ -1,0 +1,68 @@
+package hierarchy
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"topocmp/internal/gen/canonical"
+	"topocmp/internal/graph"
+)
+
+// bruteLinkValues recomputes link values by explicit pair enumeration: for
+// every ordered pair (u,t) and edge (a,b) on u's shortest-path DAG toward
+// t, the fraction of u→t shortest paths through the edge is
+// sigma_u(a)*sigma_t(b)/sigma_u(t). This is an independent reference for
+// the sweep implementation.
+func bruteLinkValues(g *graph.Graph) *Result {
+	edges := g.Edges()
+	edgeIdx := buildEdgeIndex(edges)
+	n := g.NumNodes()
+	dists := make([][]int32, n)
+	sigmas := make([][]float64, n)
+	for v := int32(0); v < int32(n); v++ {
+		dists[v], sigmas[v], _ = g.BFSCounts(v)
+	}
+	var entries []pairEntry
+	for u := int32(0); u < int32(n); u++ {
+		for t := int32(0); t < int32(n); t++ {
+			if u == t || dists[u][t] == graph.Unreached {
+				continue
+			}
+			for _, e := range edges {
+				for _, dir := range [2][2]int32{{e.U, e.V}, {e.V, e.U}} {
+					a, b := dir[0], dir[1]
+					if dists[u][a]+1+dists[t][b] == dists[u][t] &&
+						dists[u][a]+1 == dists[u][b] {
+						w := sigmas[u][a] * sigmas[t][b] / sigmas[u][t]
+						entries = append(entries, pairEntry{
+							edge: edgeIdx[ekey(a, b)], u: u, t: t, w: w,
+						})
+					}
+				}
+			}
+		}
+	}
+	values := coverValues(len(edges), entries)
+	return &Result{Edges: edges, Values: values, N: n}
+}
+
+func TestSweepMatchesBruteForce(t *testing.T) {
+	cases := []*graph.Graph{
+		canonical.Linear(7),
+		canonical.Mesh(4, 5),
+		canonical.Tree(2, 3),
+		canonical.Complete(5),
+		canonical.Random(rand.New(rand.NewSource(1)), 25, 0.2),
+	}
+	for ci, g := range cases {
+		want := bruteLinkValues(g)
+		got := LinkValues(g, Options{})
+		for i := range want.Values {
+			if math.Abs(want.Values[i]-got.Values[i]) > 1e-6 {
+				t.Fatalf("case %d edge %v: sweep %v vs brute %v",
+					ci, want.Edges[i], got.Values[i], want.Values[i])
+			}
+		}
+	}
+}

@@ -1,0 +1,73 @@
+package hierarchy
+
+import "topocmp/internal/stats"
+
+// Class is the paper's three-way hierarchy grouping (§5.1).
+type Class int
+
+const (
+	// Loose hierarchy: link values spread nearly evenly (Mesh, Random,
+	// Waxman).
+	Loose Class = iota
+	// Moderate hierarchy: values fall off quickly but the top values stay
+	// well below the strict regime (AS, RL, PLRG and variants).
+	Moderate
+	// Strict hierarchy: a few links carry extreme values and the
+	// distribution collapses (Tree, Transit-Stub, Tiers).
+	Strict
+)
+
+// String implements fmt.Stringer.
+func (c Class) String() string {
+	switch c {
+	case Strict:
+		return "strict"
+	case Moderate:
+		return "moderate"
+	default:
+		return "loose"
+	}
+}
+
+// Thresholds of the paper's qualitative §5.1 groupings, phrased in
+// scale-invariant form so they survive pair-universe sampling: loose graphs
+// keep a large share of links near the maximum value (the paper's "very
+// flat" distributions — almost 70% of Mesh/Random/Waxman links sit around
+// 0.05); strict graphs concentrate usage on links whose covers span a large
+// constant fraction of the nodes (Tree and TS tops above 0.3, Tiers 0.25);
+// moderate graphs fall off as fast as strict ones but top out well below
+// them (the AS/RL/PLRG regime).
+const (
+	strictTopValue = 0.15
+	looseFraction  = 0.30
+	// A link counts toward the flatness measure when its value is within
+	// this factor of the maximum.
+	looseRelative = 0.30
+)
+
+// Classify maps a link-value result onto the strict/moderate/loose
+// grouping.
+func Classify(r *Result) Class {
+	vals := r.Normalized()
+	if len(vals) == 0 {
+		return Loose
+	}
+	top := vals[0]
+	for _, v := range vals[1:] {
+		if v > top {
+			top = v
+		}
+	}
+	if top <= 0 {
+		return Loose
+	}
+	spread := stats.FractionAbove(vals, looseRelative*top)
+	switch {
+	case spread >= looseFraction:
+		return Loose
+	case top >= strictTopValue:
+		return Strict
+	default:
+		return Moderate
+	}
+}

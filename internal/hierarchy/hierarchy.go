@@ -1,0 +1,334 @@
+// Package hierarchy implements the paper's measure of hierarchy (§5): the
+// link value. A link's traversal set is the set of node pairs whose
+// shortest-path traffic crosses the link, each pair weighted by the
+// fraction of its equal-cost shortest paths through the link; the link's
+// value is the minimum weighted vertex cover of the bipartite graph formed
+// by that traversal set, computed with the primal-dual 2-approximation.
+//
+// The distribution of (normalized) link values is the paper's hierarchy
+// signature: strict (Tree, Transit-Stub, Tiers), moderate (AS, RL, PLRG),
+// or loose (Mesh, Random, Waxman). The package also computes Figure 5's
+// correlation between a link's value and the smaller degree of its
+// endpoints.
+package hierarchy
+
+import (
+	"math/rand"
+	"runtime"
+	"sort"
+	"sync"
+
+	"topocmp/internal/graph"
+	"topocmp/internal/stats"
+)
+
+// Options tunes the computation.
+type Options struct {
+	// MaxSources caps the pair universe (0 = all nodes): when set, link
+	// values are computed over the pairs Q×Q of a uniformly sampled node
+	// set Q of this size, and normalized by |Q| instead of |V|. Sampling
+	// both endpoints symmetrically preserves the vertex-cover structure
+	// (one-sided source sampling would cap every cover at the sample
+	// size). The paper bounds this cost the same way, computing RL link
+	// values on the core graph and sampling nodes for large balls.
+	MaxSources int
+	// Rand drives sampling; nil uses a fixed seed.
+	Rand *rand.Rand
+}
+
+func (o *Options) defaults() {
+	if o.Rand == nil {
+		o.Rand = rand.New(rand.NewSource(1))
+	}
+}
+
+// Result holds per-edge link values.
+type Result struct {
+	Edges  []graph.Edge
+	Values []float64 // raw weighted-vertex-cover values, parallel to Edges
+	// N is the normalization base: the node count, or the pair-universe
+	// size |Q| when sampling was used.
+	N int
+}
+
+// Normalized returns the link values divided by the node count, the
+// normalization of Figures 3, 4 and 14.
+func (r *Result) Normalized() []float64 {
+	out := make([]float64, len(r.Values))
+	for i, v := range r.Values {
+		out[i] = v / float64(r.N)
+	}
+	return out
+}
+
+// RankDistribution returns the normalized link-value rank distribution:
+// X = rank/|E|, Y = value/N, sorted by decreasing value.
+func (r *Result) RankDistribution() stats.Series {
+	s := stats.RankDistribution(r.Normalized())
+	s.Name = "linkvalues"
+	return s
+}
+
+// DegreeCorrelation returns the Pearson correlation between each link's
+// value and the smaller of its endpoint degrees (Figure 5).
+func (r *Result) DegreeCorrelation(g *graph.Graph) float64 {
+	vals := make([]float64, len(r.Edges))
+	mins := make([]float64, len(r.Edges))
+	for i, e := range r.Edges {
+		vals[i] = r.Values[i]
+		du, dv := g.Degree(e.U), g.Degree(e.V)
+		if dv < du {
+			du = dv
+		}
+		mins[i] = float64(du)
+	}
+	return stats.Pearson(vals, mins)
+}
+
+// pairEntry is one (source, target) pair crossing an edge with the fraction
+// of its shortest paths that do so.
+type pairEntry struct {
+	edge uint32
+	u, t int32
+	w    float64
+}
+
+// LinkValues computes link values under shortest-path routing. Source
+// sweeps run concurrently (the graph is immutable; each worker owns its
+// scratch buffers), and the canonical entry ordering in coverValues makes
+// the result independent of scheduling.
+func LinkValues(g *graph.Graph, opts Options) *Result {
+	opts.defaults()
+	edges := g.Edges()
+	edgeIdx := buildEdgeIndex(edges)
+	sources, inQ := sampleSources(g.NumNodes(), opts)
+
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(sources) {
+		workers = len(sources)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	n := g.NumNodes()
+	perWorker := make([][]pairEntry, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			gval := make([]float64, n)
+			touched := make([]int32, 0, n)
+			var buckets [][]int32
+			var entries []pairEntry
+			for i := w; i < len(sources); i += workers {
+				u := sources[i]
+				dist, sigma, order := g.BFSCounts(u)
+				// Per-target ancestor sweeps over the pair universe.
+				for _, t := range order {
+					if t == u || !inQ[t] {
+						continue
+					}
+					entries = sweepTarget(g, u, t, dist, sigma, edgeIdx, gval, &touched, &buckets, entries)
+				}
+			}
+			perWorker[w] = entries
+		}(w)
+	}
+	wg.Wait()
+	var entries []pairEntry
+	for _, e := range perWorker {
+		entries = append(entries, e...)
+	}
+	values := coverValues(len(edges), entries)
+	return &Result{Edges: edges, Values: values, N: len(sources)}
+}
+
+// sweepTarget walks target t's shortest-path ancestor DAG from source u,
+// computing per-edge path fractions (g values) and appending pair entries.
+// gval/touched/buckets are reusable scratch (gval zeroed via touched).
+func sweepTarget(g *graph.Graph, u, t int32, dist []int32, sigma []float64,
+	edgeIdx map[uint64]uint32, gval []float64, touched *[]int32,
+	buckets *[][]int32, entries []pairEntry) []pairEntry {
+
+	dt := int(dist[t])
+	if dt <= 0 {
+		return entries
+	}
+	// Ensure bucket capacity.
+	for len(*buckets) <= dt {
+		*buckets = append(*buckets, nil)
+	}
+	bs := *buckets
+	for d := 0; d <= dt; d++ {
+		bs[d] = bs[d][:0]
+	}
+	gval[t] = 1
+	*touched = append((*touched)[:0], t)
+	bs[dt] = append(bs[dt], t)
+	for d := dt; d >= 1; d-- {
+		for _, b := range bs[d] {
+			gb := gval[b]
+			for _, a := range g.Neighbors(b) {
+				if dist[a] != int32(d-1) {
+					continue
+				}
+				frac := gb * sigma[a] / sigma[b]
+				entries = append(entries, pairEntry{
+					edge: edgeIdx[ekey(a, b)], u: u, t: t, w: frac,
+				})
+				if gval[a] == 0 {
+					// First touch: schedule and track for reset.
+					*touched = append(*touched, a)
+					if d-1 >= 1 {
+						bs[d-1] = append(bs[d-1], a)
+					}
+				}
+				gval[a] += frac
+			}
+		}
+	}
+	for _, v := range *touched {
+		gval[v] = 0
+	}
+	return entries
+}
+
+func ekey(u, v int32) uint64 {
+	if u > v {
+		u, v = v, u
+	}
+	return uint64(uint32(u))<<32 | uint64(uint32(v))
+}
+
+func buildEdgeIndex(edges []graph.Edge) map[uint64]uint32 {
+	idx := make(map[uint64]uint32, len(edges))
+	for i, e := range edges {
+		idx[ekey(e.U, e.V)] = uint32(i)
+	}
+	return idx
+}
+
+// sampleSources returns the pair-universe node set Q and its membership
+// mask.
+func sampleSources(n int, opts Options) ([]int32, []bool) {
+	inQ := make([]bool, n)
+	if opts.MaxSources <= 0 || opts.MaxSources >= n {
+		all := make([]int32, n)
+		for i := range all {
+			all[i] = int32(i)
+			inQ[i] = true
+		}
+		return all, inQ
+	}
+	perm := opts.Rand.Perm(n)
+	out := make([]int32, opts.MaxSources)
+	for i := range out {
+		out[i] = int32(perm[i])
+		inQ[out[i]] = true
+	}
+	return out, inQ
+}
+
+// coverValues groups the pair entries by edge, computes per-node traversal
+// weights W(x,e) (the average pair fraction over the pairs containing x),
+// and runs the primal-dual weighted vertex cover per edge.
+func coverValues(numEdges int, entries []pairEntry) []float64 {
+	// Canonical (edge, u, t) order makes the order-dependent primal-dual
+	// deterministic and independent of how the entries were produced.
+	sort.Slice(entries, func(i, j int) bool {
+		a, b := entries[i], entries[j]
+		if a.edge != b.edge {
+			return a.edge < b.edge
+		}
+		if a.u != b.u {
+			return a.u < b.u
+		}
+		return a.t < b.t
+	})
+	values := make([]float64, numEdges)
+	for lo := 0; lo < len(entries); {
+		hi := lo
+		e := entries[lo].edge
+		for hi < len(entries) && entries[hi].edge == e {
+			hi++
+		}
+		values[e] = edgeCover(entries[lo:hi])
+		lo = hi
+	}
+	return values
+}
+
+// edgeCover computes one edge's link value from its pair entries: the
+// primal-dual (local-ratio) weighted vertex cover of the traversal-set
+// bipartite graph, followed by a reverse-order redundancy prune that
+// removes cover nodes whose pairs are all covered by other cover nodes
+// (without the prune, ties double access-link values).
+func edgeCover(pairs []pairEntry) float64 {
+	sum := map[int32]float64{}
+	cnt := map[int32]int{}
+	for _, p := range pairs {
+		sum[p.u] += p.w
+		cnt[p.u]++
+		sum[p.t] += p.w
+		cnt[p.t]++
+	}
+	weight := make(map[int32]float64, len(sum))
+	for v, s := range sum {
+		weight[v] = s / float64(cnt[v])
+	}
+	residual := make(map[int32]float64, len(weight))
+	for v, w := range weight {
+		residual[v] = w
+	}
+	inCover := map[int32]bool{}
+	var coverOrder []int32
+	for _, p := range pairs {
+		u, t := p.u, p.t
+		if inCover[u] || inCover[t] {
+			continue
+		}
+		ru, rt := residual[u], residual[t]
+		m := ru
+		if rt < m {
+			m = rt
+		}
+		residual[u] = ru - m
+		residual[t] = rt - m
+		if residual[u] <= 1e-12 {
+			inCover[u] = true
+			coverOrder = append(coverOrder, u)
+		}
+		if t != u && residual[t] <= 1e-12 {
+			inCover[t] = true
+			coverOrder = append(coverOrder, t)
+		}
+	}
+	// Redundancy prune, most recent additions first. Partner lists let each
+	// check run in O(pairs containing v).
+	partners := map[int32][]int32{}
+	for _, p := range pairs {
+		partners[p.u] = append(partners[p.u], p.t)
+		partners[p.t] = append(partners[p.t], p.u)
+	}
+	for i := len(coverOrder) - 1; i >= 0; i-- {
+		v := coverOrder[i]
+		removable := true
+		for _, w := range partners[v] {
+			if !inCover[w] {
+				removable = false
+				break
+			}
+		}
+		if removable {
+			inCover[v] = false
+		}
+	}
+	value := 0.0
+	for v, in := range inCover {
+		if in {
+			value += weight[v]
+		}
+	}
+	return value
+}

@@ -1,0 +1,150 @@
+package hierarchy
+
+import (
+	"runtime"
+	"sync"
+
+	"topocmp/internal/graph"
+	"topocmp/internal/policy"
+)
+
+// PolicyLinkValues computes link values with pairs routed over shortest
+// valley-free (policy) paths instead of plain shortest paths, as the paper
+// does for the AS and RL graphs ("with policy routing, since paths are more
+// concentrated, the highest link values are larger").
+func PolicyLinkValues(a *policy.Annotated, opts Options) *Result {
+	opts.defaults()
+	g := a.G
+	edges := g.Edges()
+	edgeIdx := buildEdgeIndex(edges)
+	sources, inQ := sampleSources(g.NumNodes(), opts)
+
+	n := g.NumNodes()
+	ns := policy.NumStates
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(sources) {
+		workers = len(sources)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	perWorker := make([][]pairEntry, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			gval := make([]float64, n*ns)
+			touched := make([]int32, 0, n)
+			var buckets [][]int32
+			local := map[uint32]float64{} // per-target per-edge fractions
+			var entries []pairEntry
+			for i := w; i < len(sources); i += workers {
+				u := sources[i]
+				dist, sigma, _ := a.ProductCounts(u)
+				// Per-node policy distance = min over states.
+				for t := int32(0); t < int32(n); t++ {
+					if t == u || !inQ[t] {
+						continue
+					}
+					pdist := graph.Unreached
+					for s := 0; s < ns; s++ {
+						if d := dist[int(t)*ns+s]; d < pdist {
+							pdist = d
+						}
+					}
+					if pdist == graph.Unreached || pdist == 0 {
+						continue
+					}
+					entries = sweepPolicyTarget(a, u, t, int(pdist), dist, sigma,
+						edgeIdx, gval, &touched, &buckets, local, entries)
+				}
+			}
+			perWorker[w] = entries
+		}(w)
+	}
+	wg.Wait()
+	var entries []pairEntry
+	for _, e := range perWorker {
+		entries = append(entries, e...)
+	}
+	values := coverValues(len(edges), entries)
+	return &Result{Edges: edges, Values: values, N: len(sources)}
+}
+
+// sweepPolicyTarget walks the product-space shortest-path ancestor DAG of
+// target t, distributing path fractions over the optimal arrival states and
+// aggregating per underlying edge (a product sweep can cross the same graph
+// edge in several states).
+func sweepPolicyTarget(a *policy.Annotated, u, t int32, pdist int,
+	dist []int32, sigma []float64, edgeIdx map[uint64]uint32,
+	gval []float64, touched *[]int32, buckets *[][]int32,
+	local map[uint32]float64, entries []pairEntry) []pairEntry {
+
+	g := a.G
+	ns := policy.NumStates
+	for len(*buckets) <= pdist {
+		*buckets = append(*buckets, nil)
+	}
+	bs := *buckets
+	for d := 0; d <= pdist; d++ {
+		bs[d] = bs[d][:0]
+	}
+	*touched = (*touched)[:0]
+	// Seed the optimal arrival states proportionally to their path counts.
+	totalSigma := 0.0
+	for s := 0; s < ns; s++ {
+		st := int(t)*ns + s
+		if int(dist[st]) == pdist {
+			totalSigma += sigma[st]
+		}
+	}
+	if totalSigma == 0 {
+		return entries
+	}
+	for s := 0; s < ns; s++ {
+		st := int(t)*ns + s
+		if int(dist[st]) == pdist && sigma[st] > 0 {
+			gval[st] = sigma[st] / totalSigma
+			*touched = append(*touched, int32(st))
+			bs[pdist] = append(bs[pdist], int32(st))
+		}
+	}
+	for d := pdist; d >= 1; d-- {
+		for _, stRaw := range bs[d] {
+			st := int(stRaw)
+			b := int32(st / ns)
+			sb := st % ns
+			gb := gval[st]
+			for _, av := range g.Neighbors(b) {
+				// Predecessor states (av, sa) with a valid transition into sb.
+				for sa := 0; sa < ns; sa++ {
+					sat := int(av)*ns + sa
+					if dist[sat] != int32(d-1) || sigma[sat] == 0 {
+						continue
+					}
+					if a.Transition(av, b, sa) != sb {
+						continue
+					}
+					frac := gb * sigma[sat] / sigma[st]
+					local[edgeIdx[ekey(av, b)]] += frac
+					if gval[sat] == 0 {
+						*touched = append(*touched, int32(sat))
+						if d-1 >= 1 {
+							bs[d-1] = append(bs[d-1], int32(sat))
+						}
+					}
+					gval[sat] += frac
+				}
+			}
+		}
+	}
+	for _, st := range *touched {
+		gval[st] = 0
+	}
+	for e, w := range local {
+		entries = append(entries, pairEntry{edge: e, u: u, t: t, w: w})
+		delete(local, e)
+	}
+	return entries
+}

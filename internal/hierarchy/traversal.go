@@ -1,0 +1,43 @@
+package hierarchy
+
+import (
+	"topocmp/internal/graph"
+)
+
+// TraversalSetSizes computes, for every edge, the number of distinct node
+// pairs whose shortest-path traffic crosses it (each unordered pair counted
+// once per direction swept). The paper rejects this "most natural measure"
+// of hierarchy because access links score N-1 — near the top — even though
+// removing a single node voids their whole set; TestAccessLinkParadox
+// demonstrates exactly that, and the weighted vertex cover of LinkValues is
+// the fix. Exposed for completeness and for that demonstration.
+func TraversalSetSizes(g *graph.Graph, opts Options) []int {
+	opts.defaults()
+	edges := g.Edges()
+	edgeIdx := buildEdgeIndex(edges)
+	sources, inQ := sampleSources(g.NumNodes(), opts)
+
+	counts := make([]int, len(edges))
+	n := g.NumNodes()
+	gval := make([]float64, n)
+	touched := make([]int32, 0, n)
+	var buckets [][]int32
+	var entries []pairEntry
+	for _, u := range sources {
+		dist, sigma, order := g.BFSCounts(u)
+		for _, t := range order {
+			if t == u || !inQ[t] {
+				continue
+			}
+			entries = sweepTarget(g, u, t, dist, sigma, edgeIdx, gval, &touched, &buckets, entries[:0])
+			seen := map[uint32]bool{}
+			for _, e := range entries {
+				if !seen[e.edge] {
+					seen[e.edge] = true
+					counts[e.edge]++
+				}
+			}
+		}
+	}
+	return counts
+}

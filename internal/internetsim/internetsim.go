@@ -1,0 +1,212 @@
+// Package internetsim synthesizes a ground-truth Internet for the
+// measurement pipeline that replaces the paper's proprietary data sources
+// (the route-views BGP table and the SCAN/Mercator router-level map — see
+// DESIGN.md's substitution table).
+//
+// The AS level models the Internet's commercial structure: a clique of
+// tier-1 providers, a transit middle class that buys upstream connectivity
+// preferentially from well-connected providers, heavy-tailed multihoming of
+// stub ASes, and peering among comparable ASes. Preferential provider
+// selection yields the heavy-tailed degree distribution measured by
+// Faloutsos et al.; the provider/customer annotations give the policy
+// ground truth Gao's algorithm is later tested against.
+//
+// The router level expands each AS into a PoP-style internal network whose
+// size is coupled to the AS's degree (after Tangmunarunkit et al., "Does AS
+// Size Determine AS Degree?"), with backbone routers, degree-1 access
+// routers, and border routers per AS adjacency.
+package internetsim
+
+import (
+	"fmt"
+	"math/rand"
+
+	"topocmp/internal/graph"
+	"topocmp/internal/policy"
+	"topocmp/internal/rng"
+)
+
+// ASParams configures the AS-level synthesis.
+type ASParams struct {
+	NumAS    int     // total ASes (paper's AS graph: 10941)
+	NumTier1 int     // tier-1 clique size; default 10
+	Transit  float64 // fraction of non-tier-1 ASes that sell transit; default 0.15
+	// MultihomeAlpha shapes the bounded-Pareto provider count of stubs
+	// (1 = very heavy multihoming tail); default 1.8.
+	MultihomeAlpha float64
+	MaxProviders   int     // cap on providers per AS; default 8
+	PeerFactor     float64 // expected peer links per transit AS; default 1.0
+}
+
+func (p *ASParams) defaults() {
+	if p.NumTier1 == 0 {
+		p.NumTier1 = 10
+	}
+	if p.Transit == 0 {
+		p.Transit = 0.15
+	}
+	if p.MultihomeAlpha == 0 {
+		p.MultihomeAlpha = 1.8
+	}
+	if p.MaxProviders == 0 {
+		p.MaxProviders = 8
+	}
+	if p.PeerFactor == 0 {
+		p.PeerFactor = 1.0
+	}
+}
+
+// Validate reports whether the parameters are usable.
+func (p ASParams) Validate() error {
+	if p.NumAS < 3 {
+		return fmt.Errorf("internetsim: NumAS = %d < 3", p.NumAS)
+	}
+	if p.NumTier1 >= p.NumAS {
+		return fmt.Errorf("internetsim: NumTier1 %d >= NumAS %d", p.NumTier1, p.NumAS)
+	}
+	return nil
+}
+
+// Tier labels.
+const (
+	Tier1 = iota
+	TierTransit
+	TierStub
+)
+
+// ASLevel is the ground-truth AS topology.
+type ASLevel struct {
+	Graph     *graph.Graph
+	Annotated *policy.Annotated
+	Tier      []int // Tier1 / TierTransit / TierStub per AS
+}
+
+// GenerateAS synthesizes the AS-level Internet.
+func GenerateAS(r *rand.Rand, p ASParams) (*ASLevel, error) {
+	p.defaults()
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	n := p.NumAS
+	b := graph.NewBuilder(n)
+	tier := make([]int, n)
+	type rel struct {
+		u, v int32
+		kind policy.Relationship // RelCustomer: u provider of v; RelPeer
+	}
+	var rels []rel
+
+	// Tier-1 clique of peers.
+	t1 := p.NumTier1
+	if t1 < 2 {
+		t1 = 2
+	}
+	for i := 0; i < t1; i++ {
+		tier[i] = Tier1
+		for j := i + 1; j < t1; j++ {
+			b.AddEdge(int32(i), int32(j))
+			rels = append(rels, rel{int32(i), int32(j), policy.RelPeer})
+		}
+	}
+
+	numTransit := int(float64(n-t1) * p.Transit)
+	// custDeg tracks customer counts for preferential provider selection.
+	custDeg := make([]float64, n)
+	for i := 0; i < t1; i++ {
+		custDeg[i] = 3 // head start for the core
+	}
+	// pickProvider chooses among the first `limit` ASes proportionally to
+	// 1 + customer degree.
+	pickProvider := func(limit int, exclude map[int32]bool) int32 {
+		total := 0.0
+		for v := 0; v < limit; v++ {
+			if !exclude[int32(v)] && tier[v] != TierStub {
+				total += 1 + custDeg[v]
+			}
+		}
+		if total == 0 {
+			return -1
+		}
+		x := r.Float64() * total
+		acc := 0.0
+		for v := 0; v < limit; v++ {
+			if exclude[int32(v)] || tier[v] == TierStub {
+				continue
+			}
+			acc += 1 + custDeg[v]
+			if x < acc {
+				return int32(v)
+			}
+		}
+		return -1
+	}
+
+	// Transit middle class: 1-3 providers each among earlier ASes.
+	for v := t1; v < t1+numTransit; v++ {
+		tier[v] = TierTransit
+		k := 1 + r.Intn(3)
+		exclude := map[int32]bool{int32(v): true}
+		for i := 0; i < k; i++ {
+			pr := pickProvider(v, exclude)
+			if pr < 0 {
+				break
+			}
+			exclude[pr] = true
+			b.AddEdge(pr, int32(v))
+			rels = append(rels, rel{pr, int32(v), policy.RelCustomer})
+			custDeg[pr]++
+		}
+	}
+
+	// Stubs: bounded-Pareto provider counts, preferential selection among
+	// all transit-capable ASes.
+	transitLimit := t1 + numTransit
+	for v := transitLimit; v < n; v++ {
+		tier[v] = TierStub
+		k := rng.BoundedParetoInt(r, 1, p.MaxProviders, p.MultihomeAlpha)
+		exclude := map[int32]bool{int32(v): true}
+		for i := 0; i < k; i++ {
+			pr := pickProvider(transitLimit, exclude)
+			if pr < 0 {
+				break
+			}
+			exclude[pr] = true
+			b.AddEdge(pr, int32(v))
+			rels = append(rels, rel{pr, int32(v), policy.RelCustomer})
+			custDeg[pr]++
+		}
+	}
+
+	// Peering among transit ASes of comparable standing (and a sprinkle of
+	// stub-stub IXP peering).
+	numPeer := int(p.PeerFactor * float64(numTransit))
+	for i := 0; i < numPeer; i++ {
+		u := int32(t1 + r.Intn(numTransit+1))
+		v := int32(t1 + r.Intn(numTransit+1))
+		if u == v || u >= int32(n) || v >= int32(n) || b.HasEdge(u, v) {
+			continue
+		}
+		b.AddEdge(u, v)
+		rels = append(rels, rel{u, v, policy.RelPeer})
+	}
+	g := b.Graph()
+	a := policy.NewAnnotated(g)
+	for _, rl := range rels {
+		switch rl.kind {
+		case policy.RelCustomer:
+			a.SetProviderCustomer(rl.u, rl.v)
+		case policy.RelPeer:
+			a.SetPeer(rl.u, rl.v)
+		}
+	}
+	return &ASLevel{Graph: g, Annotated: a, Tier: tier}, nil
+}
+
+// MustGenerateAS is GenerateAS but panics on error.
+func MustGenerateAS(r *rand.Rand, p ASParams) *ASLevel {
+	as, err := GenerateAS(r, p)
+	if err != nil {
+		panic(err)
+	}
+	return as
+}

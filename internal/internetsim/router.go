@@ -1,0 +1,139 @@
+package internetsim
+
+import (
+	"fmt"
+	"math/rand"
+
+	"topocmp/internal/graph"
+	"topocmp/internal/policy"
+)
+
+// RouterParams configures the router-level expansion.
+type RouterParams struct {
+	// RoutersPerDegree couples an AS's router count to its AS degree:
+	// routers = BaseRouters + RoutersPerDegree * degree. Default 1.5.
+	RoutersPerDegree float64
+	// BaseRouters is the minimum router count per AS; default 1.
+	BaseRouters int
+	// MaxRouters caps a single AS's router count; default 400.
+	MaxRouters int
+	// AccessFraction is the share of an AS's routers that are degree-1
+	// access routers hung off the backbone; default 0.55 (the measured RL
+	// graph's average degree of 2.53 is dominated by such leaves).
+	AccessFraction float64
+}
+
+func (p *RouterParams) defaults() {
+	if p.RoutersPerDegree == 0 {
+		p.RoutersPerDegree = 1.5
+	}
+	if p.BaseRouters == 0 {
+		p.BaseRouters = 1
+	}
+	if p.MaxRouters == 0 {
+		p.MaxRouters = 400
+	}
+	if p.AccessFraction == 0 {
+		p.AccessFraction = 0.55
+	}
+}
+
+// RouterLevel is the ground-truth router topology with its AS overlay.
+type RouterLevel struct {
+	Graph   *graph.Graph
+	ASOf    []int32
+	Overlay *policy.RouterOverlay
+	// Backbone[router] marks non-access routers (candidates for border
+	// links and traceroute sources).
+	Backbone []bool
+}
+
+// GenerateRouters expands an AS-level Internet into routers.
+func GenerateRouters(r *rand.Rand, as *ASLevel, p RouterParams) (*RouterLevel, error) {
+	p.defaults()
+	nAS := as.Graph.NumNodes()
+	if nAS == 0 {
+		return nil, fmt.Errorf("internetsim: empty AS graph")
+	}
+	// Allocate router blocks per AS.
+	start := make([]int32, nAS+1)
+	counts := make([]int, nAS)
+	total := 0
+	for v := 0; v < nAS; v++ {
+		c := p.BaseRouters + int(p.RoutersPerDegree*float64(as.Graph.Degree(int32(v))))
+		if c > p.MaxRouters {
+			c = p.MaxRouters
+		}
+		counts[v] = c
+		start[v] = int32(total)
+		total += c
+	}
+	start[nAS] = int32(total)
+
+	b := graph.NewBuilder(total)
+	asOf := make([]int32, total)
+	backbone := make([]bool, total)
+
+	for v := 0; v < nAS; v++ {
+		base := start[v]
+		c := counts[v]
+		for i := 0; i < c; i++ {
+			asOf[base+int32(i)] = int32(v)
+		}
+		nBackbone := c - int(p.AccessFraction*float64(c))
+		if nBackbone < 1 {
+			nBackbone = 1
+		}
+		// Backbone: ring plus chords for resilience.
+		for i := 0; i < nBackbone; i++ {
+			backbone[base+int32(i)] = true
+			if nBackbone > 1 {
+				b.AddEdge(base+int32(i), base+int32((i+1)%nBackbone))
+			}
+		}
+		for i := 0; i < nBackbone/3; i++ {
+			u := base + int32(r.Intn(nBackbone))
+			w := base + int32(r.Intn(nBackbone))
+			if u != w {
+				b.AddEdge(u, w)
+			}
+		}
+		// Access routers hang off random backbone routers.
+		for i := nBackbone; i < c; i++ {
+			b.AddEdge(base+int32(i), base+int32(r.Intn(nBackbone)))
+		}
+	}
+
+	// Border links: one router pair (backbone-preferred) per AS adjacency.
+	pickRouter := func(asID int32) int32 {
+		base, c := start[asID], counts[asID]
+		// Prefer backbone routers: they are the low-index block.
+		nb := c - int(p.AccessFraction*float64(c))
+		if nb < 1 {
+			nb = 1
+		}
+		return base + int32(r.Intn(nb))
+	}
+	for _, e := range as.Graph.Edges() {
+		b.AddEdge(pickRouter(e.U), pickRouter(e.V))
+		// Multihomed-style second border link for a fraction of adjacencies.
+		if r.Float64() < 0.2 {
+			b.AddEdge(pickRouter(e.U), pickRouter(e.V))
+		}
+	}
+	g := b.Graph()
+	overlay, err := policy.NewRouterOverlay(g, asOf, as.Annotated)
+	if err != nil {
+		return nil, err
+	}
+	return &RouterLevel{Graph: g, ASOf: asOf, Overlay: overlay, Backbone: backbone}, nil
+}
+
+// MustGenerateRouters is GenerateRouters but panics on error.
+func MustGenerateRouters(r *rand.Rand, as *ASLevel, p RouterParams) *RouterLevel {
+	rl, err := GenerateRouters(r, as, p)
+	if err != nil {
+		panic(err)
+	}
+	return rl
+}

@@ -1,0 +1,233 @@
+// Package linalg provides the symmetric eigensolvers behind the paper's
+// eigenvalue-spectrum metric (Figure 7, after Faloutsos et al.): a dense
+// Jacobi rotation solver for small matrices and a Lanczos iteration with
+// full reorthogonalization for the top-k spectrum of large sparse adjacency
+// matrices, paired with an implicit-shift QL solver for the resulting
+// tridiagonal systems.
+package linalg
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// MatVec is a symmetric linear operator: it writes A*x into dst.
+type MatVec func(dst, x []float64)
+
+// JacobiEigenvalues computes all eigenvalues of the dense symmetric matrix a
+// (row-major n×n, only symmetry assumed) by cyclic Jacobi rotations. The
+// input is overwritten. Eigenvalues are returned in descending order.
+func JacobiEigenvalues(a [][]float64) []float64 {
+	n := len(a)
+	for i := range a {
+		if len(a[i]) != n {
+			panic(fmt.Sprintf("linalg: row %d has %d entries, want %d", i, len(a[i]), n))
+		}
+	}
+	const maxSweeps = 64
+	for sweep := 0; sweep < maxSweeps; sweep++ {
+		off := 0.0
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				off += a[i][j] * a[i][j]
+			}
+		}
+		if off < 1e-22 {
+			break
+		}
+		for p := 0; p < n; p++ {
+			for q := p + 1; q < n; q++ {
+				if math.Abs(a[p][q]) < 1e-15 {
+					continue
+				}
+				theta := (a[q][q] - a[p][p]) / (2 * a[p][q])
+				t := 1 / (math.Abs(theta) + math.Sqrt(theta*theta+1))
+				if theta < 0 {
+					t = -t
+				}
+				c := 1 / math.Sqrt(t*t+1)
+				s := t * c
+				for k := 0; k < n; k++ {
+					akp, akq := a[k][p], a[k][q]
+					a[k][p] = c*akp - s*akq
+					a[k][q] = s*akp + c*akq
+				}
+				for k := 0; k < n; k++ {
+					apk, aqk := a[p][k], a[q][k]
+					a[p][k] = c*apk - s*aqk
+					a[q][k] = s*apk + c*aqk
+				}
+			}
+		}
+	}
+	eig := make([]float64, n)
+	for i := 0; i < n; i++ {
+		eig[i] = a[i][i]
+	}
+	sort.Sort(sort.Reverse(sort.Float64Slice(eig)))
+	return eig
+}
+
+// TridiagonalEigenvalues computes the eigenvalues of the symmetric
+// tridiagonal matrix with diagonal d (length n) and off-diagonal e (length
+// n-1) using the implicit-shift QL algorithm. Inputs are not modified.
+// Eigenvalues are returned in descending order.
+func TridiagonalEigenvalues(d, e []float64) []float64 {
+	n := len(d)
+	if n == 0 {
+		return nil
+	}
+	if len(e) != n-1 && !(n == 1 && len(e) == 0) {
+		panic(fmt.Sprintf("linalg: off-diagonal length %d, want %d", len(e), n-1))
+	}
+	dd := append([]float64(nil), d...)
+	ee := make([]float64, n)
+	copy(ee, e)
+	ee[n-1] = 0
+	for l := 0; l < n; l++ {
+		for iter := 0; iter < 50; iter++ {
+			m := l
+			for ; m < n-1; m++ {
+				s := math.Abs(dd[m]) + math.Abs(dd[m+1])
+				if math.Abs(ee[m]) <= 1e-14*s {
+					break
+				}
+			}
+			if m == l {
+				break
+			}
+			g := (dd[l+1] - dd[l]) / (2 * ee[l])
+			r := math.Hypot(g, 1)
+			g = dd[m] - dd[l] + ee[l]/(g+math.Copysign(r, g))
+			s, c := 1.0, 1.0
+			p := 0.0
+			for i := m - 1; i >= l; i-- {
+				f := s * ee[i]
+				b := c * ee[i]
+				r = math.Hypot(f, g)
+				ee[i+1] = r
+				if r == 0 {
+					dd[i+1] -= p
+					ee[m] = 0
+					break
+				}
+				s = f / r
+				c = g / r
+				g = dd[i+1] - p
+				r = (dd[i]-g)*s + 2*c*b
+				p = s * r
+				dd[i+1] = g + p
+				g = c*r - b
+			}
+			if r == 0 && m-1 >= l {
+				continue
+			}
+			dd[l] -= p
+			ee[l] = g
+			ee[m] = 0
+		}
+	}
+	sort.Sort(sort.Reverse(sort.Float64Slice(dd)))
+	return dd
+}
+
+// Lanczos estimates the k largest-magnitude eigenvalues of the symmetric
+// operator mv of dimension n, using at most iters Krylov steps with full
+// reorthogonalization. r seeds the start vector. The extreme eigenvalues
+// converge first, which suits the paper's rank-versus-eigenvalue plots.
+// Returned values are sorted descending by value.
+func Lanczos(mv MatVec, n, k, iters int, r *rand.Rand) []float64 {
+	if n == 0 || k <= 0 {
+		return nil
+	}
+	if iters > n {
+		iters = n
+	}
+	if iters < k {
+		iters = k
+	}
+	if iters > n {
+		iters = n
+	}
+	v := make([]float64, n)
+	for i := range v {
+		v[i] = r.NormFloat64()
+	}
+	normalize(v)
+	var basis [][]float64
+	var alpha, beta []float64
+	w := make([]float64, n)
+	prev := make([]float64, n)
+	for j := 0; j < iters; j++ {
+		basis = append(basis, append([]float64(nil), v...))
+		mv(w, v)
+		a := dot(w, v)
+		alpha = append(alpha, a)
+		for i := range w {
+			w[i] -= a * v[i]
+			if j > 0 {
+				w[i] -= beta[j-1] * prev[i]
+			}
+		}
+		// Full reorthogonalization for numerical stability.
+		for _, b := range basis {
+			d := dot(w, b)
+			for i := range w {
+				w[i] -= d * b[i]
+			}
+		}
+		bnorm := norm(w)
+		if bnorm < 1e-12 {
+			break
+		}
+		beta = append(beta, bnorm)
+		copy(prev, v)
+		for i := range v {
+			v[i] = w[i] / bnorm
+		}
+	}
+	eig := TridiagonalEigenvalues(alpha, beta[:len(alpha)-1])
+	if len(eig) > k {
+		eig = eig[:k]
+	}
+	return eig
+}
+
+// AdjacencyMatVec returns the adjacency-matrix operator of a graph given as
+// neighbor lists.
+func AdjacencyMatVec(neighbors func(v int32) []int32, n int) MatVec {
+	return func(dst, x []float64) {
+		for i := range dst {
+			dst[i] = 0
+		}
+		for u := int32(0); u < int32(n); u++ {
+			s := 0.0
+			for _, v := range neighbors(u) {
+				s += x[v]
+			}
+			dst[u] = s
+		}
+	}
+}
+
+func dot(a, b []float64) float64 {
+	s := 0.0
+	for i := range a {
+		s += a[i] * b[i]
+	}
+	return s
+}
+
+func norm(a []float64) float64 { return math.Sqrt(dot(a, a)) }
+
+func normalize(a []float64) {
+	n := norm(a)
+	if n == 0 {
+		return
+	}
+	for i := range a {
+		a[i] /= n
+	}
+}

@@ -1,0 +1,255 @@
+package linalg
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestJacobiDiagonal(t *testing.T) {
+	a := [][]float64{{3, 0, 0}, {0, 1, 0}, {0, 0, 2}}
+	eig := JacobiEigenvalues(a)
+	want := []float64{3, 2, 1}
+	for i := range want {
+		if !almostEqual(eig[i], want[i], 1e-10) {
+			t.Fatalf("eig = %v, want %v", eig, want)
+		}
+	}
+}
+
+func TestJacobi2x2(t *testing.T) {
+	// [[2,1],[1,2]] has eigenvalues 3 and 1.
+	a := [][]float64{{2, 1}, {1, 2}}
+	eig := JacobiEigenvalues(a)
+	if !almostEqual(eig[0], 3, 1e-10) || !almostEqual(eig[1], 1, 1e-10) {
+		t.Fatalf("eig = %v, want [3 1]", eig)
+	}
+}
+
+func TestJacobiPathGraph(t *testing.T) {
+	// Adjacency of the path P4: eigenvalues are 2cos(k*pi/5), k=1..4.
+	a := [][]float64{
+		{0, 1, 0, 0},
+		{1, 0, 1, 0},
+		{0, 1, 0, 1},
+		{0, 0, 1, 0},
+	}
+	eig := JacobiEigenvalues(a)
+	want := []float64{
+		2 * math.Cos(math.Pi/5),
+		2 * math.Cos(2*math.Pi/5),
+		2 * math.Cos(3*math.Pi/5),
+		2 * math.Cos(4*math.Pi/5),
+	}
+	for i := range want {
+		if !almostEqual(eig[i], want[i], 1e-9) {
+			t.Fatalf("eig = %v, want %v", eig, want)
+		}
+	}
+}
+
+func TestJacobiBadInputPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	JacobiEigenvalues([][]float64{{1, 2}, {3}})
+}
+
+func TestTridiagonalKnown(t *testing.T) {
+	// Tridiagonal matrix of P5 adjacency: eigenvalues 2cos(k*pi/6).
+	d := []float64{0, 0, 0, 0, 0}
+	e := []float64{1, 1, 1, 1}
+	eig := TridiagonalEigenvalues(d, e)
+	want := []float64{
+		2 * math.Cos(math.Pi/6),
+		2 * math.Cos(2*math.Pi/6),
+		2 * math.Cos(3*math.Pi/6),
+		2 * math.Cos(4*math.Pi/6),
+		2 * math.Cos(5*math.Pi/6),
+	}
+	for i := range want {
+		if !almostEqual(eig[i], want[i], 1e-9) {
+			t.Fatalf("eig = %v, want %v", eig, want)
+		}
+	}
+}
+
+func TestTridiagonalSingleton(t *testing.T) {
+	eig := TridiagonalEigenvalues([]float64{7}, nil)
+	if len(eig) != 1 || eig[0] != 7 {
+		t.Fatalf("eig = %v", eig)
+	}
+	if TridiagonalEigenvalues(nil, nil) != nil {
+		t.Fatal("empty input should give nil")
+	}
+}
+
+// Property: tridiagonal QL matches Jacobi on random tridiagonal matrices.
+func TestTridiagonalMatchesJacobiProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 8
+		d := make([]float64, n)
+		e := make([]float64, n-1)
+		for i := range d {
+			d[i] = r.NormFloat64()
+		}
+		for i := range e {
+			e[i] = r.NormFloat64()
+		}
+		dense := make([][]float64, n)
+		for i := range dense {
+			dense[i] = make([]float64, n)
+			dense[i][i] = d[i]
+		}
+		for i := range e {
+			dense[i][i+1] = e[i]
+			dense[i+1][i] = e[i]
+		}
+		got := TridiagonalEigenvalues(d, e)
+		want := JacobiEigenvalues(dense)
+		for i := range want {
+			if !almostEqual(got[i], want[i], 1e-7) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLanczosCompleteGraph(t *testing.T) {
+	// K_n adjacency has eigenvalues n-1 (once) and -1 (n-1 times).
+	n := 30
+	mv := func(dst, x []float64) {
+		sum := 0.0
+		for _, xi := range x {
+			sum += xi
+		}
+		for i := range dst {
+			dst[i] = sum - x[i]
+		}
+	}
+	eig := Lanczos(mv, n, 3, 30, rand.New(rand.NewSource(1)))
+	if !almostEqual(eig[0], float64(n-1), 1e-6) {
+		t.Fatalf("top eigenvalue = %v, want %d", eig[0], n-1)
+	}
+	if !almostEqual(eig[1], -1, 1e-6) {
+		t.Fatalf("second eigenvalue = %v, want -1", eig[1])
+	}
+}
+
+func TestLanczosMatchesJacobiOnDense(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	n := 25
+	a := make([][]float64, n)
+	for i := range a {
+		a[i] = make([]float64, n)
+	}
+	for i := 0; i < n; i++ {
+		for j := i; j < n; j++ {
+			v := r.NormFloat64()
+			a[i][j] = v
+			a[j][i] = v
+		}
+	}
+	mv := func(dst, x []float64) {
+		for i := 0; i < n; i++ {
+			s := 0.0
+			for j := 0; j < n; j++ {
+				s += a[i][j] * x[j]
+			}
+			dst[i] = s
+		}
+	}
+	got := Lanczos(mv, n, 5, n, rand.New(rand.NewSource(3)))
+	cp := make([][]float64, n)
+	for i := range cp {
+		cp[i] = append([]float64(nil), a[i]...)
+	}
+	want := JacobiEigenvalues(cp)
+	for i := 0; i < 5; i++ {
+		if !almostEqual(got[i], want[i], 1e-6) {
+			t.Fatalf("rank %d: lanczos %v vs jacobi %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestAdjacencyMatVec(t *testing.T) {
+	// Star graph: center 0 with leaves 1..4. Top eigenvalue = 2 = sqrt(4).
+	adj := [][]int32{{1, 2, 3, 4}, {0}, {0}, {0}, {0}}
+	mv := AdjacencyMatVec(func(v int32) []int32 { return adj[v] }, 5)
+	eig := Lanczos(mv, 5, 2, 5, rand.New(rand.NewSource(4)))
+	if !almostEqual(eig[0], 2, 1e-8) {
+		t.Fatalf("star top eigenvalue = %v, want 2", eig[0])
+	}
+}
+
+func TestLanczosDegenerate(t *testing.T) {
+	if Lanczos(nil, 0, 3, 3, rand.New(rand.NewSource(1))) != nil {
+		t.Fatal("n=0 should give nil")
+	}
+	mv := func(dst, x []float64) { copy(dst, x) } // identity
+	eig := Lanczos(mv, 4, 2, 4, rand.New(rand.NewSource(5)))
+	if len(eig) == 0 || !almostEqual(eig[0], 1, 1e-8) {
+		t.Fatalf("identity eig = %v", eig)
+	}
+}
+
+// Property: Jacobi eigenvalue sum equals trace.
+func TestJacobiTraceProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 6
+		a := make([][]float64, n)
+		for i := range a {
+			a[i] = make([]float64, n)
+		}
+		trace := 0.0
+		for i := 0; i < n; i++ {
+			for j := i; j < n; j++ {
+				v := r.NormFloat64()
+				a[i][j] = v
+				a[j][i] = v
+			}
+			trace += a[i][i]
+		}
+		eig := JacobiEigenvalues(a)
+		sum := 0.0
+		for _, x := range eig {
+			sum += x
+		}
+		return almostEqual(sum, trace, 1e-8)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEigDescendingOrder(t *testing.T) {
+	r := rand.New(rand.NewSource(6))
+	n := 10
+	a := make([][]float64, n)
+	for i := range a {
+		a[i] = make([]float64, n)
+	}
+	for i := 0; i < n; i++ {
+		for j := i; j < n; j++ {
+			v := r.NormFloat64()
+			a[i][j] = v
+			a[j][i] = v
+		}
+	}
+	eig := JacobiEigenvalues(a)
+	if !sort.IsSorted(sort.Reverse(sort.Float64Slice(eig))) {
+		t.Fatalf("eigenvalues not descending: %v", eig)
+	}
+}

@@ -1,0 +1,160 @@
+package metrics
+
+import (
+	"container/heap"
+
+	"topocmp/internal/ball"
+	"topocmp/internal/graph"
+	"topocmp/internal/stats"
+)
+
+// VertexCover returns an approximate minimum vertex cover of g: the better
+// of the maximal-matching 2-approximation and a greedy max-degree cover.
+// The size of this set is the paper's vertex-cover metric (Figure 8(a-c)).
+func VertexCover(g *graph.Graph) []int32 {
+	m := matchingCover(g)
+	gr := greedyCover(g)
+	if len(gr) < len(m) {
+		return gr
+	}
+	return m
+}
+
+// VertexCoverCurve computes the vertex-cover size of ball subgraphs as a
+// function of ball size, the ball-growing form used in Figure 8(a-c).
+func VertexCoverCurve(g *graph.Graph, cfg ball.Config) stats.Series {
+	if cfg.MinBallSize == 0 {
+		cfg.MinBallSize = 2
+	}
+	var raw []stats.Point
+	ball.Visit(g, cfg, func(b ball.Ball) {
+		sub := ball.Subgraph(g, b)
+		raw = append(raw, stats.Point{X: float64(sub.NumNodes()), Y: float64(len(VertexCover(sub)))})
+	})
+	s := stats.Bucketize(raw, bucketRatio)
+	s.Name = "vertexcover"
+	return s
+}
+
+// matchingCover takes both endpoints of a greedily built maximal matching —
+// the classical 2-approximation.
+func matchingCover(g *graph.Graph) []int32 {
+	n := g.NumNodes()
+	used := make([]bool, n)
+	var cover []int32
+	for u := int32(0); u < int32(n); u++ {
+		if used[u] {
+			continue
+		}
+		for _, v := range g.Neighbors(u) {
+			if !used[v] && v != u {
+				used[u] = true
+				used[v] = true
+				cover = append(cover, u, v)
+				break
+			}
+		}
+	}
+	return cover
+}
+
+// greedyCover repeatedly takes the node with the most uncovered incident
+// edges, using a lazily updated max-heap.
+func greedyCover(g *graph.Graph) []int32 {
+	n := g.NumNodes()
+	uncov := make([]int, n) // uncovered incident edges per node
+	inCover := make([]bool, n)
+	h := make(coverHeap, 0, n)
+	for v := int32(0); v < int32(n); v++ {
+		uncov[v] = g.Degree(v)
+		if uncov[v] > 0 {
+			h = append(h, coverCand{v, uncov[v]})
+		}
+	}
+	heap.Init(&h)
+	var cover []int32
+	for h.Len() > 0 {
+		c := heap.Pop(&h).(coverCand)
+		u := c.v
+		if inCover[u] || c.count != uncov[u] {
+			continue // stale entry
+		}
+		if uncov[u] == 0 {
+			break
+		}
+		inCover[u] = true
+		cover = append(cover, u)
+		uncov[u] = 0
+		for _, v := range g.Neighbors(u) {
+			if !inCover[v] && uncov[v] > 0 {
+				uncov[v]--
+				if uncov[v] > 0 {
+					heap.Push(&h, coverCand{v, uncov[v]})
+				}
+			}
+		}
+	}
+	return cover
+}
+
+type coverCand struct {
+	v     int32
+	count int
+}
+
+type coverHeap []coverCand
+
+func (h coverHeap) Len() int { return len(h) }
+func (h coverHeap) Less(i, j int) bool {
+	if h[i].count != h[j].count {
+		return h[i].count > h[j].count
+	}
+	return h[i].v < h[j].v
+}
+func (h coverHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *coverHeap) Push(x any)   { *h = append(*h, x.(coverCand)) }
+func (h *coverHeap) Pop() any {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// WeightedVertexCover computes a 2-approximate minimum weighted vertex
+// cover of the pair graph given as edges over nodes with weights, using the
+// local-ratio (primal-dual) rule: for each uncovered pair, pay the smaller
+// residual weight on both endpoints; a node whose residual hits zero joins
+// the cover. It returns the total original weight of the cover. This is the
+// subroutine behind the paper's link values (§5).
+func WeightedVertexCover(pairs [][2]int32, weight map[int32]float64) float64 {
+	residual := make(map[int32]float64, len(weight))
+	for v, w := range weight {
+		residual[v] = w
+	}
+	inCover := make(map[int32]bool)
+	for _, p := range pairs {
+		u, v := p[0], p[1]
+		if inCover[u] || inCover[v] {
+			continue
+		}
+		ru, rv := residual[u], residual[v]
+		m := ru
+		if rv < m {
+			m = rv
+		}
+		residual[u] = ru - m
+		residual[v] = rv - m
+		if residual[u] <= 1e-12 {
+			inCover[u] = true
+		}
+		if residual[v] <= 1e-12 && v != u {
+			inCover[v] = true
+		}
+	}
+	total := 0.0
+	for v := range inCover {
+		total += weight[v]
+	}
+	return total
+}

@@ -1,0 +1,167 @@
+package metrics
+
+import (
+	"math/rand"
+
+	"topocmp/internal/ball"
+	"topocmp/internal/graph"
+	"topocmp/internal/stats"
+)
+
+// Distortion computes D(n): for the subgraph inside an n-node ball, the
+// average distance on a spanning tree T between the endpoints of each graph
+// edge, minimized over candidate trees (§3.2.1). Following the paper's
+// heuristic (footnote 14), the ball's "center" is the node the most
+// shortest-path pairs traverse; the BFS tree rooted there (and at a few
+// runner-up candidates — "our own heuristics") provides the spanning trees.
+func Distortion(g *graph.Graph, cfg ball.Config, roots int) stats.Series {
+	if roots <= 0 {
+		roots = 3
+	}
+	if cfg.MinBallSize == 0 {
+		cfg.MinBallSize = 3
+	}
+	var raw []stats.Point
+	ball.Visit(g, cfg, func(b ball.Ball) {
+		sub := ball.Subgraph(g, b)
+		d := SubgraphDistortion(sub, roots)
+		if d > 0 {
+			raw = append(raw, stats.Point{X: float64(sub.NumNodes()), Y: d})
+		}
+	})
+	s := stats.Bucketize(raw, bucketRatio)
+	s.Name = "distortion"
+	return s
+}
+
+// SubgraphDistortion returns the distortion estimate for one connected
+// graph: the minimum, over BFS trees rooted at the top `roots` betweenness
+// candidates, of the average tree distance between edge endpoints. Returns
+// 0 for graphs with no edges.
+func SubgraphDistortion(sub *graph.Graph, roots int) float64 {
+	n := sub.NumNodes()
+	if n < 2 || sub.NumEdges() == 0 {
+		return 0
+	}
+	centers := topBetweenness(sub, roots)
+	best := -1.0
+	for _, c := range centers {
+		d := bfsTreeDistortion(sub, c)
+		if best < 0 || d < best {
+			best = d
+		}
+	}
+	return best
+}
+
+// topBetweenness returns up to k nodes with the highest approximate
+// betweenness, computed by Brandes' accumulation from a sample of sources.
+func topBetweenness(g *graph.Graph, k int) []int32 {
+	n := g.NumNodes()
+	sources := n
+	const maxSources = 24
+	if sources > maxSources {
+		sources = maxSources
+	}
+	bc := make([]float64, n)
+	r := rand.New(rand.NewSource(int64(n)*7919 + 17))
+	perm := r.Perm(n)
+	delta := make([]float64, n)
+	for si := 0; si < sources; si++ {
+		s := int32(perm[si])
+		dist, sigma, order := g.BFSCounts(s)
+		for i := range delta {
+			delta[i] = 0
+		}
+		for i := len(order) - 1; i >= 0; i-- {
+			w := order[i]
+			for _, v := range g.Neighbors(w) {
+				if dist[v] == dist[w]-1 {
+					delta[v] += sigma[v] / sigma[w] * (1 + delta[w])
+				}
+			}
+			if w != s {
+				bc[w] += delta[w]
+			}
+		}
+	}
+	// Select top-k by betweenness.
+	type cand struct {
+		v int32
+		b float64
+	}
+	cands := make([]cand, n)
+	for v := 0; v < n; v++ {
+		cands[v] = cand{int32(v), bc[v]}
+	}
+	// Partial selection: simple sort is fine at ball sizes.
+	for i := 0; i < k && i < n; i++ {
+		best := i
+		for j := i + 1; j < n; j++ {
+			if cands[j].b > cands[best].b {
+				best = j
+			}
+		}
+		cands[i], cands[best] = cands[best], cands[i]
+	}
+	if k > n {
+		k = n
+	}
+	out := make([]int32, k)
+	for i := 0; i < k; i++ {
+		out[i] = cands[i].v
+	}
+	return out
+}
+
+// bfsTreeDistortion builds the BFS tree rooted at root and returns the
+// average tree distance between the endpoints of every graph edge. Tree
+// distances use parent walks (depth-bounded, cheap on BFS trees).
+func bfsTreeDistortion(g *graph.Graph, root int32) float64 {
+	n := g.NumNodes()
+	parent := make([]int32, n)
+	depth := make([]int32, n)
+	for i := range parent {
+		parent[i] = -1
+	}
+	parent[root] = root
+	queue := []int32{root}
+	for head := 0; head < len(queue); head++ {
+		u := queue[head]
+		for _, v := range g.Neighbors(u) {
+			if parent[v] == -1 {
+				parent[v] = u
+				depth[v] = depth[u] + 1
+				queue = append(queue, v)
+			}
+		}
+	}
+	total, count := 0.0, 0
+	for _, e := range g.Edges() {
+		total += float64(treeDist(parent, depth, e.U, e.V))
+		count++
+	}
+	if count == 0 {
+		return 0
+	}
+	return total / float64(count)
+}
+
+// treeDist walks u and v up to their lowest common ancestor.
+func treeDist(parent, depth []int32, u, v int32) int32 {
+	d := int32(0)
+	for depth[u] > depth[v] {
+		u = parent[u]
+		d++
+	}
+	for depth[v] > depth[u] {
+		v = parent[v]
+		d++
+	}
+	for u != v {
+		u = parent[u]
+		v = parent[v]
+		d += 2
+	}
+	return d
+}

@@ -1,0 +1,56 @@
+package metrics
+
+import (
+	"math/rand"
+
+	"topocmp/internal/graph"
+	"topocmp/internal/stats"
+)
+
+// EccentricityDistribution computes the node-diameter distribution of
+// Figure 7(d-f): the histogram of node eccentricities normalized by the
+// mean eccentricity, binned at binWidth (the paper uses ~0.1), with Y the
+// fraction of sampled nodes per bin. maxSamples bounds the number of BFS
+// runs (0 = all nodes).
+func EccentricityDistribution(g *graph.Graph, maxSamples int, binWidth float64) stats.Series {
+	out := stats.Series{Name: "eccentricity"}
+	n := g.NumNodes()
+	if n == 0 {
+		return out
+	}
+	if binWidth <= 0 {
+		binWidth = 0.1
+	}
+	nodes := make([]int32, n)
+	for i := range nodes {
+		nodes[i] = int32(i)
+	}
+	if maxSamples > 0 && maxSamples < n {
+		r := rand.New(rand.NewSource(11))
+		perm := r.Perm(n)
+		nodes = nodes[:maxSamples]
+		for i := range nodes {
+			nodes[i] = int32(perm[i])
+		}
+	}
+	eccs := make([]float64, 0, len(nodes))
+	sum := 0.0
+	for _, v := range nodes {
+		e := float64(g.Eccentricity(v))
+		eccs = append(eccs, e)
+		sum += e
+	}
+	mean := sum / float64(len(eccs))
+	if mean == 0 {
+		return out
+	}
+	bins := map[int]int{}
+	for _, e := range eccs {
+		bins[int(e/mean/binWidth)]++
+	}
+	for b, cnt := range bins {
+		out.Add(float64(b)*binWidth+binWidth/2, float64(cnt)/float64(len(eccs)))
+	}
+	out.SortByX()
+	return out
+}

@@ -1,0 +1,70 @@
+// Package metrics implements the paper's eight topology metrics: the three
+// basic discriminators (expansion, resilience, distortion — §3.2.1) and the
+// five auxiliary metrics of Appendix B (eigenvalue spectrum, node-diameter
+// distribution, vertex cover, biconnectivity, attack/error tolerance), plus
+// the Bu–Towsley clustering coefficient used in §4.4. Every ball-based
+// metric follows the paper's ball-growing technique via internal/ball.
+package metrics
+
+import (
+	"topocmp/internal/ball"
+	"topocmp/internal/graph"
+	"topocmp/internal/stats"
+)
+
+// Expansion computes E(h): the average fraction of the graph's nodes that
+// fall within a ball of radius h, averaged over (sampled) centers. This is
+// the reachability-style metric of Phillips et al. normalized by graph size
+// so that differently sized graphs are comparable (§3.2.1).
+func Expansion(g *graph.Graph, cfg ball.Config) stats.Series {
+	n := g.NumNodes()
+	out := stats.Series{Name: "expansion"}
+	if n == 0 {
+		return out
+	}
+	centers := ball.Centers(g, &cfg)
+	sums := expansionSums(g, centers)
+	total := float64(n)
+	for h, s := range sums {
+		out.Add(float64(h), s/float64(len(centers))/total)
+	}
+	return out
+}
+
+// expansionSums returns sums[h] = Σ_centers |ball(center, h)| for h from 0
+// to the maximum eccentricity among centers, with saturated contributions
+// from centers of smaller eccentricity.
+func expansionSums(g *graph.Graph, centers []int32) []float64 {
+	type profile struct {
+		cum []int // cum[h] = ball size at radius h
+	}
+	profiles := make([]profile, 0, len(centers))
+	maxEcc := 0
+	for _, src := range centers {
+		dist, order := g.BFS(src)
+		ecc := int(dist[order[len(order)-1]])
+		cum := make([]int, ecc+1)
+		idx := 0
+		for h := 0; h <= ecc; h++ {
+			for idx < len(order) && int(dist[order[idx]]) <= h {
+				idx++
+			}
+			cum[h] = idx
+		}
+		profiles = append(profiles, profile{cum})
+		if ecc > maxEcc {
+			maxEcc = ecc
+		}
+	}
+	sums := make([]float64, maxEcc+1)
+	for _, p := range profiles {
+		for h := 0; h <= maxEcc; h++ {
+			if h < len(p.cum) {
+				sums[h] += float64(p.cum[h])
+			} else {
+				sums[h] += float64(p.cum[len(p.cum)-1])
+			}
+		}
+	}
+	return sums
+}

@@ -1,0 +1,137 @@
+package metrics
+
+import (
+	"math"
+	"math/rand"
+
+	"topocmp/internal/graph"
+	"topocmp/internal/linalg"
+	"topocmp/internal/stats"
+)
+
+// This file implements the related-work metrics the paper discusses in §2:
+// the Laplacian spectrum analysis of Vukadinovic et al. (whose multiplicity
+// of eigenvalue 1 separates AS graphs from grids and random trees — a
+// *local* property, per the paper's reading), and the small-world
+// comparison of Watts and Strogatz.
+
+// LaplacianSpectrum returns all eigenvalues of the graph Laplacian
+// L = D - A in descending order, computed densely; intended for graphs up
+// to a few hundred nodes (subsample or use balls for larger ones).
+func LaplacianSpectrum(g *graph.Graph) []float64 {
+	n := g.NumNodes()
+	a := make([][]float64, n)
+	for i := range a {
+		a[i] = make([]float64, n)
+	}
+	for v := int32(0); v < int32(n); v++ {
+		a[v][v] = float64(g.Degree(v))
+	}
+	for _, e := range g.Edges() {
+		a[e.U][e.V] = -1
+		a[e.V][e.U] = -1
+	}
+	return linalg.JacobiEigenvalues(a)
+}
+
+// EigenvalueOneMultiplicity returns the (approximate) multiplicity of
+// eigenvalue 1 in the Laplacian spectrum, Vukadinovic et al.'s
+// discriminator: it counts pendant structure (degree-1 nodes and their
+// attachments), high in AS-like graphs and zero in grids.
+func EigenvalueOneMultiplicity(g *graph.Graph, tol float64) int {
+	if tol <= 0 {
+		tol = 1e-8
+	}
+	count := 0
+	for _, ev := range LaplacianSpectrum(g) {
+		if math.Abs(ev-1) <= tol {
+			count++
+		}
+	}
+	return count
+}
+
+// SmallWorld holds the Watts–Strogatz comparison of a graph against a
+// same-size, same-degree random baseline.
+type SmallWorld struct {
+	Clustering       float64 // graph clustering coefficient
+	PathLength       float64 // average shortest path length
+	RandomClustering float64 // expected for G(n,m): k/n
+	RandomPathLength float64 // expected: ln n / ln k
+	Sigma            float64 // (C/Crand) / (L/Lrand); >> 1 is small-world
+}
+
+// SmallWorldness computes the small-world coefficient sigma with analytic
+// random-graph baselines. pathSamples bounds the APL estimation (0 = all
+// sources).
+func SmallWorldness(g *graph.Graph, pathSamples int) SmallWorld {
+	n := float64(g.NumNodes())
+	k := g.AvgDegree()
+	sw := SmallWorld{
+		Clustering: ClusteringCoefficient(g),
+		PathLength: AveragePathLength(g, pathSamples),
+	}
+	if n > 1 && k > 1 {
+		sw.RandomClustering = k / n
+		sw.RandomPathLength = math.Log(n) / math.Log(k)
+	}
+	if sw.RandomClustering > 0 && sw.RandomPathLength > 0 &&
+		sw.PathLength > 0 && sw.Clustering > 0 {
+		sw.Sigma = (sw.Clustering / sw.RandomClustering) /
+			(sw.PathLength / sw.RandomPathLength)
+	}
+	return sw
+}
+
+// HopPlot returns the Faloutsos et al. hop-plot: the number of node pairs
+// within h hops (including self-pairs), as a function of h, averaged over
+// sampled sources and extrapolated to the full graph. The paper notes its
+// expansion metric is a normalized relative of this.
+func HopPlot(g *graph.Graph, maxSources int, r *rand.Rand) stats.Series {
+	if r == nil {
+		r = rand.New(rand.NewSource(31))
+	}
+	n := g.NumNodes()
+	out := stats.Series{Name: "hopplot"}
+	if n == 0 {
+		return out
+	}
+	sources := n
+	if maxSources > 0 && maxSources < n {
+		sources = maxSources
+	}
+	perm := r.Perm(n)
+	// Per-source cumulative reach profiles, saturated to the global
+	// maximum eccentricity.
+	var profiles [][]float64
+	maxEcc := 0
+	for i := 0; i < sources; i++ {
+		dist, order := g.BFS(int32(perm[i]))
+		ecc := int(dist[order[len(order)-1]])
+		cum := make([]float64, ecc+1)
+		idx := 0
+		for h := 0; h <= ecc; h++ {
+			for idx < len(order) && int(dist[order[idx]]) <= h {
+				idx++
+			}
+			cum[h] = float64(idx)
+		}
+		profiles = append(profiles, cum)
+		if ecc > maxEcc {
+			maxEcc = ecc
+		}
+	}
+	scale := float64(n) / float64(sources)
+	for h := 0; h <= maxEcc; h++ {
+		sum := 0.0
+		for _, cum := range profiles {
+			if h < len(cum) {
+				sum += cum[h]
+			} else {
+				sum += cum[len(cum)-1]
+			}
+		}
+		out.Add(float64(h), sum*scale)
+	}
+	return out
+}

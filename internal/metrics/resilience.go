@@ -1,0 +1,31 @@
+package metrics
+
+import (
+	"topocmp/internal/ball"
+	"topocmp/internal/graph"
+	"topocmp/internal/partition"
+	"topocmp/internal/stats"
+)
+
+// Resilience computes R(n): the average minimum cut-set size of a balanced
+// bipartition of the subgraph inside an n-node ball (§3.2.1). The metric is
+// keyed by ball *size*, not radius, to factor out expansion differences.
+// Raw (size, cut) samples are averaged into geometric buckets.
+func Resilience(g *graph.Graph, cfg ball.Config, popts partition.Options) stats.Series {
+	var raw []stats.Point
+	if cfg.MinBallSize == 0 {
+		cfg.MinBallSize = 2
+	}
+	ball.Visit(g, cfg, func(b ball.Ball) {
+		sub := ball.Subgraph(g, b)
+		cut := partition.CutSize(sub, popts)
+		raw = append(raw, stats.Point{X: float64(sub.NumNodes()), Y: float64(cut)})
+	})
+	s := stats.Bucketize(raw, bucketRatio)
+	s.Name = "resilience"
+	return s
+}
+
+// bucketRatio groups ball sizes into geometric buckets roughly matching the
+// paper's log-scale sampling of ball sizes.
+const bucketRatio = 1.45

@@ -1,0 +1,95 @@
+package metrics
+
+import (
+	"math/rand"
+	"sort"
+
+	"topocmp/internal/graph"
+	"topocmp/internal/stats"
+)
+
+// AttackTolerance computes the Albert–Jeong–Barabási attack-tolerance curve
+// (Figure 9(a-c)): the average pairwise shortest path length within the
+// largest component after removing each fraction f of nodes in decreasing
+// degree order.
+func AttackTolerance(g *graph.Graph, fractions []float64, pathSamples int) stats.Series {
+	order := nodesByDegreeDesc(g)
+	s := removalCurve(g, order, fractions, pathSamples)
+	s.Name = "attack"
+	return s
+}
+
+// ErrorTolerance is AttackTolerance with uniformly random removal order
+// (Figure 9(d-f)).
+func ErrorTolerance(g *graph.Graph, fractions []float64, pathSamples int, r *rand.Rand) stats.Series {
+	if r == nil {
+		r = rand.New(rand.NewSource(13))
+	}
+	n := g.NumNodes()
+	order := make([]int32, n)
+	for i, p := range r.Perm(n) {
+		order[i] = int32(p)
+	}
+	s := removalCurve(g, order, fractions, pathSamples)
+	s.Name = "error"
+	return s
+}
+
+func nodesByDegreeDesc(g *graph.Graph) []int32 {
+	n := g.NumNodes()
+	order := make([]int32, n)
+	for i := range order {
+		order[i] = int32(i)
+	}
+	sort.Slice(order, func(i, j int) bool {
+		di, dj := g.Degree(order[i]), g.Degree(order[j])
+		if di != dj {
+			return di > dj
+		}
+		return order[i] < order[j]
+	})
+	return order
+}
+
+func removalCurve(g *graph.Graph, order []int32, fractions []float64, pathSamples int) stats.Series {
+	var s stats.Series
+	n := g.NumNodes()
+	for _, f := range fractions {
+		k := int(f * float64(n))
+		sub, _ := g.RemoveNodes(order[:k])
+		lc, _ := sub.LargestComponent()
+		apl := AveragePathLength(lc, pathSamples)
+		s.Add(f, apl)
+	}
+	return s
+}
+
+// AveragePathLength estimates the mean pairwise shortest-path length of a
+// connected graph by running BFS from up to maxSources nodes (0 = all).
+func AveragePathLength(g *graph.Graph, maxSources int) float64 {
+	n := g.NumNodes()
+	if n < 2 {
+		return 0
+	}
+	sources := n
+	if maxSources > 0 && maxSources < n {
+		sources = maxSources
+	}
+	r := rand.New(rand.NewSource(int64(n)))
+	perm := r.Perm(n)
+	totalDist, totalPairs := 0.0, 0.0
+	for i := 0; i < sources; i++ {
+		src := int32(perm[i])
+		dist, order := g.BFS(src)
+		for _, v := range order {
+			if v != src {
+				totalDist += float64(dist[v])
+				totalPairs++
+			}
+		}
+	}
+	if totalPairs == 0 {
+		return 0
+	}
+	return totalDist / totalPairs
+}

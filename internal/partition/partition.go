@@ -1,0 +1,375 @@
+// Package partition implements balanced graph bisection in the style of
+// Karypis–Kumar multilevel partitioning ("A Fast and High Quality Multilevel
+// Scheme for Partitioning Irregular Graphs", SISC 1998), the heuristic the
+// paper uses ([25]) to compute its resilience metric: the minimum cut-set
+// size of a balanced bi-partition.
+//
+// The pipeline is the classic three phases:
+//
+//  1. Coarsening by heavy-edge matching until the graph is small.
+//  2. Initial bisection of the coarsest graph by greedy BFS region growing
+//     from several seeds, keeping the best cut.
+//  3. Uncoarsening with Fiduccia–Mattheyses refinement (hill climbing plus
+//     negative-gain exploration with rollback to the best prefix) at each
+//     level.
+//
+// All internal iteration orders are deterministic, so a fixed Options.Rand
+// reproduces the same partition.
+package partition
+
+import (
+	"container/heap"
+	"math/rand"
+	"sort"
+
+	"topocmp/internal/graph"
+)
+
+// wedge is a weighted adjacency entry.
+type wedge struct {
+	to int32
+	w  int
+}
+
+// weighted is the internal multilevel representation: node weights count
+// collapsed original vertices, edge weights count collapsed original edges.
+// Adjacency lists are sorted by target id for deterministic iteration.
+type weighted struct {
+	nodeW []int
+	adj   [][]wedge
+}
+
+func fromGraph(g *graph.Graph) *weighted {
+	n := g.NumNodes()
+	w := &weighted{nodeW: make([]int, n), adj: make([][]wedge, n)}
+	for v := int32(0); v < int32(n); v++ {
+		w.nodeW[v] = 1
+		nb := g.Neighbors(v)
+		w.adj[v] = make([]wedge, len(nb))
+		for i, u := range nb {
+			w.adj[v][i] = wedge{u, 1}
+		}
+	}
+	return w
+}
+
+func (w *weighted) numNodes() int { return len(w.nodeW) }
+
+func (w *weighted) totalNodeW() int {
+	t := 0
+	for _, x := range w.nodeW {
+		t += x
+	}
+	return t
+}
+
+// Options tunes the bisection.
+type Options struct {
+	// Balance is the maximum allowed share of total node weight on the
+	// heavier side; the paper's "approximately n/2" corresponds to ~0.55.
+	Balance float64
+	// Seeds is the number of region-growing starts tried on the coarsest
+	// graph.
+	Seeds int
+	// Refinements is the number of FM passes per uncoarsening level.
+	Refinements int
+	// Rand drives tie-breaking; nil uses a fixed seed.
+	Rand *rand.Rand
+}
+
+func (o *Options) defaults() {
+	if o.Balance == 0 {
+		o.Balance = 0.55
+	}
+	if o.Seeds == 0 {
+		o.Seeds = 4
+	}
+	if o.Refinements == 0 {
+		o.Refinements = 4
+	}
+	if o.Rand == nil {
+		o.Rand = rand.New(rand.NewSource(1))
+	}
+}
+
+// Bisect computes a balanced bipartition of g and returns the cut size (the
+// number of edges crossing the partition) and the side assignment. Graphs
+// with fewer than two nodes have cut 0.
+func Bisect(g *graph.Graph, opts Options) (int, []bool) {
+	opts.defaults()
+	n := g.NumNodes()
+	if n < 2 {
+		return 0, make([]bool, n)
+	}
+	w := fromGraph(g)
+	return bisectWeighted(w, &opts)
+}
+
+// CutSize is a convenience wrapper returning only the cut value.
+func CutSize(g *graph.Graph, opts Options) int {
+	c, _ := Bisect(g, opts)
+	return c
+}
+
+func bisectWeighted(w *weighted, opts *Options) (int, []bool) {
+	const coarsestSize = 48
+	type level struct {
+		w    *weighted
+		cmap []int32 // fine node -> coarse node
+	}
+	var levels []level
+	cur := w
+	for cur.numNodes() > coarsestSize {
+		cmap, coarse := coarsen(cur, opts.Rand)
+		if coarse.numNodes() >= cur.numNodes() {
+			break // no progress
+		}
+		levels = append(levels, level{w: cur, cmap: cmap})
+		cur = coarse
+	}
+	side := initialBisection(cur, opts)
+	refine(cur, side, opts)
+	for i := len(levels) - 1; i >= 0; i-- {
+		lv := levels[i]
+		fine := make([]bool, lv.w.numNodes())
+		for v := range fine {
+			fine[v] = side[lv.cmap[v]]
+		}
+		side = fine
+		refine(lv.w, side, opts)
+	}
+	return cutOf(w, side), side
+}
+
+// coarsen performs heavy-edge matching: visit nodes in random order, match
+// each unmatched node with its unmatched neighbor of heaviest edge weight
+// (smallest id on ties).
+func coarsen(w *weighted, r *rand.Rand) ([]int32, *weighted) {
+	n := w.numNodes()
+	match := make([]int32, n)
+	for i := range match {
+		match[i] = -1
+	}
+	order := r.Perm(n)
+	for _, ui := range order {
+		u := int32(ui)
+		if match[u] != -1 {
+			continue
+		}
+		bestV, bestW := int32(-1), -1
+		for _, e := range w.adj[u] {
+			if match[e.to] == -1 && e.to != u && e.w > bestW {
+				bestV, bestW = e.to, e.w
+			}
+		}
+		if bestV >= 0 {
+			match[u] = bestV
+			match[bestV] = u
+		} else {
+			match[u] = u
+		}
+	}
+	cmap := make([]int32, n)
+	for i := range cmap {
+		cmap[i] = -1
+	}
+	next := int32(0)
+	for u := int32(0); u < int32(n); u++ {
+		if cmap[u] != -1 {
+			continue
+		}
+		cmap[u] = next
+		if match[u] != u && match[u] >= 0 {
+			cmap[match[u]] = next
+		}
+		next++
+	}
+	coarse := &weighted{nodeW: make([]int, next), adj: make([][]wedge, next)}
+	accum := make([]map[int32]int, next)
+	for i := range accum {
+		accum[i] = map[int32]int{}
+	}
+	for u := int32(0); u < int32(n); u++ {
+		cu := cmap[u]
+		coarse.nodeW[cu] += w.nodeW[u]
+		for _, e := range w.adj[u] {
+			cv := cmap[e.to]
+			if cu != cv {
+				accum[cu][cv] += e.w
+			}
+		}
+	}
+	for cu := range accum {
+		lst := make([]wedge, 0, len(accum[cu]))
+		for cv, ew := range accum[cu] {
+			lst = append(lst, wedge{cv, ew})
+		}
+		sort.Slice(lst, func(i, j int) bool { return lst[i].to < lst[j].to })
+		coarse.adj[cu] = lst
+	}
+	return cmap, coarse
+}
+
+// initialBisection grows a region by BFS from several random seeds and keeps
+// the assignment with the smallest cut.
+func initialBisection(w *weighted, opts *Options) []bool {
+	n := w.numNodes()
+	total := w.totalNodeW()
+	bestCut := -1
+	var best []bool
+	for s := 0; s < opts.Seeds; s++ {
+		seed := int32(opts.Rand.Intn(n))
+		side := make([]bool, n)
+		visited := make([]bool, n)
+		queue := []int32{seed}
+		visited[seed] = true
+		grown := 0
+		for head := 0; head < len(queue) && grown*2 < total; head++ {
+			u := queue[head]
+			side[u] = true
+			grown += w.nodeW[u]
+			for _, e := range w.adj[u] {
+				if !visited[e.to] {
+					visited[e.to] = true
+					queue = append(queue, e.to)
+				}
+			}
+		}
+		for v := int32(0); grown*2 < total && v < int32(n); v++ {
+			if !side[v] {
+				side[v] = true
+				grown += w.nodeW[v]
+			}
+		}
+		cut := cutOf(w, side)
+		if bestCut == -1 || cut < bestCut {
+			bestCut = cut
+			best = side
+		}
+	}
+	return best
+}
+
+// moveCand is a heap entry: a candidate node move with the gain it had when
+// pushed. Entries go stale when neighboring moves change the gain; stale
+// entries are discarded lazily on pop. Ties break on node id so refinement
+// is deterministic.
+type moveCand struct {
+	v    int32
+	gain int
+}
+
+type gainHeap []moveCand
+
+func (h gainHeap) Len() int { return len(h) }
+func (h gainHeap) Less(i, j int) bool {
+	if h[i].gain != h[j].gain {
+		return h[i].gain > h[j].gain
+	}
+	return h[i].v < h[j].v
+}
+func (h gainHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *gainHeap) Push(x any)   { *h = append(*h, x.(moveCand)) }
+func (h *gainHeap) Pop() any {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// refine runs Fiduccia–Mattheyses passes: each pass tentatively moves every
+// node once in best-gain-first order (negative gains included, balance
+// respected), then rolls back to the prefix of moves with the smallest cut.
+func refine(w *weighted, side []bool, opts *Options) {
+	n := w.numNodes()
+	total := w.totalNodeW()
+	maxSide := int(opts.Balance * float64(total))
+	if maxSide*2 < total {
+		maxSide = (total + 1) / 2
+	}
+	gain := make([]int, n)
+	for pass := 0; pass < opts.Refinements; pass++ {
+		weightTrue := 0
+		for v := 0; v < n; v++ {
+			if side[v] {
+				weightTrue += w.nodeW[v]
+			}
+		}
+		for v := int32(0); v < int32(n); v++ {
+			g := 0
+			for _, e := range w.adj[v] {
+				if side[e.to] == side[v] {
+					g -= e.w
+				} else {
+					g += e.w
+				}
+			}
+			gain[v] = g
+		}
+		h := make(gainHeap, 0, n)
+		for v := int32(0); v < int32(n); v++ {
+			h = append(h, moveCand{v, gain[v]})
+		}
+		heap.Init(&h)
+		moved := make([]bool, n)
+		var history []int32
+		cumGain, bestGain, bestPrefix := 0, 0, 0
+		for h.Len() > 0 {
+			c := heap.Pop(&h).(moveCand)
+			v := c.v
+			if moved[v] || c.gain != gain[v] {
+				continue
+			}
+			var newTrue int
+			if side[v] {
+				newTrue = weightTrue - w.nodeW[v]
+			} else {
+				newTrue = weightTrue + w.nodeW[v]
+			}
+			if newTrue > maxSide || total-newTrue > maxSide {
+				continue
+			}
+			weightTrue = newTrue
+			side[v] = !side[v]
+			moved[v] = true
+			history = append(history, v)
+			cumGain += gain[v]
+			gain[v] = -gain[v]
+			if cumGain > bestGain {
+				bestGain = cumGain
+				bestPrefix = len(history)
+			}
+			for _, e := range w.adj[v] {
+				if moved[e.to] {
+					continue
+				}
+				if side[e.to] == side[v] {
+					gain[e.to] -= 2 * e.w
+				} else {
+					gain[e.to] += 2 * e.w
+				}
+				heap.Push(&h, moveCand{e.to, gain[e.to]})
+			}
+		}
+		// Roll back moves beyond the best prefix.
+		for i := len(history) - 1; i >= bestPrefix; i-- {
+			side[history[i]] = !side[history[i]]
+		}
+		if bestGain == 0 {
+			break
+		}
+	}
+}
+
+func cutOf(w *weighted, side []bool) int {
+	cut := 0
+	for u := 0; u < w.numNodes(); u++ {
+		for _, e := range w.adj[u] {
+			if int32(u) < e.to && side[u] != side[e.to] {
+				cut += e.w
+			}
+		}
+	}
+	return cut
+}

@@ -1,0 +1,166 @@
+// Package plot renders metric curves: gnuplot-style .dat files mirroring
+// the inputs behind the paper's figures, and quick ASCII plots for terminal
+// inspection of curve shapes.
+package plot
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"topocmp/internal/stats"
+)
+
+// WriteDat writes one series per file into dir as "<figure>_<series>.dat",
+// two columns "x y" per line, and returns the file paths.
+func WriteDat(dir, figure string, series []stats.Series) ([]string, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	var paths []string
+	for _, s := range series {
+		name := sanitize(s.Name)
+		path := filepath.Join(dir, fmt.Sprintf("%s_%s.dat", sanitize(figure), name))
+		f, err := os.Create(path)
+		if err != nil {
+			return nil, err
+		}
+		w := bufio.NewWriter(f)
+		fmt.Fprintf(w, "# %s: %s\n", figure, s.Name)
+		for _, p := range s.Points {
+			fmt.Fprintf(w, "%g %g\n", p.X, p.Y)
+		}
+		if err := w.Flush(); err != nil {
+			f.Close()
+			return nil, err
+		}
+		if err := f.Close(); err != nil {
+			return nil, err
+		}
+		paths = append(paths, path)
+	}
+	return paths, nil
+}
+
+func sanitize(s string) string {
+	s = strings.ToLower(s)
+	var b strings.Builder
+	for _, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z', r >= '0' && r <= '9':
+			b.WriteRune(r)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// Axis scaling for ASCII plots.
+type Scale int
+
+// Axis scales.
+const (
+	Linear Scale = iota
+	Log
+)
+
+// Options configures an ASCII plot.
+type Options struct {
+	Width, Height  int   // plot area in characters; defaults 64×16
+	XScale, YScale Scale // axis scaling
+	Title          string
+}
+
+// ASCII renders the series into a crude character plot, one glyph per
+// series, useful for eyeballing the qualitative shapes the paper's
+// conclusions rest on.
+func ASCII(w io.Writer, series []stats.Series, opts Options) error {
+	if opts.Width <= 0 {
+		opts.Width = 64
+	}
+	if opts.Height <= 0 {
+		opts.Height = 16
+	}
+	glyphs := "*+o#x%@&"
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	minY, maxY := math.Inf(1), math.Inf(-1)
+	tx := func(x float64) float64 {
+		if opts.XScale == Log {
+			if x <= 0 {
+				return math.NaN()
+			}
+			return math.Log10(x)
+		}
+		return x
+	}
+	ty := func(y float64) float64 {
+		if opts.YScale == Log {
+			if y <= 0 {
+				return math.NaN()
+			}
+			return math.Log10(y)
+		}
+		return y
+	}
+	for _, s := range series {
+		for _, p := range s.Points {
+			x, y := tx(p.X), ty(p.Y)
+			if math.IsNaN(x) || math.IsNaN(y) {
+				continue
+			}
+			minX, maxX = math.Min(minX, x), math.Max(maxX, x)
+			minY, maxY = math.Min(minY, y), math.Max(maxY, y)
+		}
+	}
+	if minX > maxX || minY > maxY {
+		_, err := fmt.Fprintln(w, "(no plottable points)")
+		return err
+	}
+	if maxX == minX {
+		maxX = minX + 1
+	}
+	if maxY == minY {
+		maxY = minY + 1
+	}
+	grid := make([][]byte, opts.Height)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", opts.Width))
+	}
+	for si, s := range series {
+		g := glyphs[si%len(glyphs)]
+		for _, p := range s.Points {
+			x, y := tx(p.X), ty(p.Y)
+			if math.IsNaN(x) || math.IsNaN(y) {
+				continue
+			}
+			cx := int((x - minX) / (maxX - minX) * float64(opts.Width-1))
+			cy := int((y - minY) / (maxY - minY) * float64(opts.Height-1))
+			row := opts.Height - 1 - cy
+			grid[row][cx] = g
+		}
+	}
+	if opts.Title != "" {
+		if _, err := fmt.Fprintln(w, opts.Title); err != nil {
+			return err
+		}
+	}
+	for _, row := range grid {
+		if _, err := fmt.Fprintf(w, "|%s|\n", row); err != nil {
+			return err
+		}
+	}
+	var legend strings.Builder
+	for si, s := range series {
+		if si > 0 {
+			legend.WriteString("  ")
+		}
+		fmt.Fprintf(&legend, "%c=%s", glyphs[si%len(glyphs)], s.Name)
+	}
+	_, err := fmt.Fprintln(w, legend.String())
+	return err
+}

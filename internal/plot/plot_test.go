@@ -1,0 +1,91 @@
+package plot
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"topocmp/internal/stats"
+)
+
+func sample() []stats.Series {
+	a := stats.Series{Name: "Tree"}
+	b := stats.Series{Name: "Mesh/30x30"}
+	for x := 1.0; x <= 100; x *= 2 {
+		a.Add(x, x*x)
+		b.Add(x, x)
+	}
+	return []stats.Series{a, b}
+}
+
+func TestWriteDat(t *testing.T) {
+	dir := t.TempDir()
+	paths, err := WriteDat(dir, "fig2a", sample())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) != 2 {
+		t.Fatalf("paths = %v", paths)
+	}
+	if filepath.Base(paths[1]) != "fig2a_mesh_30x30.dat" {
+		t.Fatalf("sanitized name = %s", filepath.Base(paths[1]))
+	}
+	data, err := os.ReadFile(paths[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	content := string(data)
+	if !strings.HasPrefix(content, "# fig2a: Tree\n") {
+		t.Fatalf("header missing: %q", content[:30])
+	}
+	if !strings.Contains(content, "1 1\n") || !strings.Contains(content, "64 4096\n") {
+		t.Fatalf("points missing:\n%s", content)
+	}
+}
+
+func TestASCIIPlots(t *testing.T) {
+	var buf bytes.Buffer
+	err := ASCII(&buf, sample(), Options{Title: "expansion", XScale: Log, YScale: Log})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "expansion") {
+		t.Fatal("title missing")
+	}
+	if !strings.Contains(out, "*=Tree") || !strings.Contains(out, "+=Mesh/30x30") {
+		t.Fatalf("legend missing:\n%s", out)
+	}
+	if strings.Count(out, "\n") < 17 {
+		t.Fatalf("plot rows missing:\n%s", out)
+	}
+	if !strings.Contains(out, "*") || !strings.Contains(out, "+") {
+		t.Fatal("glyphs missing")
+	}
+}
+
+func TestASCIIEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	if err := ASCII(&buf, nil, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "no plottable points") {
+		t.Fatalf("empty message missing: %q", buf.String())
+	}
+}
+
+func TestASCIILogSkipsNonPositive(t *testing.T) {
+	s := stats.Series{Name: "s"}
+	s.Add(0, 5)  // skipped on log x
+	s.Add(10, 0) // skipped on log y
+	s.Add(10, 10)
+	var buf bytes.Buffer
+	if err := ASCII(&buf, []stats.Series{s}, Options{XScale: Log, YScale: Log}); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf.String(), "no plottable points") {
+		t.Fatal("positive point should plot")
+	}
+}

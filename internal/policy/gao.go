@@ -1,0 +1,70 @@
+package policy
+
+import (
+	"topocmp/internal/graph"
+)
+
+// InferGao applies Gao's relationship-inference algorithm (Globecom 2000)
+// to a collection of AS paths over the AS graph g: each path is split at
+// its highest-degree AS (the "top provider"); ASes before the top are
+// inferred to be customers of their successors, ASes after it providers of
+// their successors. Adjacencies with transit evidence in both directions
+// become siblings; adjacencies with no transit evidence at all become
+// peers.
+func InferGao(g *graph.Graph, paths [][]int32) *Annotated {
+	// transit[key(u,v)] counts evidence that v provides transit to u
+	// (v appeared closer to the top than u on some path).
+	transit := map[uint64]int{}
+	for _, path := range paths {
+		if len(path) < 2 {
+			continue
+		}
+		top := 0
+		for i, as := range path {
+			if g.Degree(as) > g.Degree(path[top]) {
+				top = i
+			}
+			_ = i
+		}
+		for i := 0; i+1 < len(path); i++ {
+			u, v := path[i], path[i+1]
+			if i < top {
+				transit[key(u, v)]++ // v provides transit to u (uphill)
+			} else {
+				transit[key(v, u)]++ // u provides transit to v (downhill)
+			}
+		}
+	}
+	a := NewAnnotated(g)
+	for _, e := range g.Edges() {
+		uv := transit[key(e.U, e.V)] // V provides transit to U
+		vu := transit[key(e.V, e.U)] // U provides transit to V
+		switch {
+		case uv > 0 && vu > 0:
+			a.SetSibling(e.U, e.V)
+		case uv > 0:
+			a.SetProviderCustomer(e.V, e.U)
+		case vu > 0:
+			a.SetProviderCustomer(e.U, e.V)
+		default:
+			a.SetPeer(e.U, e.V)
+		}
+	}
+	return a
+}
+
+// InferenceAccuracy compares an inferred annotation against ground truth and
+// returns the fraction of edges whose relationship class matches.
+func InferenceAccuracy(truth, inferred *Annotated) float64 {
+	edges := truth.G.Edges()
+	if len(edges) == 0 {
+		return 1
+	}
+	match := 0
+	for _, e := range edges {
+		if truth.Rel(e.U, e.V) == inferred.Rel(e.U, e.V) {
+			match++
+		}
+	}
+	return float64(match) / float64(len(edges))
+}

@@ -1,0 +1,114 @@
+package policy
+
+import "topocmp/internal/graph"
+
+// PathTree holds one shortest policy path from a source to every reachable
+// node, as a parent structure over the valley-free product space. BGP-style
+// deterministic tie-breaking (lowest neighbor id, then lowest state) makes
+// the selected paths stable across runs.
+type PathTree struct {
+	src    int32
+	dist   []int32 // product distances
+	parent []int32 // product parent state, -1 at roots
+	best   []int32 // best (minimal-distance, tie-break lowest) arrival state per node, -1 unreachable
+}
+
+// Paths computes a policy path tree from src over the annotated graph.
+func (a *Annotated) Paths(src int32) *PathTree {
+	n := a.G.NumNodes()
+	return buildPathTree(src, n, func(cur int32, visit func(next int32)) {
+		u, s := cur/numStates, int(cur%numStates)
+		for _, v := range a.G.Neighbors(u) {
+			if ns := transition(s, a.Rel(u, v)); ns >= 0 {
+				visit(v*numStates + int32(ns))
+			}
+		}
+	})
+}
+
+// Paths computes a router-level policy path tree from src.
+func (o *RouterOverlay) Paths(src int32) *PathTree {
+	n := o.RL.NumNodes()
+	return buildPathTree(src, n, func(cur int32, visit func(next int32)) {
+		u, s := cur/numStates, int(cur%numStates)
+		asU := o.ASOf[u]
+		for _, v := range o.RL.Neighbors(u) {
+			ns := s
+			if asV := o.ASOf[v]; asV != asU {
+				ns = transition(s, o.AS.Rel(asU, asV))
+				if ns < 0 {
+					continue
+				}
+			}
+			visit(v*numStates + int32(ns))
+		}
+	})
+}
+
+func buildPathTree(src int32, n int, expand func(cur int32, visit func(next int32))) *PathTree {
+	t := &PathTree{
+		src:    src,
+		dist:   make([]int32, n*numStates),
+		parent: make([]int32, n*numStates),
+		best:   make([]int32, n),
+	}
+	for i := range t.dist {
+		t.dist[i] = graph.Unreached
+		t.parent[i] = -1
+	}
+	for i := range t.best {
+		t.best[i] = -1
+	}
+	start := src*numStates + stateUp
+	t.dist[start] = 0
+	queue := []int32{start}
+	for head := 0; head < len(queue); head++ {
+		cur := queue[head]
+		du := t.dist[cur]
+		expand(cur, func(next int32) {
+			if t.dist[next] == graph.Unreached {
+				t.dist[next] = du + 1
+				t.parent[next] = cur
+				queue = append(queue, next)
+			}
+		})
+	}
+	for v := int32(0); v < int32(n); v++ {
+		bestD := graph.Unreached
+		for s := int32(0); s < numStates; s++ {
+			st := v*numStates + s
+			if t.dist[st] < bestD {
+				bestD = t.dist[st]
+				t.best[v] = st
+			}
+		}
+	}
+	return t
+}
+
+// Dist returns the policy distance to dst, or graph.Unreached.
+func (t *PathTree) Dist(dst int32) int32 {
+	if t.best[dst] < 0 {
+		return graph.Unreached
+	}
+	return t.dist[t.best[dst]]
+}
+
+// Path returns the node sequence of the selected policy path from the
+// source to dst (inclusive on both ends), or nil if unreachable.
+func (t *PathTree) Path(dst int32) []int32 {
+	st := t.best[dst]
+	if st < 0 {
+		return nil
+	}
+	var rev []int32
+	for st >= 0 {
+		rev = append(rev, st/numStates)
+		st = t.parent[st]
+	}
+	// Reverse in place.
+	for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
+		rev[i], rev[j] = rev[j], rev[i]
+	}
+	return rev
+}

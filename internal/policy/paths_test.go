@@ -1,0 +1,131 @@
+package policy
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"topocmp/internal/graph"
+)
+
+func TestPathTreeFigure15(t *testing.T) {
+	a := figure15()
+	pt := a.Paths(nA)
+	// Distances agree with Dist.
+	want := a.Dist(nA)
+	for v := int32(0); v < 8; v++ {
+		if pt.Dist(v) != want[v] {
+			t.Fatalf("PathTree dist(%c) = %d, want %d", 'A'+v, pt.Dist(v), want[v])
+		}
+	}
+	// The selected path to F must be the all-uphill A-C-D-E-F.
+	path := pt.Path(nF)
+	wantPath := []int32{nA, nC, nD, nE, nF}
+	if len(path) != len(wantPath) {
+		t.Fatalf("path to F = %v", path)
+	}
+	for i := range wantPath {
+		if path[i] != wantPath[i] {
+			t.Fatalf("path to F = %v, want %v", path, wantPath)
+		}
+	}
+	if pt.Path(nA)[0] != nA || len(pt.Path(nA)) != 1 {
+		t.Fatalf("path to self = %v", pt.Path(nA))
+	}
+}
+
+// validPolicyPath checks a node sequence is a valley-free walk on a.
+func validPolicyPath(a *Annotated, path []int32) bool {
+	state := stateUp
+	for i := 0; i+1 < len(path); i++ {
+		u, v := path[i], path[i+1]
+		if !a.G.HasEdge(u, v) {
+			return false
+		}
+		ns := transition(state, a.Rel(u, v))
+		if ns < 0 {
+			return false
+		}
+		state = ns
+	}
+	return true
+}
+
+// Property: every selected path is valley-free, starts at the source, ends
+// at the destination, and its length equals the policy distance.
+func TestPathTreePathsValidProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a := randomAnnotated(r, 60, 120)
+		pt := a.Paths(0)
+		dist := a.Dist(0)
+		for v := int32(0); v < int32(a.G.NumNodes()); v++ {
+			path := pt.Path(v)
+			if dist[v] == graph.Unreached {
+				if path != nil {
+					return false
+				}
+				continue
+			}
+			if path[0] != 0 || path[len(path)-1] != v {
+				return false
+			}
+			if int32(len(path)-1) != dist[v] {
+				return false
+			}
+			if !validPolicyPath(a, path) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRouterOverlayPaths(t *testing.T) {
+	// Two ASes: provider 0, customer 1; routers 0,1 in AS0; 2,3 in AS1.
+	asb := graph.NewBuilder(2)
+	asb.AddEdge(0, 1)
+	asg := asb.Graph()
+	a := NewAnnotated(asg)
+	a.SetProviderCustomer(0, 1)
+	rlb := graph.NewBuilder(4)
+	rlb.AddEdge(0, 1)
+	rlb.AddEdge(1, 2)
+	rlb.AddEdge(2, 3)
+	rl := rlb.Graph()
+	o, err := NewRouterOverlay(rl, []int32{0, 0, 1, 1}, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pt := o.Paths(0)
+	path := pt.Path(3)
+	want := []int32{0, 1, 2, 3}
+	if len(path) != 4 {
+		t.Fatalf("path = %v", path)
+	}
+	for i := range want {
+		if path[i] != want[i] {
+			t.Fatalf("path = %v, want %v", path, want)
+		}
+	}
+}
+
+func TestPathTreeDeterminism(t *testing.T) {
+	a := randomAnnotated(rand.New(rand.NewSource(3)), 80, 150)
+	p1 := a.Paths(0)
+	p2 := a.Paths(0)
+	for v := int32(0); v < int32(a.G.NumNodes()); v++ {
+		a1, a2 := p1.Path(v), p2.Path(v)
+		if len(a1) != len(a2) {
+			t.Fatalf("nondeterministic path length at %d", v)
+		}
+		for i := range a1 {
+			if a1[i] != a2[i] {
+				t.Fatalf("nondeterministic path at %d", v)
+			}
+		}
+	}
+}

@@ -1,0 +1,365 @@
+// Package policy models BGP policy routing as the paper does (§3.2.1,
+// Appendix E): AS graphs are annotated with provider–customer, peer–peer
+// and sibling–sibling relationships; policy paths are the shortest
+// valley-free paths (no customer→provider or peer→peer traversal after
+// going "down", at most one peer link); and policy-induced balls contain
+// the nodes within policy distance h plus the links on policy-compliant
+// shortest paths.
+//
+// The package also implements Gao's relationship-inference algorithm
+// (Globecom 2000), which the paper uses to annotate the measured AS graph,
+// operating on AS paths from (simulated) BGP tables.
+package policy
+
+import (
+	"fmt"
+
+	"topocmp/internal/graph"
+)
+
+// Relationship classifies one directed view of an AS adjacency.
+type Relationship int8
+
+const (
+	// RelNone marks an absent annotation.
+	RelNone Relationship = iota
+	// RelCustomer: the neighbor is my customer (I am its provider).
+	RelCustomer
+	// RelProvider: the neighbor is my provider (I am its customer).
+	RelProvider
+	// RelPeer: settlement-free peering.
+	RelPeer
+	// RelSibling: same organization; traffic flows freely.
+	RelSibling
+)
+
+// String implements fmt.Stringer.
+func (r Relationship) String() string {
+	switch r {
+	case RelCustomer:
+		return "customer"
+	case RelProvider:
+		return "provider"
+	case RelPeer:
+		return "peer"
+	case RelSibling:
+		return "sibling"
+	default:
+		return "none"
+	}
+}
+
+// Annotated is an AS-level graph whose edges carry relationships.
+type Annotated struct {
+	G *graph.Graph
+	// rel[key(u,v)] = relationship of v as seen from u.
+	rel map[uint64]Relationship
+}
+
+func key(u, v int32) uint64 { return uint64(uint32(u))<<32 | uint64(uint32(v)) }
+
+// NewAnnotated wraps a graph with an empty annotation set.
+func NewAnnotated(g *graph.Graph) *Annotated {
+	return &Annotated{G: g, rel: make(map[uint64]Relationship, 2*g.NumEdges())}
+}
+
+// SetProviderCustomer marks provider → customer: provider sells transit to
+// customer.
+func (a *Annotated) SetProviderCustomer(provider, customer int32) {
+	a.rel[key(provider, customer)] = RelCustomer
+	a.rel[key(customer, provider)] = RelProvider
+}
+
+// SetPeer marks a peer–peer adjacency.
+func (a *Annotated) SetPeer(u, v int32) {
+	a.rel[key(u, v)] = RelPeer
+	a.rel[key(v, u)] = RelPeer
+}
+
+// SetSibling marks a sibling–sibling adjacency.
+func (a *Annotated) SetSibling(u, v int32) {
+	a.rel[key(u, v)] = RelSibling
+	a.rel[key(v, u)] = RelSibling
+}
+
+// Rel returns the relationship of v as seen from u (RelNone if absent).
+func (a *Annotated) Rel(u, v int32) Relationship { return a.rel[key(u, v)] }
+
+// Validate checks that every edge of the graph is annotated consistently in
+// both directions.
+func (a *Annotated) Validate() error {
+	for _, e := range a.G.Edges() {
+		ruv, rvu := a.Rel(e.U, e.V), a.Rel(e.V, e.U)
+		if ruv == RelNone || rvu == RelNone {
+			return fmt.Errorf("policy: edge (%d,%d) not annotated", e.U, e.V)
+		}
+		ok := (ruv == RelCustomer && rvu == RelProvider) ||
+			(ruv == RelProvider && rvu == RelCustomer) ||
+			(ruv == RelPeer && rvu == RelPeer) ||
+			(ruv == RelSibling && rvu == RelSibling)
+		if !ok {
+			return fmt.Errorf("policy: edge (%d,%d) annotated %v/%v", e.U, e.V, ruv, rvu)
+		}
+	}
+	return nil
+}
+
+// Valley-free traversal states.
+const (
+	stateUp   = 0 // only customer→provider (or sibling) hops so far
+	statePeer = 1 // exactly one peer hop taken
+	stateDown = 2 // a provider→customer hop taken
+	numStates = 3
+)
+
+// transition returns the next state for traversing from u to v given the
+// current state, or -1 if the hop violates valley-freedom. rel is the
+// relationship of v as seen from u.
+func transition(state int, rel Relationship) int {
+	switch rel {
+	case RelProvider: // u → its provider: going up
+		if state == stateUp {
+			return stateUp
+		}
+		return -1
+	case RelPeer:
+		if state == stateUp {
+			return statePeer
+		}
+		return -1
+	case RelCustomer: // u → its customer: going down
+		return stateDown
+	case RelSibling:
+		return state
+	default:
+		return -1
+	}
+}
+
+// Dist computes policy (valley-free shortest path) distances from src via
+// BFS over the (node × state) product graph. Unreachable nodes get
+// graph.Unreached.
+func (a *Annotated) Dist(src int32) []int32 {
+	pd, _ := a.productBFS(src)
+	n := a.G.NumNodes()
+	out := make([]int32, n)
+	for v := 0; v < n; v++ {
+		best := graph.Unreached
+		for s := 0; s < numStates; s++ {
+			if d := pd[v*numStates+s]; d < best {
+				best = d
+			}
+		}
+		out[v] = best
+	}
+	return out
+}
+
+// NumStates is the size of the valley-free state machine; product-space
+// indices are node*NumStates+state.
+const NumStates = numStates
+
+// Transition exposes the valley-free state machine for callers (like link
+// value computation) that traverse the product graph themselves: it returns
+// the next state for hop u→v from the given state, or -1 if forbidden.
+func (a *Annotated) Transition(u, v int32, state int) int {
+	return transition(state, a.Rel(u, v))
+}
+
+// ProductCounts computes, over the (node × state) product space, the policy
+// BFS distances, the number of distinct shortest product paths sigma, and
+// the BFS visit order. Indices are node*NumStates+state.
+func (a *Annotated) ProductCounts(src int32) (dist []int32, sigma []float64, order []int32) {
+	n := a.G.NumNodes()
+	dist = make([]int32, n*numStates)
+	sigma = make([]float64, n*numStates)
+	for i := range dist {
+		dist[i] = graph.Unreached
+	}
+	order = make([]int32, 0, n)
+	start := src*numStates + stateUp
+	dist[start] = 0
+	sigma[start] = 1
+	order = append(order, start)
+	for head := 0; head < len(order); head++ {
+		cur := order[head]
+		u, s := cur/numStates, int(cur%numStates)
+		du := dist[cur]
+		for _, v := range a.G.Neighbors(u) {
+			ns := transition(s, a.Rel(u, v))
+			if ns < 0 {
+				continue
+			}
+			nxt := v*numStates + int32(ns)
+			if dist[nxt] == graph.Unreached {
+				dist[nxt] = du + 1
+				order = append(order, nxt)
+			}
+			if dist[nxt] == du+1 {
+				sigma[nxt] += sigma[cur]
+			}
+		}
+	}
+	return dist, sigma, order
+}
+
+// productBFS returns distances over the product state space, indexed
+// node*numStates+state, plus the BFS visit order of product states.
+func (a *Annotated) productBFS(src int32) ([]int32, []int32) {
+	n := a.G.NumNodes()
+	dist := make([]int32, n*numStates)
+	for i := range dist {
+		dist[i] = graph.Unreached
+	}
+	order := make([]int32, 0, n)
+	start := src*numStates + stateUp
+	dist[start] = 0
+	order = append(order, start)
+	for head := 0; head < len(order); head++ {
+		cur := order[head]
+		u, s := cur/numStates, int(cur%numStates)
+		du := dist[cur]
+		for _, v := range a.G.Neighbors(u) {
+			ns := transition(s, a.Rel(u, v))
+			if ns < 0 {
+				continue
+			}
+			nxt := v*numStates + int32(ns)
+			if dist[nxt] == graph.Unreached {
+				dist[nxt] = du + 1
+				order = append(order, nxt)
+			}
+		}
+	}
+	return dist, order
+}
+
+// Ball is a policy-induced ball (Appendix E): the nodes whose policy path
+// from the center is at most h hops, and the links lying on those
+// policy-compliant shortest paths.
+type Ball struct {
+	Center int32
+	Radius int
+	Nodes  []int32
+	Edges  []graph.Edge
+}
+
+// PolicyBall grows the policy-induced ball of radius h around src: member
+// nodes have policy distance at most h, and member edges are exactly the
+// edges lying on some shortest policy path from src to a member (including
+// intermediate edges whose endpoints are reached sub-optimally on that
+// path, as in the paper's Appendix E example).
+func (a *Annotated) PolicyBall(src int32, h int) Ball {
+	pd, order := a.productBFS(src)
+	trans := func(u, v int32, s int) int { return transition(s, a.Rel(u, v)) }
+	return productBall(a.G, pd, order, trans, src, h)
+}
+
+// productBall assembles a policy ball from product-space distances: it
+// marks target product states (optimal arrivals at members), then walks the
+// shortest-path DAG backwards (decreasing distance) collecting every edge
+// on a shortest path to a target.
+func productBall(g *graph.Graph, pd []int32, order []int32, trans func(u, v int32, s int) int, src int32, h int) Ball {
+	n := g.NumNodes()
+	minDist := func(v int32) int32 {
+		best := graph.Unreached
+		for s := int32(0); s < numStates; s++ {
+			if d := pd[v*numStates+s]; d < best {
+				best = d
+			}
+		}
+		return best
+	}
+	b := Ball{Center: src, Radius: h}
+	for v := int32(0); v < int32(n); v++ {
+		if int(minDist(v)) <= h {
+			b.Nodes = append(b.Nodes, v)
+		}
+	}
+	marked := make([]bool, n*numStates)
+	for _, v := range b.Nodes {
+		md := minDist(v)
+		for s := int32(0); s < numStates; s++ {
+			if pd[v*numStates+s] == md {
+				marked[v*numStates+s] = true
+			}
+		}
+	}
+	// order holds product states in nondecreasing distance; sweep it in
+	// reverse so successors are finalized before predecessors.
+	seen := map[uint64]bool{}
+	for i := len(order) - 1; i >= 0; i-- {
+		cur := order[i]
+		u, s := cur/numStates, int(cur%numStates)
+		du := pd[cur]
+		for _, v := range g.Neighbors(u) {
+			ns := trans(u, v, s)
+			if ns < 0 {
+				continue
+			}
+			nxt := v*numStates + int32(ns)
+			if pd[nxt] == du+1 && marked[nxt] {
+				marked[cur] = true
+				k := key(minInt32(u, v), maxInt32(u, v))
+				if !seen[k] {
+					seen[k] = true
+					b.Edges = append(b.Edges, graph.Edge{U: minInt32(u, v), V: maxInt32(u, v)})
+				}
+			}
+		}
+	}
+	return b
+}
+
+func minInt32(a, b int32) int32 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func maxInt32(a, b int32) int32 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Subgraph converts a policy ball into a graph (node i = Nodes[i]).
+func (b Ball) Subgraph() *graph.Graph {
+	idx := make(map[int32]int32, len(b.Nodes))
+	for i, v := range b.Nodes {
+		idx[v] = int32(i)
+	}
+	gb := graph.NewBuilder(len(b.Nodes))
+	for _, e := range b.Edges {
+		iu, okU := idx[e.U]
+		iv, okV := idx[e.V]
+		if okU && okV {
+			gb.AddEdge(iu, iv)
+		}
+	}
+	return gb.Graph()
+}
+
+// PathInflation returns the mean ratio of policy distance to plain shortest
+// path distance over reachable pairs from sampled sources, the quantity
+// studied in the paper's path-inflation reference [42].
+func (a *Annotated) PathInflation(sources []int32) float64 {
+	totalRatio, count := 0.0, 0
+	for _, src := range sources {
+		sd, _ := a.G.BFS(src)
+		pd := a.Dist(src)
+		for v := range sd {
+			if int32(v) == src || sd[v] == graph.Unreached || pd[v] == graph.Unreached {
+				continue
+			}
+			totalRatio += float64(pd[v]) / float64(sd[v])
+			count++
+		}
+	}
+	if count == 0 {
+		return 0
+	}
+	return totalRatio / float64(count)
+}

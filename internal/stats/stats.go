@@ -1,0 +1,259 @@
+// Package stats provides the statistical utilities the metric suite and the
+// figure harness share: CCDFs and rank distributions, Pearson correlation,
+// least-squares fits in linear and log-log space (power-law exponent
+// estimation), and a small Series type representing one plotted curve.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Point is a single (X, Y) sample of a curve.
+type Point struct{ X, Y float64 }
+
+// Series is one named curve of a figure, e.g. the expansion of one topology.
+type Series struct {
+	Name   string
+	Points []Point
+}
+
+// Add appends a sample.
+func (s *Series) Add(x, y float64) { s.Points = append(s.Points, Point{x, y}) }
+
+// Len returns the number of samples.
+func (s *Series) Len() int { return len(s.Points) }
+
+// SortByX orders the samples by increasing X.
+func (s *Series) SortByX() {
+	sort.Slice(s.Points, func(i, j int) bool { return s.Points[i].X < s.Points[j].X })
+}
+
+// YAt returns the Y value at the sample with the largest X <= x, or the
+// first sample's Y if x precedes all samples. The series must be sorted.
+func (s *Series) YAt(x float64) float64 {
+	if len(s.Points) == 0 {
+		return math.NaN()
+	}
+	i := sort.Search(len(s.Points), func(i int) bool { return s.Points[i].X > x })
+	if i == 0 {
+		return s.Points[0].Y
+	}
+	return s.Points[i-1].Y
+}
+
+// MaxY returns the largest Y value, or NaN for an empty series.
+func (s *Series) MaxY() float64 {
+	if len(s.Points) == 0 {
+		return math.NaN()
+	}
+	max := s.Points[0].Y
+	for _, p := range s.Points[1:] {
+		if p.Y > max {
+			max = p.Y
+		}
+	}
+	return max
+}
+
+// CCDF returns the complementary cumulative distribution of the integer
+// sample xs: points (k, P(X >= k)) for each distinct value k. This is the
+// "complementary cumulative frequency" plotted in the paper's Appendix A.
+func CCDF(xs []int) Series {
+	if len(xs) == 0 {
+		return Series{}
+	}
+	sorted := append([]int(nil), xs...)
+	sort.Ints(sorted)
+	n := float64(len(sorted))
+	var s Series
+	for i := 0; i < len(sorted); {
+		k := sorted[i]
+		// P(X >= k) = fraction of samples at index >= i.
+		s.Add(float64(k), float64(len(sorted)-i)/n)
+		j := i
+		for j < len(sorted) && sorted[j] == k {
+			j++
+		}
+		i = j
+	}
+	return s
+}
+
+// RankDistribution sorts values descending and returns points
+// (rank/len, value): the normalized rank plots of Figures 3 and 4.
+func RankDistribution(values []float64) Series {
+	sorted := append([]float64(nil), values...)
+	sort.Sort(sort.Reverse(sort.Float64Slice(sorted)))
+	var s Series
+	n := float64(len(sorted))
+	for i, v := range sorted {
+		s.Add(float64(i+1)/n, v)
+	}
+	return s
+}
+
+// Mean returns the arithmetic mean, or NaN for empty input.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// Pearson returns the Pearson correlation coefficient between xs and ys.
+// It returns 0 if either variable has zero variance.
+func Pearson(xs, ys []float64) float64 {
+	if len(xs) != len(ys) {
+		panic(fmt.Sprintf("stats: Pearson length mismatch %d vs %d", len(xs), len(ys)))
+	}
+	if len(xs) == 0 {
+		return 0
+	}
+	mx, my := Mean(xs), Mean(ys)
+	var sxy, sxx, syy float64
+	for i := range xs {
+		dx, dy := xs[i]-mx, ys[i]-my
+		sxy += dx * dy
+		sxx += dx * dx
+		syy += dy * dy
+	}
+	if sxx == 0 || syy == 0 {
+		return 0
+	}
+	return sxy / math.Sqrt(sxx*syy)
+}
+
+// Fit is the result of a least-squares line fit y = Slope*x + Intercept.
+type Fit struct {
+	Slope, Intercept float64
+	R2               float64
+}
+
+// LinearFit fits a least-squares line through the points.
+func LinearFit(pts []Point) Fit {
+	n := float64(len(pts))
+	if n < 2 {
+		return Fit{R2: 0}
+	}
+	var sx, sy float64
+	for _, p := range pts {
+		sx += p.X
+		sy += p.Y
+	}
+	mx, my := sx/n, sy/n
+	var sxy, sxx, syy float64
+	for _, p := range pts {
+		dx, dy := p.X-mx, p.Y-my
+		sxy += dx * dy
+		sxx += dx * dx
+		syy += dy * dy
+	}
+	if sxx == 0 {
+		return Fit{Intercept: my}
+	}
+	slope := sxy / sxx
+	f := Fit{Slope: slope, Intercept: my - slope*mx}
+	if syy > 0 {
+		f.R2 = (sxy * sxy) / (sxx * syy)
+	} else {
+		f.R2 = 1
+	}
+	return f
+}
+
+// LogLogFit fits log(y) = Slope*log(x) + Intercept over points with
+// positive coordinates: the slope estimates a power-law exponent.
+func LogLogFit(pts []Point) Fit {
+	var lp []Point
+	for _, p := range pts {
+		if p.X > 0 && p.Y > 0 {
+			lp = append(lp, Point{math.Log(p.X), math.Log(p.Y)})
+		}
+	}
+	return LinearFit(lp)
+}
+
+// SemiLogFit fits log(y) = Slope*x + Intercept over points with positive Y:
+// the fit quality distinguishes exponential from polynomial growth.
+func SemiLogFit(pts []Point) Fit {
+	var lp []Point
+	for _, p := range pts {
+		if p.Y > 0 {
+			lp = append(lp, Point{p.X, math.Log(p.Y)})
+		}
+	}
+	return LinearFit(lp)
+}
+
+// Bucketize aggregates raw (x, y) samples into geometric buckets of the
+// given ratio (>1) and returns one averaged point per non-empty bucket.
+// Metric curves keyed by ball size use this to tame sampling noise, like
+// the paper's averaging of same-radius balls.
+func Bucketize(pts []Point, ratio float64) Series {
+	if ratio <= 1 {
+		panic("stats: Bucketize ratio must exceed 1")
+	}
+	type acc struct {
+		sx, sy float64
+		n      int
+	}
+	buckets := map[int]*acc{}
+	for _, p := range pts {
+		if p.X <= 0 {
+			continue
+		}
+		b := int(math.Floor(math.Log(p.X) / math.Log(ratio)))
+		a := buckets[b]
+		if a == nil {
+			a = &acc{}
+			buckets[b] = a
+		}
+		a.sx += p.X
+		a.sy += p.Y
+		a.n++
+	}
+	var s Series
+	for _, a := range buckets {
+		s.Add(a.sx/float64(a.n), a.sy/float64(a.n))
+	}
+	s.SortByX()
+	return s
+}
+
+// Quantile returns the q-quantile (0 <= q <= 1) of xs by nearest-rank on a
+// sorted copy. NaN for empty input.
+func Quantile(xs []float64, q float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	i := int(q * float64(len(sorted)-1))
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(sorted) {
+		i = len(sorted) - 1
+	}
+	return sorted[i]
+}
+
+// FractionAbove returns the fraction of values strictly above the threshold.
+func FractionAbove(xs []float64, threshold float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	cnt := 0
+	for _, x := range xs {
+		if x > threshold {
+			cnt++
+		}
+	}
+	return float64(cnt) / float64(len(xs))
+}

@@ -1,0 +1,139 @@
+// Package traceroute simulates the router-level topology discovery behind
+// the paper's RL graph (the SCAN/Mercator map): traceroute-style probes
+// from a handful of sources toward sampled destinations reveal the routers
+// and adjacencies on the traversed policy paths; the measured RL graph is
+// assembled from those adjacencies. As with the real map, links and routers
+// off the observed paths are missing, and the resulting graph is dominated
+// by the degree-1 access routers that terminate probes.
+package traceroute
+
+import (
+	"math/rand"
+
+	"topocmp/internal/graph"
+	"topocmp/internal/policy"
+	"topocmp/internal/rng"
+)
+
+// Options configures the sweep.
+type Options struct {
+	// Sources is the number of probe sources (SCAN used a small set).
+	Sources int
+	// DestFraction is the share of routers probed as destinations,
+	// modeling coverage of the address space; default 0.5.
+	DestFraction float64
+	// AliasFailure is the probability that a router's interfaces fail to
+	// be merged by alias resolution (Mercator/SCAN's hardest problem):
+	// such a router appears once per incident observed link direction,
+	// splitting it into per-interface pseudo-nodes. This inflates the node
+	// count and deflates degrees, exactly the artifact real maps carry.
+	// Zero disables the effect.
+	AliasFailure float64
+	// Rand drives source and destination sampling.
+	Rand *rand.Rand
+}
+
+func (o *Options) defaults() {
+	if o.Sources == 0 {
+		o.Sources = 6
+	}
+	if o.DestFraction == 0 {
+		o.DestFraction = 0.5
+	}
+	if o.Rand == nil {
+		o.Rand = rand.New(rand.NewSource(1))
+	}
+}
+
+// Sweep runs the simulated traceroute campaign over a router-level overlay
+// and returns the inferred RL graph plus orig[newID] = router id in the
+// ground-truth graph.
+func Sweep(overlay *policy.RouterOverlay, backbone []bool, opts Options) (*graph.Graph, []int32) {
+	opts.defaults()
+	n := overlay.RL.NumNodes()
+
+	// Sources: prefer backbone routers (measurement boxes sit in well
+	// connected networks).
+	var backboneIDs []int32
+	for v := int32(0); v < int32(n); v++ {
+		if backbone == nil || backbone[v] {
+			backboneIDs = append(backboneIDs, v)
+		}
+	}
+	numSrc := opts.Sources
+	if numSrc > len(backboneIDs) {
+		numSrc = len(backboneIDs)
+	}
+	srcIdx := rng.SampleInts(opts.Rand, len(backboneIDs), numSrc)
+	// Destinations: a random slice of the router space.
+	numDst := int(opts.DestFraction * float64(n))
+	if numDst < 1 {
+		numDst = 1
+	}
+	dsts := rng.SampleInts(opts.Rand, n, numDst)
+
+	// Alias-resolution failures are drawn once per ground-truth router: a
+	// failed router appears as one pseudo-node per (router, entering
+	// neighbor) interface.
+	failed := make([]bool, n)
+	if opts.AliasFailure > 0 {
+		for v := range failed {
+			failed[v] = opts.Rand.Float64() < opts.AliasFailure
+		}
+	}
+	type ifaceKey struct{ router, from int32 }
+	index := map[ifaceKey]int32{}
+	var orig []int32
+	id := func(router, from int32) int32 {
+		key := ifaceKey{router, -1}
+		if failed[router] {
+			key.from = from
+		}
+		if i, ok := index[key]; ok {
+			return i
+		}
+		i := int32(len(orig))
+		index[key] = i
+		orig = append(orig, router)
+		return i
+	}
+
+	type pair struct{ u, v int32 }
+	seen := map[pair]bool{}
+	var edges []graph.Edge
+	addEdge := func(u, v int32) {
+		if u == v {
+			return
+		}
+		if u > v {
+			u, v = v, u
+		}
+		if !seen[pair{u, v}] {
+			seen[pair{u, v}] = true
+			edges = append(edges, graph.Edge{U: u, V: v})
+		}
+	}
+	for _, si := range srcIdx {
+		src := backboneIDs[si]
+		pt := overlay.Paths(src)
+		for _, di := range dsts {
+			dst := int32(di)
+			if dst == src {
+				continue
+			}
+			path := pt.Path(dst)
+			if len(path) < 2 {
+				continue
+			}
+			// Traceroute reveals each hop's incoming interface: the hop's
+			// pseudo-node identity is keyed by its predecessor.
+			prevID := id(path[0], -1)
+			for i := 1; i < len(path); i++ {
+				curID := id(path[i], path[i-1])
+				addEdge(prevID, curID)
+				prevID = curID
+			}
+		}
+	}
+	return graph.FromEdges(len(orig), edges), orig
+}

@@ -1,0 +1,146 @@
+package traceroute
+
+import (
+	"math/rand"
+	"testing"
+
+	"topocmp/internal/internetsim"
+)
+
+func testRouterLevel(t *testing.T, nAS int, seed int64) *internetsim.RouterLevel {
+	t.Helper()
+	r := rand.New(rand.NewSource(seed))
+	as := internetsim.MustGenerateAS(r, internetsim.ASParams{NumAS: nAS})
+	return internetsim.MustGenerateRouters(r, as, internetsim.RouterParams{})
+}
+
+func TestSweepBasics(t *testing.T) {
+	rl := testRouterLevel(t, 600, 1)
+	measured, orig := Sweep(rl.Overlay, rl.Backbone, Options{
+		Sources: 5, DestFraction: 0.5, Rand: rand.New(rand.NewSource(2)),
+	})
+	if measured.NumNodes() == 0 {
+		t.Fatal("empty measured graph")
+	}
+	if len(orig) != measured.NumNodes() {
+		t.Fatal("orig mapping mismatch")
+	}
+	// Incompleteness: measured misses part of the ground truth.
+	if measured.NumEdges() >= rl.Graph.NumEdges() {
+		t.Fatalf("measured edges %d >= truth %d", measured.NumEdges(), rl.Graph.NumEdges())
+	}
+	if !measured.IsConnected() {
+		t.Fatal("union of paths from connected sources must be connected")
+	}
+}
+
+func TestSweepLeafDominated(t *testing.T) {
+	// Like the SCAN map (avg degree 2.53), the measured RL graph is
+	// dominated by low-degree routers.
+	rl := testRouterLevel(t, 800, 3)
+	measured, _ := Sweep(rl.Overlay, rl.Backbone, Options{
+		Sources: 6, DestFraction: 0.6, Rand: rand.New(rand.NewSource(4)),
+	})
+	if d := measured.AvgDegree(); d < 1.5 || d > 3.5 {
+		t.Fatalf("measured avg degree = %.2f, want ~2.5", d)
+	}
+	ones := 0
+	for _, d := range measured.Degrees() {
+		if d <= 2 {
+			ones++
+		}
+	}
+	if frac := float64(ones) / float64(measured.NumNodes()); frac < 0.5 {
+		t.Fatalf("low-degree fraction = %.2f, want > 0.5", frac)
+	}
+}
+
+func TestMoreSourcesSeeMore(t *testing.T) {
+	rl := testRouterLevel(t, 500, 5)
+	small, _ := Sweep(rl.Overlay, rl.Backbone, Options{
+		Sources: 2, DestFraction: 0.4, Rand: rand.New(rand.NewSource(6)),
+	})
+	large, _ := Sweep(rl.Overlay, rl.Backbone, Options{
+		Sources: 10, DestFraction: 0.4, Rand: rand.New(rand.NewSource(6)),
+	})
+	if large.NumEdges() <= small.NumEdges() {
+		t.Fatalf("more sources should reveal more links: %d vs %d",
+			large.NumEdges(), small.NumEdges())
+	}
+}
+
+func TestSweepDeterminism(t *testing.T) {
+	rl := testRouterLevel(t, 400, 7)
+	a, _ := Sweep(rl.Overlay, rl.Backbone, Options{Rand: rand.New(rand.NewSource(8))})
+	b, _ := Sweep(rl.Overlay, rl.Backbone, Options{Rand: rand.New(rand.NewSource(8))})
+	if a.NumNodes() != b.NumNodes() || a.NumEdges() != b.NumEdges() {
+		t.Fatal("same seed should reproduce the sweep")
+	}
+}
+
+func TestAliasFailureInflatesNodes(t *testing.T) {
+	rl := testRouterLevel(t, 500, 9)
+	clean, _ := Sweep(rl.Overlay, rl.Backbone, Options{
+		Sources: 5, DestFraction: 0.5, Rand: rand.New(rand.NewSource(10)),
+	})
+	noisy, orig := Sweep(rl.Overlay, rl.Backbone, Options{
+		Sources: 5, DestFraction: 0.5, AliasFailure: 0.3,
+		Rand: rand.New(rand.NewSource(10)),
+	})
+	if noisy.NumNodes() <= clean.NumNodes() {
+		t.Fatalf("alias failure should inflate nodes: %d vs %d",
+			noisy.NumNodes(), clean.NumNodes())
+	}
+	// Split routers map multiple pseudo-nodes to one ground-truth router.
+	seen := map[int32]int{}
+	for _, r := range orig {
+		seen[r]++
+	}
+	multi := 0
+	for _, c := range seen {
+		if c > 1 {
+			multi++
+		}
+	}
+	if multi == 0 {
+		t.Fatal("no router was split despite 30% alias failure")
+	}
+	// Split routers' interfaces each carry only a slice of the router's
+	// true degree: the max pseudo-node degree of a split router stays
+	// below the count its interfaces sum to.
+	perRouterMax := map[int32]int{}
+	perRouterSum := map[int32]int{}
+	for v := int32(0); v < int32(noisy.NumNodes()); v++ {
+		r := orig[v]
+		d := noisy.Degree(v)
+		perRouterSum[r] += d
+		if d > perRouterMax[r] {
+			perRouterMax[r] = d
+		}
+	}
+	diluted := 0
+	for r, c := range seen {
+		if c > 1 && perRouterMax[r] < perRouterSum[r] {
+			diluted++
+		}
+	}
+	if diluted == 0 {
+		t.Fatal("split routers should show diluted per-interface degrees")
+	}
+}
+
+func TestAliasFailureZeroIsClean(t *testing.T) {
+	rl := testRouterLevel(t, 300, 11)
+	a, _ := Sweep(rl.Overlay, rl.Backbone, Options{Rand: rand.New(rand.NewSource(12))})
+	b, orig := Sweep(rl.Overlay, rl.Backbone, Options{AliasFailure: 0, Rand: rand.New(rand.NewSource(12))})
+	if a.NumNodes() != b.NumNodes() || a.NumEdges() != b.NumEdges() {
+		t.Fatal("AliasFailure=0 should match the default")
+	}
+	seen := map[int32]bool{}
+	for _, r := range orig {
+		if seen[r] {
+			t.Fatal("router duplicated without alias failure")
+		}
+		seen[r] = true
+	}
+}

@@ -437,6 +437,78 @@ func BenchmarkFigure14VariantHierarchy(b *testing.B) {
 	})
 }
 
+// --- Ball-engine benches (the parallel ball-growing engine of DESIGN.md) ---
+
+// BenchmarkRunSuite times the full metric suite on the bench PLRG through
+// the shared ball engine, sequentially and at NumCPU parallelism.
+func BenchmarkRunSuite(b *testing.B) {
+	g := benchGraph()
+	n := &core.Network{Name: "PLRG", Category: core.Generated, Graph: g}
+	for _, c := range []struct {
+		name string
+		par  int
+	}{{"sequential", 1}, {"numcpu", 0}} {
+		b.Run(c.name, func(b *testing.B) {
+			opts := core.SuiteOptions{Sources: 10, MaxBallSize: 1200,
+				LinkSources: 256, Seed: 1, Parallelism: c.par}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				core.RunSuite(n, opts)
+			}
+		})
+	}
+}
+
+// BenchmarkBallEngine compares one full ball-growing pass (grow balls
+// around sampled centers, build each ball's induced subgraph) through the
+// legacy Visit+Subgraph path against the engine, plus the engine's
+// steady-state where the profile and subgraph caches are warm.
+func BenchmarkBallEngine(b *testing.B) {
+	g := benchGraph()
+	cfg := func() ball.Config {
+		return ball.Config{MaxSources: 10, MaxBallSize: 1200,
+			Rand: rand.New(rand.NewSource(1))}
+	}
+	count := func(sub *graph.Graph, _ *rand.Rand) (float64, bool) {
+		return float64(sub.NumNodes()), true
+	}
+	b.Run("legacy-visit", func(b *testing.B) {
+		b.ReportAllocs()
+		balls := 0
+		for i := 0; i < b.N; i++ {
+			balls = 0
+			ball.Visit(g, cfg(), func(bb ball.Ball) {
+				ball.Subgraph(g, bb)
+				balls++
+			})
+		}
+		b.ReportMetric(float64(balls), "balls")
+	})
+	b.Run("engine-cold", func(b *testing.B) {
+		b.ReportAllocs()
+		balls := 0
+		for i := 0; i < b.N; i++ {
+			e := ball.NewEngine(g, 1)
+			pts := e.BallPoints(cfg(), 1, count)
+			balls = len(pts)
+		}
+		b.ReportMetric(float64(balls), "balls")
+	})
+	b.Run("engine-warm", func(b *testing.B) {
+		e := ball.NewEngine(g, 1)
+		e.BallPoints(cfg(), 1, count) // warm the caches
+		b.ReportAllocs()
+		b.ResetTimer()
+		balls := 0
+		for i := 0; i < b.N; i++ {
+			pts := e.BallPoints(cfg(), 1, count)
+			balls = len(pts)
+		}
+		b.ReportMetric(float64(balls), "balls")
+	})
+}
+
 // --- Ablation benches (DESIGN.md design choices) ---
 
 func BenchmarkAblationDistortionRoots(b *testing.B) {

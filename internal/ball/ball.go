@@ -51,16 +51,17 @@ type Ball struct {
 // or reaches MaxRadius.
 func Visit(g *graph.Graph, cfg Config, fn func(b Ball)) {
 	cfg.defaults()
+	s := graph.NewBFSScratch()
 	for _, src := range Centers(g, &cfg) {
-		dist, order := g.BFS(src)
+		order := s.BFS(g, src)
 		// order is sorted by distance already (BFS property).
-		maxR := int(dist[order[len(order)-1]])
+		maxR := int(s.Dist(order[len(order)-1]))
 		if cfg.MaxRadius > 0 && maxR > cfg.MaxRadius {
 			maxR = cfg.MaxRadius
 		}
 		idx := 0
 		for h := 1; h <= maxR; h++ {
-			for idx < len(order) && int(dist[order[idx]]) <= h {
+			for idx < len(order) && int(s.Dist(order[idx])) <= h {
 				idx++
 			}
 			if cfg.MaxBallSize > 0 && idx > cfg.MaxBallSize {

@@ -1,0 +1,232 @@
+package ball
+
+import (
+	"math/rand"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"topocmp/internal/graph"
+	"topocmp/internal/stats"
+)
+
+// Engine grows balls for one graph over a reusable worker pool. It keeps
+// per-worker BFS and subgraph scratch (epoch-stamped arrays and reused
+// queues, so steady-state ball growth is allocation-free) and a shared
+// ball-profile cache, so every metric that grows balls from the same center
+// shares one BFS pass per (graph, center) instead of recomputing it.
+//
+// Determinism contract: results are assembled in center order and every
+// per-center RNG is derived from seed+centerIndex, so the output is
+// bit-identical at every parallelism, including the sequential pool of
+// width 1.
+type Engine struct {
+	g        *graph.Graph
+	parallel int
+
+	scratch sync.Pool // *workerScratch
+
+	mu       sync.Mutex
+	profiles map[int32]*profileEntry
+}
+
+// workerScratch bundles one worker's reusable traversal buffers.
+type workerScratch struct {
+	bfs *graph.BFSScratch
+	sub *graph.SubgraphScratch
+}
+
+type profileEntry struct {
+	once sync.Once
+	p    *Profile
+}
+
+// NewEngine returns an engine for g with the given worker-pool width;
+// parallelism <= 0 uses runtime.NumCPU, 1 runs strictly sequentially.
+func NewEngine(g *graph.Graph, parallelism int) *Engine {
+	if parallelism <= 0 {
+		parallelism = runtime.NumCPU()
+	}
+	e := &Engine{g: g, parallel: parallelism, profiles: map[int32]*profileEntry{}}
+	e.scratch.New = func() any {
+		return &workerScratch{bfs: graph.NewBFSScratch(), sub: graph.NewSubgraphScratch()}
+	}
+	return e
+}
+
+// Graph returns the graph the engine grows balls on.
+func (e *Engine) Graph() *graph.Graph { return e.g }
+
+// Parallelism returns the worker-pool width.
+func (e *Engine) Parallelism() int { return e.parallel }
+
+// Profile is one center's cached ball profile: everything a single BFS pass
+// reveals about the balls around the center.
+type Profile struct {
+	Center int32
+	// Order holds the center's component in BFS order, so Order[:Cum[h]]
+	// is the ball of radius h. Shared storage — do not modify.
+	Order []int32
+	// Cum[h] is the ball size at radius h; len(Cum) == eccentricity+1.
+	Cum []int32
+
+	mu   sync.Mutex
+	subs []*subEntry // ball subgraphs by radius, built at most once each
+}
+
+type subEntry struct {
+	once sync.Once
+	g    *graph.Graph
+}
+
+// Eccentricity returns the center's hop radius within its component.
+func (p *Profile) Eccentricity() int { return len(p.Cum) - 1 }
+
+// Size returns |ball(Center, h)|, saturating beyond the eccentricity.
+func (p *Profile) Size(h int) int {
+	if h >= len(p.Cum) {
+		h = len(p.Cum) - 1
+	}
+	return int(p.Cum[h])
+}
+
+// BallAt returns the members of ball(Center, h) in BFS order. The slice
+// shares the profile's storage and must not be modified.
+func (p *Profile) BallAt(h int) []int32 { return p.Order[:p.Size(h)] }
+
+// Profile returns the center's ball profile, computing and caching it on
+// first use. Safe for concurrent use; duplicate work is suppressed.
+func (e *Engine) Profile(center int32) *Profile {
+	e.mu.Lock()
+	ent := e.profiles[center]
+	if ent == nil {
+		ent = &profileEntry{}
+		e.profiles[center] = ent
+	}
+	e.mu.Unlock()
+	ent.once.Do(func() {
+		ws := e.scratch.Get().(*workerScratch)
+		ent.p = computeProfile(e.g, ws.bfs, center)
+		e.scratch.Put(ws)
+	})
+	return ent.p
+}
+
+func computeProfile(g *graph.Graph, s *graph.BFSScratch, center int32) *Profile {
+	order := s.BFS(g, center)
+	own := make([]int32, len(order))
+	copy(own, order)
+	ecc := int(s.Dist(order[len(order)-1]))
+	cum := make([]int32, ecc+1)
+	for _, v := range order {
+		cum[s.Dist(v)]++
+	}
+	for h := 1; h <= ecc; h++ {
+		cum[h] += cum[h-1]
+	}
+	return &Profile{Center: center, Order: own, Cum: cum}
+}
+
+// Profiles returns the centers' profiles in center order, fanning the
+// missing ones out over the worker pool.
+func (e *Engine) Profiles(centers []int32) []*Profile {
+	out := make([]*Profile, len(centers))
+	e.forEach(len(centers), func(i int) { out[i] = e.Profile(centers[i]) })
+	return out
+}
+
+// BallSubgraph returns the induced subgraph of ball(p.Center, h), built at
+// most once per (center, radius) and shared by every metric that asks.
+func (e *Engine) BallSubgraph(p *Profile, h int) *graph.Graph {
+	if h > p.Eccentricity() {
+		h = p.Eccentricity()
+	}
+	p.mu.Lock()
+	for len(p.subs) <= h {
+		p.subs = append(p.subs, &subEntry{})
+	}
+	ent := p.subs[h]
+	p.mu.Unlock()
+	ent.once.Do(func() {
+		ws := e.scratch.Get().(*workerScratch)
+		ent.g = ws.sub.Induced(e.g, p.BallAt(h))
+		e.scratch.Put(ws)
+	})
+	return ent.g
+}
+
+// forEach runs work(i) for i in [0, n) over the worker pool. With a pool of
+// width 1 the calls run inline in index order.
+func (e *Engine) forEach(n int, work func(i int)) {
+	if e.parallel <= 1 || n <= 1 {
+		for i := 0; i < n; i++ {
+			work(i)
+		}
+		return
+	}
+	workers := e.parallel
+	if workers > n {
+		workers = n
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				work(i)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// BallPoints grows balls per cfg around the sampled centers, fanning
+// centers out over the worker pool, and collects one point per accepted
+// ball — X the ball size, Y from perBall on the ball's induced subgraph —
+// assembled in deterministic (center, radius) order. perBall runs on worker
+// goroutines and receives a per-center RNG seeded seed+centerIndex; it must
+// not retain sub, which is shared through the engine's subgraph cache.
+func (e *Engine) BallPoints(cfg Config, seed int64, perBall func(sub *graph.Graph, rng *rand.Rand) (y float64, ok bool)) []stats.Point {
+	cfg.defaults()
+	centers := Centers(e.g, &cfg)
+	profs := e.Profiles(centers)
+	perCenter := make([][]stats.Point, len(centers))
+	e.forEach(len(centers), func(i int) {
+		p := profs[i]
+		rng := rand.New(rand.NewSource(seed + int64(i)))
+		maxR := p.Eccentricity()
+		if cfg.MaxRadius > 0 && maxR > cfg.MaxRadius {
+			maxR = cfg.MaxRadius
+		}
+		var pts []stats.Point
+		for h := 1; h <= maxR; h++ {
+			sz := p.Size(h)
+			if cfg.MaxBallSize > 0 && sz > cfg.MaxBallSize {
+				break
+			}
+			if sz < cfg.MinBallSize {
+				continue
+			}
+			sub := e.BallSubgraph(p, h)
+			if y, ok := perBall(sub, rng); ok {
+				pts = append(pts, stats.Point{X: float64(sz), Y: y})
+			}
+		}
+		perCenter[i] = pts
+	})
+	total := 0
+	for _, pts := range perCenter {
+		total += len(pts)
+	}
+	out := make([]stats.Point, 0, total)
+	for _, pts := range perCenter {
+		out = append(out, pts...)
+	}
+	return out
+}

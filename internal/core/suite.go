@@ -19,8 +19,12 @@ type SuiteOptions struct {
 	Sources     int   // ball centers sampled per metric (default 24)
 	MaxBallSize int   // per-ball cost cap for the expensive metrics (default 3000)
 	EigenRank   int   // eigenvalues computed (default 40)
-	LinkSources int   // pair sources for link values (default 96)
+	LinkSources int   // pair sources for link values (default 384)
 	Seed        int64 // base RNG seed (default 1)
+	// Parallelism is the worker-pool width of the ball engine and the
+	// link-value sweeps: 0 uses runtime.NumCPU, 1 runs the legacy
+	// sequential path. Results are bit-identical at every width.
+	Parallelism int
 	// SkipHierarchy disables the link-value computation (the costliest
 	// stage) when only Figure 2 style metrics are needed.
 	SkipHierarchy bool
@@ -80,23 +84,36 @@ type SuiteResult struct {
 	PolicyLinkValues *hierarchy.Result
 }
 
-// RunSuite computes the full metric suite on a network. Graphs are
-// immutable, so the independent metrics run concurrently; every metric
-// seeds its own RNG, so results are identical to a sequential run.
+// RunSuite computes the full metric suite on a network. All ball growth
+// runs through one shared ball.Engine per network, so metrics that sample
+// the same centers share one BFS pass and one induced subgraph per (center,
+// radius); per-center work fans out over the engine's worker pool. Every
+// metric and every center seeds its own RNG, so results are bit-identical
+// at every Parallelism, including the sequential width of 1 (where the
+// metric stages also run inline instead of concurrently).
 func RunSuite(n *Network, opts SuiteOptions) *SuiteResult {
 	opts.defaults()
 	res := &SuiteResult{Network: n}
 	g := n.Graph
+	eng := ball.NewEngine(g, opts.Parallelism)
 
-	cfg := func(off int64) ball.Config {
+	// One center set (seed+1) for every ball-curve metric: resilience,
+	// distortion, vertex cover, biconnectivity and clustering then share the
+	// engine's cached profiles and ball subgraphs instead of growing five
+	// sets of balls.
+	curveCfg := func() ball.Config {
 		return ball.Config{
 			MaxSources:  opts.Sources,
 			MaxBallSize: opts.MaxBallSize,
-			Rand:        rand.New(rand.NewSource(opts.Seed + off)),
+			Rand:        rand.New(rand.NewSource(opts.Seed + 1)),
 		}
 	}
 	var wg sync.WaitGroup
 	stage := func(f func()) {
+		if opts.Parallelism == 1 {
+			f()
+			return
+		}
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
@@ -104,21 +121,25 @@ func RunSuite(n *Network, opts SuiteOptions) *SuiteResult {
 		}()
 	}
 	stage(func() {
-		res.Expansion = metrics.Expansion(g, ball.Config{
+		res.Expansion = metrics.ExpansionWith(eng, ball.Config{
 			MaxSources: 4 * opts.Sources,
 			Rand:       rand.New(rand.NewSource(opts.Seed)),
 		})
 	})
 	stage(func() {
-		res.Resilience = metrics.Resilience(g, cfg(1), partition.Options{
-			Rand: rand.New(rand.NewSource(opts.Seed + 100)),
-		})
+		res.Resilience = metrics.ResilienceWith(eng, curveCfg(), partition.Options{},
+			opts.Seed+100)
 	})
-	stage(func() { res.Distortion = metrics.Distortion(g, cfg(2), 3) })
+	stage(func() { res.Distortion = metrics.DistortionWith(eng, curveCfg(), 3) })
 	stage(func() { res.Eigenvalues = metrics.EigenvalueSpectrum(g, opts.EigenRank) })
-	stage(func() { res.Eccentricity = metrics.EccentricityDistribution(g, 4*opts.Sources, 0.1) })
-	stage(func() { res.VertexCover = metrics.VertexCoverCurve(g, cfg(3)) })
-	stage(func() { res.Biconnectivity = metrics.BiconnectivityCurve(g, cfg(4)) })
+	stage(func() {
+		// Same sampling stream as expansion, so the eccentricities read
+		// straight off the profiles the expansion metric already grew.
+		res.Eccentricity = metrics.EccentricityDistributionWith(eng, 4*opts.Sources, 0.1,
+			rand.New(rand.NewSource(opts.Seed)))
+	})
+	stage(func() { res.VertexCover = metrics.VertexCoverCurveWith(eng, curveCfg()) })
+	stage(func() { res.Biconnectivity = metrics.BiconnectivityCurveWith(eng, curveCfg()) })
 	stage(func() {
 		res.Attack = metrics.AttackTolerance(g, opts.ToleranceFractions, 2*opts.Sources)
 	})
@@ -127,7 +148,7 @@ func RunSuite(n *Network, opts SuiteOptions) *SuiteResult {
 			rand.New(rand.NewSource(opts.Seed+200)))
 	})
 	stage(func() {
-		res.Clustering = metrics.ClusteringCurve(g, cfg(5))
+		res.Clustering = metrics.ClusteringCurveWith(eng, curveCfg())
 		res.WholeGraphClustering = metrics.ClusteringCoefficient(g)
 	})
 
@@ -144,15 +165,17 @@ func RunSuite(n *Network, opts SuiteOptions) *SuiteResult {
 				}
 			}
 			res.LinkValues = hierarchy.LinkValues(lvGraph, hierarchy.Options{
-				MaxSources: opts.LinkSources,
-				Rand:       rand.New(rand.NewSource(opts.Seed + 300)),
+				MaxSources:  opts.LinkSources,
+				Rand:        rand.New(rand.NewSource(opts.Seed + 300)),
+				Parallelism: opts.Parallelism,
 			})
 		})
 		if n.Policy != nil {
 			stage(func() {
 				res.PolicyLinkValues = hierarchy.PolicyLinkValues(n.Policy, hierarchy.Options{
-					MaxSources: opts.LinkSources,
-					Rand:       rand.New(rand.NewSource(opts.Seed + 400)),
+					MaxSources:  opts.LinkSources,
+					Rand:        rand.New(rand.NewSource(opts.Seed + 400)),
+					Parallelism: opts.Parallelism,
 				})
 			})
 		}
@@ -230,8 +253,11 @@ func policyExpansion(n *Network, cfg ball.Config) stats.Series {
 	total := float64(g.NumNodes())
 	centers := ball.Centers(g, &cfg)
 	// Per-center cumulative reach profiles, saturated to the global
-	// maximum eccentricity afterwards.
+	// maximum eccentricity afterwards. The distance histogram is a slice
+	// indexed by distance (distances are small dense ints; a map here
+	// churns on large policy graphs), reused across centers.
 	var profiles [][]float64
+	var counts []int
 	maxH := 0
 	for _, src := range centers {
 		var dist []int32
@@ -240,15 +266,19 @@ func policyExpansion(n *Network, cfg ball.Config) stats.Series {
 		} else {
 			dist = n.Policy.Dist(src)
 		}
-		counts := map[int]int{}
+		counts = counts[:0]
 		ecc := 0
 		for _, d := range dist {
 			if d == graph.Unreached {
 				continue
 			}
-			counts[int(d)]++
-			if int(d) > ecc {
-				ecc = int(d)
+			di := int(d)
+			for di >= len(counts) {
+				counts = append(counts, 0)
+			}
+			counts[di]++
+			if di > ecc {
+				ecc = di
 			}
 		}
 		cum := make([]float64, ecc+1)

@@ -343,21 +343,12 @@ func (g *Graph) LargestComponent() (*Graph, []int32) {
 }
 
 // Subgraph returns the subgraph induced by nodes, which must not contain
-// duplicates. New node i corresponds to nodes[i].
+// duplicates. New node i corresponds to nodes[i]. Built directly in CSR
+// form (the source graph is simple, so the induced graph needs no edge
+// dedup); use a SubgraphScratch to amortize the index arrays across calls.
 func (g *Graph) Subgraph(nodes []int32) *Graph {
-	idx := make(map[int32]int32, len(nodes))
-	for i, v := range nodes {
-		idx[v] = int32(i)
-	}
-	b := NewBuilder(len(nodes))
-	for i, v := range nodes {
-		for _, w := range g.Neighbors(v) {
-			if j, ok := idx[w]; ok && int32(i) < j {
-				b.AddEdge(int32(i), j)
-			}
-		}
-	}
-	return b.Graph()
+	var s SubgraphScratch
+	return s.Induced(g, nodes)
 }
 
 // Core returns the subgraph obtained by recursively removing degree-1 nodes

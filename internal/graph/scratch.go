@@ -1,0 +1,179 @@
+package graph
+
+import "slices"
+
+// BFSScratch holds reusable buffers for repeated breadth-first traversals so
+// steady-state BFS is allocation-free. Visited-ness is epoch-stamped: each
+// traversal bumps an epoch counter instead of clearing the arrays, so
+// starting a traversal costs O(1) rather than O(N).
+//
+// A scratch is not safe for concurrent use; give each worker its own. The
+// results of a traversal (Order, Dist, Sigma) are owned by the scratch and
+// valid only until the next traversal.
+type BFSScratch struct {
+	epoch int32
+	stamp []int32 // stamp[v] == epoch ⇔ v reached in the current traversal
+	dist  []int32 // valid where stamped
+	sigma []float64 // shortest-path counts, valid where stamped (Counts only)
+	order []int32
+}
+
+// NewBFSScratch returns an empty scratch; buffers grow on first use.
+func NewBFSScratch() *BFSScratch { return &BFSScratch{} }
+
+// begin sizes the buffers for an n-node graph and opens a new epoch.
+func (s *BFSScratch) begin(n int) {
+	if len(s.stamp) < n {
+		s.stamp = make([]int32, n)
+		s.dist = make([]int32, n)
+		if s.sigma != nil {
+			s.sigma = make([]float64, n)
+		}
+		s.order = make([]int32, 0, n)
+		s.epoch = 0
+	}
+	s.epoch++
+	if s.epoch < 0 { // epoch wrapped: clear stamps and restart
+		for i := range s.stamp {
+			s.stamp[i] = 0
+		}
+		s.epoch = 1
+	}
+	s.order = s.order[:0]
+}
+
+// BFS runs a traversal from src and returns the reached nodes in visit
+// order (src first). Distances are available through Dist until the next
+// traversal.
+func (s *BFSScratch) BFS(g *Graph, src int32) []int32 {
+	s.begin(g.NumNodes())
+	s.stamp[src] = s.epoch
+	s.dist[src] = 0
+	s.order = append(s.order, src)
+	for head := 0; head < len(s.order); head++ {
+		u := s.order[head]
+		du := s.dist[u]
+		for _, v := range g.Neighbors(u) {
+			if s.stamp[v] != s.epoch {
+				s.stamp[v] = s.epoch
+				s.dist[v] = du + 1
+				s.order = append(s.order, v)
+			}
+		}
+	}
+	return s.order
+}
+
+// Counts runs a traversal from src that also accumulates the number of
+// distinct shortest paths to every reached node (the sigma values of
+// Graph.BFSCounts), available through Sigma until the next traversal.
+func (s *BFSScratch) Counts(g *Graph, src int32) []int32 {
+	s.begin(g.NumNodes())
+	if len(s.sigma) < len(s.stamp) {
+		s.sigma = make([]float64, len(s.stamp))
+	}
+	s.stamp[src] = s.epoch
+	s.dist[src] = 0
+	s.sigma[src] = 1
+	s.order = append(s.order, src)
+	for head := 0; head < len(s.order); head++ {
+		u := s.order[head]
+		du := s.dist[u]
+		for _, v := range g.Neighbors(u) {
+			if s.stamp[v] != s.epoch {
+				s.stamp[v] = s.epoch
+				s.dist[v] = du + 1
+				s.sigma[v] = 0
+				s.order = append(s.order, v)
+			}
+			if s.dist[v] == du+1 {
+				s.sigma[v] += s.sigma[u]
+			}
+		}
+	}
+	return s.order
+}
+
+// Dist returns v's hop distance in the last traversal, or Unreached.
+func (s *BFSScratch) Dist(v int32) int32 {
+	if s.stamp[v] != s.epoch {
+		return Unreached
+	}
+	return s.dist[v]
+}
+
+// Sigma returns v's shortest-path count in the last Counts traversal, or 0
+// for unreached nodes.
+func (s *BFSScratch) Sigma(v int32) float64 {
+	if s.stamp[v] != s.epoch {
+		return 0
+	}
+	return s.sigma[v]
+}
+
+// SubgraphScratch builds induced subgraphs repeatedly without the per-call
+// hash maps of Graph.Subgraph. Like BFSScratch it is epoch-stamped and not
+// safe for concurrent use.
+type SubgraphScratch struct {
+	epoch int32
+	stamp []int32
+	idx   []int32 // local id of stamped nodes
+}
+
+// NewSubgraphScratch returns an empty scratch; buffers grow on first use.
+func NewSubgraphScratch() *SubgraphScratch { return &SubgraphScratch{} }
+
+func (s *SubgraphScratch) begin(n int) {
+	if len(s.stamp) < n {
+		s.stamp = make([]int32, n)
+		s.idx = make([]int32, n)
+		s.epoch = 0
+	}
+	s.epoch++
+	if s.epoch < 0 {
+		for i := range s.stamp {
+			s.stamp[i] = 0
+		}
+		s.epoch = 1
+	}
+}
+
+// Induced returns the subgraph induced by nodes (which must not contain
+// duplicates); new node i corresponds to nodes[i]. The result is identical
+// to g.Subgraph(nodes) but built directly in CSR form: the only allocations
+// are the returned graph's own arrays.
+func (s *SubgraphScratch) Induced(g *Graph, nodes []int32) *Graph {
+	s.begin(g.NumNodes())
+	for i, v := range nodes {
+		s.stamp[v] = s.epoch
+		s.idx[v] = int32(i)
+	}
+	k := len(nodes)
+	off := make([]int32, k+1)
+	for i, v := range nodes {
+		d := int32(0)
+		for _, w := range g.Neighbors(v) {
+			if s.stamp[w] == s.epoch {
+				d++
+			}
+		}
+		off[i+1] = d
+	}
+	for i := 0; i < k; i++ {
+		off[i+1] += off[i]
+	}
+	adj := make([]int32, off[k])
+	for i, v := range nodes {
+		c := off[i]
+		for _, w := range g.Neighbors(v) {
+			if s.stamp[w] == s.epoch {
+				adj[c] = s.idx[w]
+				c++
+			}
+		}
+		// Source adjacency is sorted by original id; the BFS-order local ids
+		// are not monotone in it, so restore the sorted-neighbor invariant.
+		slices.Sort(adj[off[i]:c])
+	}
+	return &Graph{off: off, adj: adj, m: int(off[k]) / 2}
+}

@@ -34,12 +34,30 @@ type Options struct {
 	MaxSources int
 	// Rand drives sampling; nil uses a fixed seed.
 	Rand *rand.Rand
+	// Parallelism caps the source-sweep worker count; 0 uses GOMAXPROCS,
+	// 1 runs sequentially. Results are identical at every width.
+	Parallelism int
 }
 
 func (o *Options) defaults() {
 	if o.Rand == nil {
 		o.Rand = rand.New(rand.NewSource(1))
 	}
+}
+
+// workers resolves the worker count for n source sweeps.
+func (o *Options) workers(n int) int {
+	w := o.Parallelism
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w > n {
+		w = n
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
 }
 
 // Result holds per-edge link values.
@@ -103,13 +121,7 @@ func LinkValues(g *graph.Graph, opts Options) *Result {
 	edgeIdx := buildEdgeIndex(edges)
 	sources, inQ := sampleSources(g.NumNodes(), opts)
 
-	workers := runtime.GOMAXPROCS(0)
-	if workers > len(sources) {
-		workers = len(sources)
-	}
-	if workers < 1 {
-		workers = 1
-	}
+	workers := opts.workers(len(sources))
 	n := g.NumNodes()
 	perWorker := make([][]pairEntry, workers)
 	var wg sync.WaitGroup
@@ -117,19 +129,20 @@ func LinkValues(g *graph.Graph, opts Options) *Result {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
+			sc := graph.NewBFSScratch()
 			gval := make([]float64, n)
 			touched := make([]int32, 0, n)
 			var buckets [][]int32
 			var entries []pairEntry
 			for i := w; i < len(sources); i += workers {
 				u := sources[i]
-				dist, sigma, order := g.BFSCounts(u)
+				order := sc.Counts(g, u)
 				// Per-target ancestor sweeps over the pair universe.
 				for _, t := range order {
 					if t == u || !inQ[t] {
 						continue
 					}
-					entries = sweepTarget(g, u, t, dist, sigma, edgeIdx, gval, &touched, &buckets, entries)
+					entries = sweepTarget(g, u, t, sc, edgeIdx, gval, &touched, &buckets, entries)
 				}
 			}
 			perWorker[w] = entries
@@ -146,12 +159,13 @@ func LinkValues(g *graph.Graph, opts Options) *Result {
 
 // sweepTarget walks target t's shortest-path ancestor DAG from source u,
 // computing per-edge path fractions (g values) and appending pair entries.
+// Distances and path counts come from sc's last Counts traversal;
 // gval/touched/buckets are reusable scratch (gval zeroed via touched).
-func sweepTarget(g *graph.Graph, u, t int32, dist []int32, sigma []float64,
+func sweepTarget(g *graph.Graph, u, t int32, sc *graph.BFSScratch,
 	edgeIdx map[uint64]uint32, gval []float64, touched *[]int32,
 	buckets *[][]int32, entries []pairEntry) []pairEntry {
 
-	dt := int(dist[t])
+	dt := int(sc.Dist(t))
 	if dt <= 0 {
 		return entries
 	}
@@ -170,10 +184,10 @@ func sweepTarget(g *graph.Graph, u, t int32, dist []int32, sigma []float64,
 		for _, b := range bs[d] {
 			gb := gval[b]
 			for _, a := range g.Neighbors(b) {
-				if dist[a] != int32(d-1) {
+				if sc.Dist(a) != int32(d-1) {
 					continue
 				}
-				frac := gb * sigma[a] / sigma[b]
+				frac := gb * sc.Sigma(a) / sc.Sigma(b)
 				entries = append(entries, pairEntry{
 					edge: edgeIdx[ekey(a, b)], u: u, t: t, w: frac,
 				})
@@ -324,9 +338,11 @@ func edgeCover(pairs []pairEntry) float64 {
 			inCover[v] = false
 		}
 	}
+	// Sum in coverOrder (not map order) so the float accumulation is
+	// bit-deterministic across runs and worker counts.
 	value := 0.0
-	for v, in := range inCover {
-		if in {
+	for _, v := range coverOrder {
+		if inCover[v] {
 			value += weight[v]
 		}
 	}

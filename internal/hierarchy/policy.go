@@ -1,7 +1,6 @@
 package hierarchy
 
 import (
-	"runtime"
 	"sync"
 
 	"topocmp/internal/graph"
@@ -21,13 +20,7 @@ func PolicyLinkValues(a *policy.Annotated, opts Options) *Result {
 
 	n := g.NumNodes()
 	ns := policy.NumStates
-	workers := runtime.GOMAXPROCS(0)
-	if workers > len(sources) {
-		workers = len(sources)
-	}
-	if workers < 1 {
-		workers = 1
-	}
+	workers := opts.workers(len(sources))
 	perWorker := make([][]pairEntry, workers)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {

@@ -19,17 +19,18 @@ func TraversalSetSizes(g *graph.Graph, opts Options) []int {
 
 	counts := make([]int, len(edges))
 	n := g.NumNodes()
+	sc := graph.NewBFSScratch()
 	gval := make([]float64, n)
 	touched := make([]int32, 0, n)
 	var buckets [][]int32
 	var entries []pairEntry
 	for _, u := range sources {
-		dist, sigma, order := g.BFSCounts(u)
+		order := sc.Counts(g, u)
 		for _, t := range order {
 			if t == u || !inQ[t] {
 				continue
 			}
-			entries = sweepTarget(g, u, t, dist, sigma, edgeIdx, gval, &touched, &buckets, entries[:0])
+			entries = sweepTarget(g, u, t, sc, edgeIdx, gval, &touched, &buckets, entries[:0])
 			seen := map[uint32]bool{}
 			for _, e := range entries {
 				if !seen[e.edge] {

@@ -1,6 +1,8 @@
 package metrics
 
 import (
+	"math/rand"
+
 	"topocmp/internal/ball"
 	"topocmp/internal/graph"
 	"topocmp/internal/stats"
@@ -69,13 +71,17 @@ func BiconnectedComponents(g *graph.Graph) int {
 // BiconnectivityCurve computes the number of biconnected components within
 // ball subgraphs as a function of ball size (Figure 8(d-f)).
 func BiconnectivityCurve(g *graph.Graph, cfg ball.Config) stats.Series {
+	return BiconnectivityCurveWith(ball.NewEngine(g, 1), cfg)
+}
+
+// BiconnectivityCurveWith is BiconnectivityCurve over an engine: balls grow
+// on the worker pool and their subgraphs come from the shared ball cache.
+func BiconnectivityCurveWith(e *ball.Engine, cfg ball.Config) stats.Series {
 	if cfg.MinBallSize == 0 {
 		cfg.MinBallSize = 2
 	}
-	var raw []stats.Point
-	ball.Visit(g, cfg, func(b ball.Ball) {
-		sub := ball.Subgraph(g, b)
-		raw = append(raw, stats.Point{X: float64(sub.NumNodes()), Y: float64(BiconnectedComponents(sub))})
+	raw := e.BallPoints(cfg, 0, func(sub *graph.Graph, _ *rand.Rand) (float64, bool) {
+		return float64(BiconnectedComponents(sub)), true
 	})
 	s := stats.Bucketize(raw, bucketRatio)
 	s.Name = "biconnectivity"

@@ -1,6 +1,8 @@
 package metrics
 
 import (
+	"math/rand"
+
 	"topocmp/internal/ball"
 	"topocmp/internal/graph"
 	"topocmp/internal/stats"
@@ -39,13 +41,17 @@ func ClusteringCoefficient(g *graph.Graph) float64 {
 // a function of ball size, the ball-growing form of the clustering metric
 // the paper reports in Figure 10 and §4.4.
 func ClusteringCurve(g *graph.Graph, cfg ball.Config) stats.Series {
+	return ClusteringCurveWith(ball.NewEngine(g, 1), cfg)
+}
+
+// ClusteringCurveWith is ClusteringCurve over an engine: balls grow on the
+// worker pool and their subgraphs come from the shared ball cache.
+func ClusteringCurveWith(e *ball.Engine, cfg ball.Config) stats.Series {
 	if cfg.MinBallSize == 0 {
 		cfg.MinBallSize = 3
 	}
-	var raw []stats.Point
-	ball.Visit(g, cfg, func(b ball.Ball) {
-		sub := ball.Subgraph(g, b)
-		raw = append(raw, stats.Point{X: float64(sub.NumNodes()), Y: ClusteringCoefficient(sub)})
+	raw := e.BallPoints(cfg, 0, func(sub *graph.Graph, _ *rand.Rand) (float64, bool) {
+		return ClusteringCoefficient(sub), true
 	})
 	s := stats.Bucketize(raw, bucketRatio)
 	s.Name = "clustering"

@@ -2,6 +2,7 @@ package metrics
 
 import (
 	"container/heap"
+	"math/rand"
 
 	"topocmp/internal/ball"
 	"topocmp/internal/graph"
@@ -23,13 +24,17 @@ func VertexCover(g *graph.Graph) []int32 {
 // VertexCoverCurve computes the vertex-cover size of ball subgraphs as a
 // function of ball size, the ball-growing form used in Figure 8(a-c).
 func VertexCoverCurve(g *graph.Graph, cfg ball.Config) stats.Series {
+	return VertexCoverCurveWith(ball.NewEngine(g, 1), cfg)
+}
+
+// VertexCoverCurveWith is VertexCoverCurve over an engine: balls grow on
+// the worker pool and their subgraphs come from the shared ball cache.
+func VertexCoverCurveWith(e *ball.Engine, cfg ball.Config) stats.Series {
 	if cfg.MinBallSize == 0 {
 		cfg.MinBallSize = 2
 	}
-	var raw []stats.Point
-	ball.Visit(g, cfg, func(b ball.Ball) {
-		sub := ball.Subgraph(g, b)
-		raw = append(raw, stats.Point{X: float64(sub.NumNodes()), Y: float64(len(VertexCover(sub)))})
+	raw := e.BallPoints(cfg, 0, func(sub *graph.Graph, _ *rand.Rand) (float64, bool) {
+		return float64(len(VertexCover(sub))), true
 	})
 	s := stats.Bucketize(raw, bucketRatio)
 	s.Name = "vertexcover"

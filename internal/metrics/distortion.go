@@ -18,16 +18,21 @@ func Distortion(g *graph.Graph, cfg ball.Config, roots int) stats.Series {
 	if roots <= 0 {
 		roots = 3
 	}
+	return DistortionWith(ball.NewEngine(g, 1), cfg, roots)
+}
+
+// DistortionWith is Distortion over an engine: balls grow on the worker
+// pool and their subgraphs come from the shared ball cache.
+func DistortionWith(e *ball.Engine, cfg ball.Config, roots int) stats.Series {
+	if roots <= 0 {
+		roots = 3
+	}
 	if cfg.MinBallSize == 0 {
 		cfg.MinBallSize = 3
 	}
-	var raw []stats.Point
-	ball.Visit(g, cfg, func(b ball.Ball) {
-		sub := ball.Subgraph(g, b)
+	raw := e.BallPoints(cfg, 0, func(sub *graph.Graph, _ *rand.Rand) (float64, bool) {
 		d := SubgraphDistortion(sub, roots)
-		if d > 0 {
-			raw = append(raw, stats.Point{X: float64(sub.NumNodes()), Y: d})
-		}
+		return d, d > 0
 	})
 	s := stats.Bucketize(raw, bucketRatio)
 	s.Name = "distortion"

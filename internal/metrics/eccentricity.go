@@ -3,6 +3,7 @@ package metrics
 import (
 	"math/rand"
 
+	"topocmp/internal/ball"
 	"topocmp/internal/graph"
 	"topocmp/internal/stats"
 )
@@ -13,7 +14,17 @@ import (
 // fraction of sampled nodes per bin. maxSamples bounds the number of BFS
 // runs (0 = all nodes).
 func EccentricityDistribution(g *graph.Graph, maxSamples int, binWidth float64) stats.Series {
+	return EccentricityDistributionWith(ball.NewEngine(g, 1), maxSamples, binWidth,
+		rand.New(rand.NewSource(11)))
+}
+
+// EccentricityDistributionWith is EccentricityDistribution over an engine,
+// with rng driving the node sampling. Eccentricities read straight off the
+// engine's ball-profile cache, so when rng matches the expansion metric's
+// center sampling the two metrics share one BFS pass per center.
+func EccentricityDistributionWith(e *ball.Engine, maxSamples int, binWidth float64, rng *rand.Rand) stats.Series {
 	out := stats.Series{Name: "eccentricity"}
+	g := e.Graph()
 	n := g.NumNodes()
 	if n == 0 {
 		return out
@@ -21,35 +32,23 @@ func EccentricityDistribution(g *graph.Graph, maxSamples int, binWidth float64) 
 	if binWidth <= 0 {
 		binWidth = 0.1
 	}
-	nodes := make([]int32, n)
-	for i := range nodes {
-		nodes[i] = int32(i)
-	}
-	if maxSamples > 0 && maxSamples < n {
-		r := rand.New(rand.NewSource(11))
-		perm := r.Perm(n)
-		nodes = nodes[:maxSamples]
-		for i := range nodes {
-			nodes[i] = int32(perm[i])
-		}
-	}
-	eccs := make([]float64, 0, len(nodes))
+	cfg := ball.Config{MaxSources: maxSamples, Rand: rng}
+	centers := ball.Centers(g, &cfg)
+	profiles := e.Profiles(centers)
 	sum := 0.0
-	for _, v := range nodes {
-		e := float64(g.Eccentricity(v))
-		eccs = append(eccs, e)
-		sum += e
+	for _, p := range profiles {
+		sum += float64(p.Eccentricity())
 	}
-	mean := sum / float64(len(eccs))
+	mean := sum / float64(len(profiles))
 	if mean == 0 {
 		return out
 	}
 	bins := map[int]int{}
-	for _, e := range eccs {
-		bins[int(e/mean/binWidth)]++
+	for _, p := range profiles {
+		bins[int(float64(p.Eccentricity())/mean/binWidth)]++
 	}
 	for b, cnt := range bins {
-		out.Add(float64(b)*binWidth+binWidth/2, float64(cnt)/float64(len(eccs)))
+		out.Add(float64(b)*binWidth+binWidth/2, float64(cnt)/float64(len(profiles)))
 	}
 	out.SortByX()
 	return out

@@ -17,54 +17,37 @@ import (
 // the reachability-style metric of Phillips et al. normalized by graph size
 // so that differently sized graphs are comparable (§3.2.1).
 func Expansion(g *graph.Graph, cfg ball.Config) stats.Series {
+	return ExpansionWith(ball.NewEngine(g, 1), cfg)
+}
+
+// ExpansionWith is Expansion over an engine: the per-center BFS passes run
+// on the engine's worker pool and land in its shared ball-profile cache, so
+// other metrics sampling the same centers reuse them.
+func ExpansionWith(e *ball.Engine, cfg ball.Config) stats.Series {
+	g := e.Graph()
 	n := g.NumNodes()
 	out := stats.Series{Name: "expansion"}
 	if n == 0 {
 		return out
 	}
 	centers := ball.Centers(g, &cfg)
-	sums := expansionSums(g, centers)
-	total := float64(n)
-	for h, s := range sums {
-		out.Add(float64(h), s/float64(len(centers))/total)
-	}
-	return out
-}
-
-// expansionSums returns sums[h] = Σ_centers |ball(center, h)| for h from 0
-// to the maximum eccentricity among centers, with saturated contributions
-// from centers of smaller eccentricity.
-func expansionSums(g *graph.Graph, centers []int32) []float64 {
-	type profile struct {
-		cum []int // cum[h] = ball size at radius h
-	}
-	profiles := make([]profile, 0, len(centers))
+	profiles := e.Profiles(centers)
 	maxEcc := 0
-	for _, src := range centers {
-		dist, order := g.BFS(src)
-		ecc := int(dist[order[len(order)-1]])
-		cum := make([]int, ecc+1)
-		idx := 0
-		for h := 0; h <= ecc; h++ {
-			for idx < len(order) && int(dist[order[idx]]) <= h {
-				idx++
-			}
-			cum[h] = idx
-		}
-		profiles = append(profiles, profile{cum})
-		if ecc > maxEcc {
+	for _, p := range profiles {
+		if ecc := p.Eccentricity(); ecc > maxEcc {
 			maxEcc = ecc
 		}
 	}
-	sums := make([]float64, maxEcc+1)
-	for _, p := range profiles {
-		for h := 0; h <= maxEcc; h++ {
-			if h < len(p.cum) {
-				sums[h] += float64(p.cum[h])
-			} else {
-				sums[h] += float64(p.cum[len(p.cum)-1])
-			}
+	// Sum |ball(center, h)| over centers (in center order, so the float
+	// accumulation is deterministic), saturating centers of smaller
+	// eccentricity.
+	total := float64(n)
+	for h := 0; h <= maxEcc; h++ {
+		sum := 0.0
+		for _, p := range profiles {
+			sum += float64(p.Size(h))
 		}
+		out.Add(float64(h), sum/float64(len(profiles))/total)
 	}
-	return sums
+	return out
 }

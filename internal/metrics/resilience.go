@@ -1,6 +1,8 @@
 package metrics
 
 import (
+	"math/rand"
+
 	"topocmp/internal/ball"
 	"topocmp/internal/graph"
 	"topocmp/internal/partition"
@@ -12,14 +14,24 @@ import (
 // keyed by ball *size*, not radius, to factor out expansion differences.
 // Raw (size, cut) samples are averaged into geometric buckets.
 func Resilience(g *graph.Graph, cfg ball.Config, popts partition.Options) stats.Series {
-	var raw []stats.Point
+	seed := int64(1)
+	if popts.Rand != nil {
+		seed = popts.Rand.Int63()
+	}
+	return ResilienceWith(ball.NewEngine(g, 1), cfg, popts, seed)
+}
+
+// ResilienceWith is Resilience over an engine. Each center partitions its
+// balls with an RNG derived from seed+centerIndex (popts.Rand is ignored),
+// which keeps the series bit-identical at every engine parallelism.
+func ResilienceWith(e *ball.Engine, cfg ball.Config, popts partition.Options, seed int64) stats.Series {
 	if cfg.MinBallSize == 0 {
 		cfg.MinBallSize = 2
 	}
-	ball.Visit(g, cfg, func(b ball.Ball) {
-		sub := ball.Subgraph(g, b)
-		cut := partition.CutSize(sub, popts)
-		raw = append(raw, stats.Point{X: float64(sub.NumNodes()), Y: float64(cut)})
+	raw := e.BallPoints(cfg, seed, func(sub *graph.Graph, rng *rand.Rand) (float64, bool) {
+		o := popts
+		o.Rand = rng
+		return float64(partition.CutSize(sub, o)), true
 	})
 	s := stats.Bucketize(raw, bucketRatio)
 	s.Name = "resilience"

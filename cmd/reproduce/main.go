@@ -6,22 +6,27 @@
 // Usage:
 //
 //	reproduce [-out results] [-seed 1] [-scale 0.3] [-full] [-quick]
+//	          [-j N] [-cache dir]
+//
+// -j sets the pipeline's worker budget (0 = all cores, 1 = sequential);
+// output files are byte-identical at every width. -cache names an on-disk
+// result cache: a re-run with an unchanged configuration restores every
+// suite result from it and performs zero network builds and zero suite
+// runs, while a changed seed or scale invalidates only the affected
+// entries.
 package main
 
 import (
 	"flag"
 	"fmt"
-	"math/rand"
 	"os"
 	"path/filepath"
 	"text/tabwriter"
+	"time"
 
-	"topocmp/internal/ball"
-	"topocmp/internal/bgp"
+	"topocmp/internal/cache"
 	"topocmp/internal/core"
 	"topocmp/internal/experiments"
-	"topocmp/internal/internetsim"
-	"topocmp/internal/metrics"
 	"topocmp/internal/plot"
 	"topocmp/internal/stats"
 )
@@ -32,6 +37,8 @@ func main() {
 	scale := flag.Float64("scale", 0, "network scale override (0 = per-mode default)")
 	full := flag.Bool("full", false, "paper-scale run (tens of minutes)")
 	quick := flag.Bool("quick", false, "CI-scale run (a few minutes)")
+	workers := flag.Int("j", 0, "pipeline worker budget (0 = all cores, 1 = sequential)")
+	cacheDir := flag.String("cache", "", "result cache directory (empty = no caching)")
 	flag.Parse()
 
 	cfg := experiments.Config{
@@ -47,21 +54,53 @@ func main() {
 	if *scale > 0 {
 		cfg.Set.Scale = *scale
 	}
-	if err := run(cfg, *out); err != nil {
+	cfg.Suite.Parallelism = *workers
+	if _, err := run(cfg, *workers, *cacheDir, *out); err != nil {
 		fmt.Fprintln(os.Stderr, "reproduce:", err)
 		os.Exit(1)
 	}
 }
 
-func run(cfg experiments.Config, out string) error {
+// run renders every artifact into out and returns the runner for its
+// pipeline statistics. Stage banners, timings and cache counters go to
+// stdout only — the files under out are byte-identical across worker
+// widths and cache states.
+func run(cfg experiments.Config, workers int, cacheDir, out string) (*experiments.Runner, error) {
 	if err := os.MkdirAll(out, 0o755); err != nil {
-		return err
+		return nil, err
 	}
 	r := experiments.NewRunner(cfg)
+	r.Workers = workers
+	if cacheDir != "" {
+		store, err := cache.Open(cacheDir)
+		if err != nil {
+			return nil, err
+		}
+		r.Cache = store
+	}
 
-	fmt.Println("== Table 1: network inventory ==")
-	if err := writeTable1(r, out); err != nil {
-		return err
+	start := time.Now()
+	stage := func(title string, f func() error) error {
+		fmt.Printf("== %s ==\n", title)
+		t0 := time.Now()
+		if err := f(); err != nil {
+			return err
+		}
+		fmt.Printf("   %-28s %8.1fs\n", title, time.Since(t0).Seconds())
+		return nil
+	}
+
+	if err := stage("Pipeline: networks and suites", func() error {
+		r.Prefetch()
+		return nil
+	}); err != nil {
+		return r, err
+	}
+
+	if err := stage("Table 1: network inventory", func() error {
+		return writeTable1(r, out)
+	}); err != nil {
+		return r, err
 	}
 
 	groups := []struct {
@@ -72,166 +111,198 @@ func run(cfg experiments.Config, out string) error {
 		{"measured", experiments.MeasuredNames},
 		{"generated", experiments.GeneratedNames},
 	}
-	for _, g := range groups {
-		fmt.Printf("== Figure 2 (%s) ==\n", g.key)
-		p := r.Figure2(g.key, g.names)
-		if err := writePanel(out, "fig2_"+g.key, p.Expansion, p.Resilience, p.Distortion); err != nil {
+	if err := stage("Figure 2: expansion/resilience/distortion", func() error {
+		for _, g := range groups {
+			p := r.Figure2(g.key, g.names)
+			if err := writePanel(out, "fig2_"+g.key, p.Expansion, p.Resilience, p.Distortion); err != nil {
+				return err
+			}
+			preview(p.Expansion, "expansion "+g.key, plot.Options{YScale: plot.Log})
+		}
+		return nil
+	}); err != nil {
+		return r, err
+	}
+	if err := stage("Figure 2 (degree-based variants, j-l)", func() error {
+		vp := r.Figure12()
+		if err := writePanel(out, "fig2_variants", vp.Expansion, vp.Resilience, vp.Distortion); err != nil {
 			return err
 		}
-		preview(p.Expansion, "expansion "+g.key, plot.Options{YScale: plot.Log})
-	}
-	fmt.Println("== Figure 2 (degree-based variants, j-l) ==")
-	vp := r.Figure12()
-	if err := writePanel(out, "fig2_variants", vp.Expansion, vp.Resilience, vp.Distortion); err != nil {
+		_, err := plot.WriteDat(out, "fig12_ccdf", vp.CCDF)
 		return err
-	}
-	if _, err := plot.WriteDat(out, "fig12_ccdf", vp.CCDF); err != nil {
-		return err
+	}); err != nil {
+		return r, err
 	}
 
-	fmt.Println("== Tables 2 and 3: signatures ==")
-	if err := writeRows(filepath.Join(out, "table2_canonical.txt"), r.Table2()); err != nil {
-		return err
-	}
-	rows := r.Table3()
-	if err := writeRows(filepath.Join(out, "table3_classification.txt"), rows); err != nil {
-		return err
-	}
-	core.WriteTable(os.Stdout, rows)
-
-	fmt.Println("== Figures 3/4: link value distributions ==")
-	lv := r.Figure3([]string{"Tree", "Mesh", "Random", "RL", "AS", "TS", "Tiers", "Waxman", "PLRG"})
-	if _, err := plot.WriteDat(out, "fig3_linkvalues", lv); err != nil {
-		return err
-	}
-
-	fmt.Println("== Table 4: hierarchy groups ==")
-	if err := writeTable4(r, out); err != nil {
-		return err
-	}
-
-	fmt.Println("== Figure 5: link value / degree correlation ==")
-	if err := writeFigure5(r, out); err != nil {
-		return err
-	}
-
-	fmt.Println("== Figure 6: degree distributions ==")
-	for _, g := range groups {
-		if _, err := plot.WriteDat(out, "fig6_"+g.key, r.Figure6(g.names)); err != nil {
+	if err := stage("Tables 2 and 3: signatures", func() error {
+		if err := writeRows(filepath.Join(out, "table2_canonical.txt"), r.Table2()); err != nil {
 			return err
 		}
+		rows := r.Table3()
+		if err := writeRows(filepath.Join(out, "table3_classification.txt"), rows); err != nil {
+			return err
+		}
+		return core.WriteTable(os.Stdout, rows)
+	}); err != nil {
+		return r, err
 	}
 
-	fmt.Println("== Figure 7: eigenvalues and eccentricity ==")
-	for _, g := range groups {
-		names := g.names
-		if g.key == "measured" {
-			names = append([]string{"PLRG"}, names...)
-		}
-		if _, err := plot.WriteDat(out, "fig7_eigen_"+g.key, r.Figure7Eigen(names)); err != nil {
-			return err
-		}
-		if _, err := plot.WriteDat(out, "fig7_ecc_"+g.key, r.Figure7Ecc(names)); err != nil {
-			return err
-		}
-	}
-
-	fmt.Println("== Figure 8: vertex cover and biconnectivity ==")
-	for _, g := range groups {
-		if _, err := plot.WriteDat(out, "fig8_cover_"+g.key, r.Figure8Cover(g.names)); err != nil {
-			return err
-		}
-		if _, err := plot.WriteDat(out, "fig8_bicon_"+g.key, r.Figure8Bicon(g.names)); err != nil {
-			return err
-		}
-	}
-
-	fmt.Println("== Figure 9: attack and error tolerance ==")
-	for _, g := range groups {
-		att, errTol := r.Figure9(g.names)
-		if _, err := plot.WriteDat(out, "fig9_attack_"+g.key, att); err != nil {
-			return err
-		}
-		if _, err := plot.WriteDat(out, "fig9_error_"+g.key, errTol); err != nil {
-			return err
-		}
-	}
-
-	fmt.Println("== Figure 10: clustering ==")
-	for _, g := range groups {
-		if _, err := plot.WriteDat(out, "fig10_"+g.key, r.Figure10(g.names)); err != nil {
-			return err
-		}
-	}
-
-	fmt.Println("== Figure 11: parameter space ==")
-	if err := writeFigure11(r, out); err != nil {
+	if err := stage("Figures 3/4: link value distributions", func() error {
+		lv := r.Figure3([]string{"Tree", "Mesh", "Random", "RL", "AS", "TS", "Tiers", "Waxman", "PLRG"})
+		_, err := plot.WriteDat(out, "fig3_linkvalues", lv)
 		return err
+	}); err != nil {
+		return r, err
 	}
 
-	fmt.Println("== Figure 13: PLRG reconnection ==")
-	rp := r.Figure13()
-	if err := writePanel(out, "fig13", rp.Expansion, rp.Resilience, rp.Distortion); err != nil {
+	if err := stage("Table 4: hierarchy groups", func() error {
+		return writeTable4(r, out)
+	}); err != nil {
+		return r, err
+	}
+
+	if err := stage("Figure 5: link value / degree correlation", func() error {
+		return writeFigure5(r, out)
+	}); err != nil {
+		return r, err
+	}
+
+	if err := stage("Figure 6: degree distributions", func() error {
+		for _, g := range groups {
+			if _, err := plot.WriteDat(out, "fig6_"+g.key, r.Figure6(g.names)); err != nil {
+				return err
+			}
+		}
+		return nil
+	}); err != nil {
+		return r, err
+	}
+
+	if err := stage("Figure 7: eigenvalues and eccentricity", func() error {
+		for _, g := range groups {
+			names := g.names
+			if g.key == "measured" {
+				names = append([]string{"PLRG"}, names...)
+			}
+			if _, err := plot.WriteDat(out, "fig7_eigen_"+g.key, r.Figure7Eigen(names)); err != nil {
+				return err
+			}
+			if _, err := plot.WriteDat(out, "fig7_ecc_"+g.key, r.Figure7Ecc(names)); err != nil {
+				return err
+			}
+		}
+		return nil
+	}); err != nil {
+		return r, err
+	}
+
+	if err := stage("Figure 8: vertex cover and biconnectivity", func() error {
+		for _, g := range groups {
+			if _, err := plot.WriteDat(out, "fig8_cover_"+g.key, r.Figure8Cover(g.names)); err != nil {
+				return err
+			}
+			if _, err := plot.WriteDat(out, "fig8_bicon_"+g.key, r.Figure8Bicon(g.names)); err != nil {
+				return err
+			}
+		}
+		return nil
+	}); err != nil {
+		return r, err
+	}
+
+	if err := stage("Figure 9: attack and error tolerance", func() error {
+		for _, g := range groups {
+			att, errTol := r.Figure9(g.names)
+			if _, err := plot.WriteDat(out, "fig9_attack_"+g.key, att); err != nil {
+				return err
+			}
+			if _, err := plot.WriteDat(out, "fig9_error_"+g.key, errTol); err != nil {
+				return err
+			}
+		}
+		return nil
+	}); err != nil {
+		return r, err
+	}
+
+	if err := stage("Figure 10: clustering", func() error {
+		for _, g := range groups {
+			if _, err := plot.WriteDat(out, "fig10_"+g.key, r.Figure10(g.names)); err != nil {
+				return err
+			}
+		}
+		return nil
+	}); err != nil {
+		return r, err
+	}
+
+	if err := stage("Figure 11: parameter space", func() error {
+		return writeFigure11(r, out)
+	}); err != nil {
+		return r, err
+	}
+
+	if err := stage("Figure 13: PLRG reconnection", func() error {
+		rp := r.Figure13()
+		return writePanel(out, "fig13", rp.Expansion, rp.Resilience, rp.Distortion)
+	}); err != nil {
+		return r, err
+	}
+
+	if err := stage("Figure 14: variant link values", func() error {
+		_, err := plot.WriteDat(out, "fig14_linkvalues", r.Figure14())
 		return err
+	}); err != nil {
+		return r, err
 	}
 
-	fmt.Println("== Figure 14: variant link values ==")
-	if _, err := plot.WriteDat(out, "fig14_linkvalues", r.Figure14()); err != nil {
-		return err
+	if err := stage("Appendix D.1: connectivity methods", func() error {
+		cp := r.ConnectivityVariants()
+		return writePanel(out, "appD_connectivity", cp.Expansion, cp.Resilience, cp.Distortion)
+	}); err != nil {
+		return r, err
 	}
 
-	fmt.Println("== Appendix D.1: connectivity methods ==")
-	cp := r.ConnectivityVariants()
-	if err := writePanel(out, "appD_connectivity", cp.Expansion, cp.Resilience, cp.Distortion); err != nil {
-		return err
+	if err := stage("Null model: degree-preserving rewiring", func() error {
+		rwp := r.RewiringPanel()
+		return writePanel(out, "nullmodel_rewire", rwp.Expansion, rwp.Resilience, rwp.Distortion)
+	}); err != nil {
+		return r, err
 	}
 
-	fmt.Println("== Null model: degree-preserving rewiring ==")
-	rwp := r.RewiringPanel()
-	if err := writePanel(out, "nullmodel_rewire", rwp.Expansion, rwp.Resilience, rwp.Distortion); err != nil {
-		return err
+	if err := stage("Extras (beyond the paper)", func() error {
+		return writeExtras(r.Extras(), out)
+	}); err != nil {
+		return r, err
 	}
 
-	fmt.Println("== Extras (beyond the paper) ==")
-	if err := writeExtras(r, out); err != nil {
-		return err
+	if err := stage("Summary vs. paper", func() error {
+		return writeSummary(r, out)
+	}); err != nil {
+		return r, err
 	}
 
-	fmt.Println("== Summary vs. paper ==")
-	return writeSummary(r, out)
+	st := r.Stats()
+	fmt.Printf("pipeline: %d network builds, %d suite runs", st.NetworkBuilds, st.SuiteRuns)
+	if r.Cache != nil {
+		fmt.Printf(", cache %d hits / %d misses / %d writes", st.CacheHits, st.CacheMisses, st.CachePuts)
+	}
+	fmt.Printf(", total %.1fs\n", time.Since(start).Seconds())
+	return r, nil
 }
 
-// writeExtras emits the beyond-the-paper artifacts: footnote 22's two
+// writeExtras renders the beyond-the-paper artifacts: footnote 22's two
 // metrics, hop plots, small-world coefficients, Weibull tail fits of the
 // degree CCDFs, the AS size/degree coupling and the BGP vantage-coverage
 // curve.
-func writeExtras(r *experiments.Runner, out string) error {
-	names := []string{"AS", "PLRG", "Mesh", "Tree"}
-	var pathLen, maxFlow, hop []stats.Series
-	seed := r.Cfg.Suite.Seed
-	for _, name := range names {
-		g := r.Network(name).Graph
-		cfg := ball.Config{MaxSources: r.Cfg.Suite.Sources,
-			MaxBallSize: r.Cfg.Suite.MaxBallSize,
-			Rand:        rand.New(rand.NewSource(seed))}
-		s := metrics.BallPathLengthCurve(g, cfg)
-		s.Name = name
-		pathLen = append(pathLen, s)
-		cfg.Rand = rand.New(rand.NewSource(seed))
-		f := metrics.SurfaceMaxFlowCurve(g, cfg, 6)
-		f.Name = name
-		maxFlow = append(maxFlow, f)
-		h := metrics.HopPlot(g, 4*r.Cfg.Suite.Sources, rand.New(rand.NewSource(seed)))
-		h.Name = name
-		hop = append(hop, h)
-	}
-	if _, err := plot.WriteDat(out, "extra_ballpathlen", pathLen); err != nil {
+func writeExtras(e experiments.ExtrasData, out string) error {
+	if _, err := plot.WriteDat(out, "extra_ballpathlen", e.PathLength); err != nil {
 		return err
 	}
-	if _, err := plot.WriteDat(out, "extra_surfaceflow", maxFlow); err != nil {
+	if _, err := plot.WriteDat(out, "extra_surfaceflow", e.MaxFlow); err != nil {
 		return err
 	}
-	if _, err := plot.WriteDat(out, "extra_hopplot", hop); err != nil {
+	if _, err := plot.WriteDat(out, "extra_hopplot", e.Hop); err != nil {
 		return err
 	}
 
@@ -242,19 +313,13 @@ func writeExtras(r *experiments.Runner, out string) error {
 	defer f.Close()
 	tw := tabwriter.NewWriter(f, 2, 4, 2, ' ', 0)
 	fmt.Fprintln(tw, "Network\tSmallWorldSigma\tClustering\tAPL\tWeibullK\tWeibullR2")
-	for _, name := range names {
-		g := r.Network(name).Graph
-		sw := metrics.SmallWorldness(g, 2*r.Cfg.Suite.Sources)
-		wb := stats.FitWeibullTail(stats.CCDF(g.Degrees()))
+	for _, row := range e.Rows {
 		fmt.Fprintf(tw, "%s\t%.2f\t%.3f\t%.2f\t%.2f\t%.2f\n",
-			name, sw.Sigma, sw.Clustering, sw.PathLength, wb.K, wb.R2)
+			row.Name, row.Sigma, row.Clustering, row.PathLength, row.WeibullK, row.WeibullR2)
 	}
-	ms := r.Measured()
-	sd := internetsim.SizeDegreeData(ms.TruthAS, ms.TruthRL)
 	fmt.Fprintf(tw, "\nAS size/degree correlation (Tangmunarunkit et al. 2001): %.3f\n",
-		sd.Correlation())
-	vantages := bgp.PickVantages(ms.TruthAS.Graph, 12, rand.New(rand.NewSource(seed)))
-	cov := bgp.CoverageCurve(ms.TruthAS.Annotated, vantages)
+		e.SizeDegreeCorrelation)
+	cov := e.Coverage
 	fmt.Fprintf(tw, "BGP coverage: 1 vantage %.2f -> %d vantages %.2f (Chang et al. 2002)\n",
 		cov.Points[0].Y, cov.Len(), cov.Points[cov.Len()-1].Y)
 	if err := tw.Flush(); err != nil {

@@ -1,0 +1,108 @@
+package main
+
+import (
+	"bytes"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"topocmp/internal/core"
+	"topocmp/internal/experiments"
+)
+
+// readTree loads every rendered artifact under dir, keyed by relative path.
+func readTree(t *testing.T, dir string) map[string][]byte {
+	t.Helper()
+	files := map[string][]byte{}
+	err := filepath.WalkDir(dir, func(path string, d fs.DirEntry, err error) error {
+		if err != nil || d.IsDir() {
+			return err
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		rel, err := filepath.Rel(dir, path)
+		if err != nil {
+			return err
+		}
+		files[rel] = data
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) == 0 {
+		t.Fatalf("no output files under %s", dir)
+	}
+	return files
+}
+
+func sameTree(t *testing.T, label string, a, b map[string][]byte) {
+	t.Helper()
+	for path, data := range a {
+		other, ok := b[path]
+		if !ok {
+			t.Errorf("%s: %s missing from second run", label, path)
+			continue
+		}
+		if !bytes.Equal(data, other) {
+			t.Errorf("%s: %s differs", label, path)
+		}
+	}
+	for path := range b {
+		if _, ok := a[path]; !ok {
+			t.Errorf("%s: %s only in second run", label, path)
+		}
+	}
+}
+
+// TestReproduceDeterminism is the end-to-end acceptance check: the full
+// artifact set must be byte-identical between -j 1 and -j N, and a warm
+// cache rerun must reproduce it byte-identically with zero network builds
+// and zero suite runs.
+func TestReproduceDeterminism(t *testing.T) {
+	cfg := experiments.Config{
+		Set: core.PaperSetOptions{Seed: 1, Scale: 0.06},
+		Suite: core.SuiteOptions{Sources: 3, MaxBallSize: 200, EigenRank: 6,
+			LinkSources: 32, Seed: 1},
+	}
+	base := t.TempDir()
+	cacheDir := filepath.Join(base, "cache")
+
+	seqCfg := cfg
+	seqCfg.Suite.Parallelism = 1
+	seqOut := filepath.Join(base, "seq")
+	if _, err := run(seqCfg, 1, "", seqOut); err != nil {
+		t.Fatal(err)
+	}
+
+	parCfg := cfg
+	parCfg.Suite.Parallelism = 3
+	coldOut := filepath.Join(base, "cold")
+	cold, err := run(parCfg, 3, cacheDir, coldOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := cold.Stats(); st.NetworkBuilds == 0 || st.SuiteRuns == 0 {
+		t.Fatalf("cold run did no work: %d builds / %d suite runs",
+			st.NetworkBuilds, st.SuiteRuns)
+	}
+
+	warmOut := filepath.Join(base, "warm")
+	warm, err := run(parCfg, 3, cacheDir, warmOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := warm.Stats(); st.NetworkBuilds != 0 || st.SuiteRuns != 0 {
+		t.Fatalf("warm rerun recomputed: %d builds / %d suite runs",
+			st.NetworkBuilds, st.SuiteRuns)
+	}
+
+	seq := readTree(t, seqOut)
+	coldTree := readTree(t, coldOut)
+	warmTree := readTree(t, warmOut)
+	sameTree(t, "-j 3 vs -j 1", seq, coldTree)
+	sameTree(t, "warm cache vs cold", coldTree, warmTree)
+}

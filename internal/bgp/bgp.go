@@ -35,8 +35,9 @@ type Table struct {
 func Collect(a *policy.Annotated, vantages []int32) *Table {
 	t := &Table{}
 	n := a.G.NumNodes()
+	var pt *policy.PathTree
 	for _, v := range vantages {
-		pt := a.Paths(v)
+		pt = a.PathsInto(pt, v)
 		for dst := int32(0); dst < int32(n); dst++ {
 			if dst == v {
 				continue

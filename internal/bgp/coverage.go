@@ -20,8 +20,9 @@ func CoverageCurve(a *policy.Annotated, vantages []int32) stats.Series {
 	type pair struct{ u, v int32 }
 	seen := map[pair]bool{}
 	n := a.G.NumNodes()
+	var pt *policy.PathTree
 	for i, vp := range vantages {
-		pt := a.Paths(vp)
+		pt = a.PathsInto(pt, vp)
 		for dst := int32(0); dst < int32(n); dst++ {
 			if dst == vp {
 				continue

@@ -1,0 +1,135 @@
+// Package cache is a content-addressed on-disk result store for the
+// experiment pipeline. Values are addressed by a deterministic hash of the
+// configuration that produced them (paper-set options, suite options,
+// network or artifact name) plus a code schema version, so a re-run of
+// `reproduce` with an unchanged configuration skips network generation and
+// measurement entirely, while any change to scale, seed or result format
+// invalidates exactly the entries it must.
+//
+// Values are encoded with encoding/gob, which round-trips float64 bits
+// exactly: a result decoded from the cache is byte-identical, when
+// rendered, to the freshly computed one. Writes are atomic
+// (temp file + rename), so concurrent writers — the pipeline stores suite
+// results from many goroutines — never expose a torn entry.
+package cache
+
+import (
+	"crypto/sha256"
+	"encoding/gob"
+	"encoding/hex"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync/atomic"
+)
+
+// SchemaVersion is folded into every key. Bump it whenever the meaning or
+// encoding of stored results changes (new suite fields, altered metric
+// algorithms), so stale entries miss instead of decoding into wrong shapes.
+const SchemaVersion = 1
+
+// Key derives the content address for a result produced under the given
+// canonical description parts (e.g. the paper-set key, the suite key and a
+// network name). The schema version is always included.
+func Key(parts ...string) string {
+	h := sha256.New()
+	fmt.Fprintf(h, "schema=%d", SchemaVersion)
+	for _, p := range parts {
+		// Length-prefix each part so ("ab","c") and ("a","bc") differ.
+		fmt.Fprintf(h, "|%d:%s", len(p), p)
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// Stats counts store traffic.
+type Stats struct {
+	Hits, Misses, Puts int64
+}
+
+// Store is a directory of gob-encoded entries named by their key. A nil
+// *Store is valid and behaves as an always-miss, drop-writes cache, so
+// callers don't need to branch on "caching enabled".
+type Store struct {
+	dir    string
+	hits   atomic.Int64
+	misses atomic.Int64
+	puts   atomic.Int64
+}
+
+// Open creates (if needed) and returns the store rooted at dir.
+func Open(dir string) (*Store, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("cache: %w", err)
+	}
+	return &Store{dir: dir}, nil
+}
+
+// Dir returns the store's root directory ("" for a nil store).
+func (s *Store) Dir() string {
+	if s == nil {
+		return ""
+	}
+	return s.dir
+}
+
+func (s *Store) path(key string) string {
+	// Two-level fan-out keeps directories small at full-sweep scales.
+	return filepath.Join(s.dir, key[:2], key[2:]+".gob")
+}
+
+// Get decodes the entry for key into v (a pointer) and reports whether it
+// was found. Undecodable or truncated entries count as misses.
+func (s *Store) Get(key string, v any) bool {
+	if s == nil {
+		return false
+	}
+	f, err := os.Open(s.path(key))
+	if err != nil {
+		s.misses.Add(1)
+		return false
+	}
+	defer f.Close()
+	if err := gob.NewDecoder(f).Decode(v); err != nil {
+		s.misses.Add(1)
+		return false
+	}
+	s.hits.Add(1)
+	return true
+}
+
+// Put stores v under key atomically. A nil store drops the write.
+func (s *Store) Put(key string, v any) error {
+	if s == nil {
+		return nil
+	}
+	path := s.path(key)
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return fmt.Errorf("cache: %w", err)
+	}
+	tmp, err := os.CreateTemp(filepath.Dir(path), ".put-*")
+	if err != nil {
+		return fmt.Errorf("cache: %w", err)
+	}
+	defer os.Remove(tmp.Name())
+	if err := gob.NewEncoder(tmp).Encode(v); err != nil {
+		tmp.Close()
+		return fmt.Errorf("cache: encode %s: %w", strings.TrimSuffix(key, "\n"), err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("cache: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return fmt.Errorf("cache: %w", err)
+	}
+	s.puts.Add(1)
+	return nil
+}
+
+// Stats returns the store's hit/miss/put counters since Open.
+func (s *Store) Stats() Stats {
+	if s == nil {
+		return Stats{}
+	}
+	return Stats{Hits: s.hits.Load(), Misses: s.misses.Load(), Puts: s.puts.Load()}
+}

@@ -1,0 +1,136 @@
+package cache
+
+import (
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+)
+
+type payload struct {
+	Name   string
+	Values []float64
+	N      int
+}
+
+func TestPutGetRoundTrip(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := payload{Name: "AS", Values: []float64{1.5, math.Pi, 1e-300, math.MaxFloat64}, N: 7}
+	key := Key("set", "suite", "AS")
+	if err := s.Put(key, in); err != nil {
+		t.Fatal(err)
+	}
+	var out payload
+	if !s.Get(key, &out) {
+		t.Fatal("expected hit after Put")
+	}
+	if out.Name != in.Name || out.N != in.N || len(out.Values) != len(in.Values) {
+		t.Fatalf("round trip mismatch: %+v vs %+v", out, in)
+	}
+	for i := range in.Values {
+		// Bit-exact float round trip is what makes cached output
+		// byte-identical to fresh output.
+		if math.Float64bits(out.Values[i]) != math.Float64bits(in.Values[i]) {
+			t.Fatalf("value %d: %x vs %x", i,
+				math.Float64bits(out.Values[i]), math.Float64bits(in.Values[i]))
+		}
+	}
+	st := s.Stats()
+	if st.Hits != 1 || st.Misses != 0 || st.Puts != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestMissAndCorruptEntry(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out payload
+	key := Key("nothing")
+	if s.Get(key, &out) {
+		t.Fatal("unexpected hit")
+	}
+	// A truncated/corrupt entry must read as a miss, not an error.
+	path := s.path(key)
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, []byte("not gob"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if s.Get(key, &out) {
+		t.Fatal("corrupt entry should miss")
+	}
+	if st := s.Stats(); st.Misses != 2 {
+		t.Fatalf("misses = %d, want 2", st.Misses)
+	}
+}
+
+func TestKeyDiscriminates(t *testing.T) {
+	base := Key("a", "b")
+	for name, k := range map[string]string{
+		"different part":  Key("a", "c"),
+		"split boundary":  Key("ab"),
+		"reordered parts": Key("b", "a"),
+		"extra part":      Key("a", "b", ""),
+	} {
+		if k == base {
+			t.Errorf("%s: key collision", name)
+		}
+	}
+	if Key("a", "b") != base {
+		t.Error("key not deterministic")
+	}
+}
+
+func TestNilStoreIsInert(t *testing.T) {
+	var s *Store
+	var out payload
+	if s.Get(Key("x"), &out) {
+		t.Fatal("nil store hit")
+	}
+	if err := s.Put(Key("x"), payload{}); err != nil {
+		t.Fatal(err)
+	}
+	if st := s.Stats(); st != (Stats{}) {
+		t.Fatalf("nil stats = %+v", st)
+	}
+}
+
+// TestConcurrentAccess is the tier-2 race target for the store: many
+// goroutines writing and reading overlapping keys must never observe a torn
+// entry (atomic rename) or race on the counters.
+func TestConcurrentAccess(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	const workers = 8
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				key := Key("shared", fmt.Sprint(i%5))
+				in := payload{Name: "n", Values: []float64{float64(i)}, N: i % 5}
+				if err := s.Put(key, in); err != nil {
+					t.Error(err)
+					return
+				}
+				var out payload
+				if s.Get(key, &out) && len(out.Values) != 1 {
+					t.Errorf("torn read: %+v", out)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+}

@@ -48,6 +48,15 @@ func scaled(n int, scale float64, min int) int {
 	return v
 }
 
+// CacheKey returns a canonical description of the options for the result
+// cache. Every field that influences the constructed networks appears here;
+// adding a field to PaperSetOptions must extend this string (or bump
+// cache.SchemaVersion) so stale entries are invalidated.
+func (o PaperSetOptions) CacheKey() string {
+	o.defaults()
+	return fmt.Sprintf("set:seed=%d,scale=%g,alias=%g", o.Seed, o.Scale, o.AliasFailure)
+}
+
 // MeasuredSet holds the simulated measurement pipeline's products: the
 // ground truth and the measured graphs derived from it.
 type MeasuredSet struct {
@@ -110,50 +119,87 @@ func BuildMeasured(opts PaperSetOptions) *MeasuredSet {
 	return &MeasuredSet{TruthAS: truthAS, TruthRL: truthRL, AS: asNet, RL: rlNet}
 }
 
-// BuildGenerated constructs the Figure 1 generated networks.
-func BuildGenerated(opts PaperSetOptions) []*Network {
+// GeneratedNetworkNames and CanonicalNetworkNames list the Figure 1
+// networks in their inventory (assembly) order; MeasuredNetworkNames are
+// the two products of the measurement pipeline. Together they define the
+// units the experiment pipeline can build independently.
+var (
+	MeasuredNetworkNames  = []string{"AS", "RL"}
+	GeneratedNetworkNames = []string{"PLRG", "TS", "Tiers", "Waxman"}
+	CanonicalNetworkNames = []string{"Mesh", "Random", "Tree", "Complete", "Linear"}
+)
+
+// BuildNetwork constructs one named generated or canonical network. Every
+// network draws from its own seeded RNG (derived from opts.Seed and a
+// per-network offset, never a shared stream), so networks can be built in
+// any order — or concurrently — and come out bit-identical to the
+// sequential BuildGenerated/BuildCanonical assembly. Measured networks
+// ("AS", "RL") share the measurement pipeline and are built via
+// BuildMeasured instead; BuildNetwork returns nil for them and for unknown
+// names.
+func BuildNetwork(name string, opts PaperSetOptions) *Network {
 	opts.defaults()
 	mk := func(seed int64) *rand.Rand { return rand.New(rand.NewSource(opts.Seed + seed)) }
-	plrgN := scaled(10000, opts.Scale, 800)
-	waxN := scaled(5000, opts.Scale, 600)
-	// Waxman's alpha controls an O(N) expected degree: rescale it so the
-	// scaled-down instance keeps the paper instance's ~7.2 average degree
-	// instead of falling under the percolation threshold.
-	waxAlpha := 0.005 * 5000 / float64(waxN)
-	if waxAlpha > 1 {
-		waxAlpha = 1
+	switch name {
+	case "PLRG":
+		plrgN := scaled(10000, opts.Scale, 800)
+		return &Network{Name: "PLRG", Category: Generated,
+			Graph: plrg.MustGenerate(mk(11), plrg.Params{N: plrgN, Beta: 2.246})}
+	case "TS":
+		return &Network{Name: "TS", Category: Generated,
+			Graph: transitstub.MustGenerate(mk(12), transitstub.Paper())}
+	case "Tiers":
+		tiersP := tiers.Paper()
+		if opts.Scale < 0.9 {
+			tiersP.MANsPerWAN = scaled(50, opts.Scale, 8)
+			tiersP.WANNodes = scaled(500, opts.Scale, 60)
+		}
+		return &Network{Name: "Tiers", Category: Generated,
+			Graph: tiers.MustGenerate(mk(13), tiersP)}
+	case "Waxman":
+		waxN := scaled(5000, opts.Scale, 600)
+		// Waxman's alpha controls an O(N) expected degree: rescale it so the
+		// scaled-down instance keeps the paper instance's ~7.2 average degree
+		// instead of falling under the percolation threshold.
+		waxAlpha := 0.005 * 5000 / float64(waxN)
+		if waxAlpha > 1 {
+			waxAlpha = 1
+		}
+		return &Network{Name: "Waxman", Category: Generated,
+			Graph: waxman.MustGenerate(mk(14), waxman.Params{N: waxN, Alpha: waxAlpha, Beta: 0.30})}
+	case "Mesh":
+		return &Network{Name: "Mesh", Category: Canonical, Graph: canonical.Mesh(30, 30)}
+	case "Random":
+		randomN := scaled(5018, opts.Scale, 600)
+		return &Network{Name: "Random", Category: Canonical,
+			Graph: canonical.Random(mk(21), randomN+randomN/30, 4.18/float64(randomN))}
+	case "Tree":
+		return &Network{Name: "Tree", Category: Canonical, Graph: canonical.Tree(3, 6)}
+	case "Complete":
+		return &Network{Name: "Complete", Category: Canonical, Graph: canonical.Complete(150)}
+	case "Linear":
+		return &Network{Name: "Linear", Category: Canonical, Graph: canonical.Linear(500)}
 	}
-	tiersP := tiers.Paper()
-	if opts.Scale < 0.9 {
-		tiersP.MANsPerWAN = scaled(50, opts.Scale, 8)
-		tiersP.WANNodes = scaled(500, opts.Scale, 60)
+	return nil
+}
+
+// BuildGenerated constructs the Figure 1 generated networks.
+func BuildGenerated(opts PaperSetOptions) []*Network {
+	nets := make([]*Network, 0, len(GeneratedNetworkNames))
+	for _, name := range GeneratedNetworkNames {
+		nets = append(nets, BuildNetwork(name, opts))
 	}
-	return []*Network{
-		{Name: "PLRG", Category: Generated,
-			Graph: plrg.MustGenerate(mk(11), plrg.Params{N: plrgN, Beta: 2.246})},
-		{Name: "TS", Category: Generated,
-			Graph: transitstub.MustGenerate(mk(12), transitstub.Paper())},
-		{Name: "Tiers", Category: Generated,
-			Graph: tiers.MustGenerate(mk(13), tiersP)},
-		{Name: "Waxman", Category: Generated,
-			Graph: waxman.MustGenerate(mk(14), waxman.Params{N: waxN, Alpha: waxAlpha, Beta: 0.30})},
-	}
+	return nets
 }
 
 // BuildCanonical constructs the Figure 1 canonical networks plus the
 // Complete and Linear calibration graphs of §3.2.1.
 func BuildCanonical(opts PaperSetOptions) []*Network {
-	opts.defaults()
-	r := rand.New(rand.NewSource(opts.Seed + 21))
-	randomN := scaled(5018, opts.Scale, 600)
-	return []*Network{
-		{Name: "Mesh", Category: Canonical, Graph: canonical.Mesh(30, 30)},
-		{Name: "Random", Category: Canonical,
-			Graph: canonical.Random(r, randomN+randomN/30, 4.18/float64(randomN))},
-		{Name: "Tree", Category: Canonical, Graph: canonical.Tree(3, 6)},
-		{Name: "Complete", Category: Canonical, Graph: canonical.Complete(150)},
-		{Name: "Linear", Category: Canonical, Graph: canonical.Linear(500)},
+	nets := make([]*Network, 0, len(CanonicalNetworkNames))
+	for _, name := range CanonicalNetworkNames {
+		nets = append(nets, BuildNetwork(name, opts))
 	}
+	return nets
 }
 
 // BuildPaperNetworks assembles the complete Figure 1 inventory: measured,

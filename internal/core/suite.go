@@ -1,6 +1,7 @@
 package core
 
 import (
+	"fmt"
 	"math/rand"
 	"sync"
 
@@ -52,6 +53,20 @@ func (o *SuiteOptions) defaults() {
 	if o.ToleranceFractions == nil {
 		o.ToleranceFractions = []float64{0, 0.01, 0.02, 0.05, 0.10, 0.15, 0.20}
 	}
+}
+
+// CacheKey returns a canonical description of the options for the result
+// cache. Parallelism is deliberately excluded: suite results are
+// bit-identical at every worker-pool width (the PR-1 contract, enforced by
+// TestRunSuiteParallelMatchesSequential), so a `-j N` run must hit entries
+// written by a `-j 1` run and vice versa. Every other field appears; adding
+// a field to SuiteOptions must extend this string (or bump
+// cache.SchemaVersion) so stale entries are invalidated.
+func (o SuiteOptions) CacheKey() string {
+	o.defaults()
+	return fmt.Sprintf("suite:src=%d,ball=%d,eig=%d,link=%d,seed=%d,skiphier=%t,tol=%v",
+		o.Sources, o.MaxBallSize, o.EigenRank, o.LinkSources, o.Seed,
+		o.SkipHierarchy, o.ToleranceFractions)
 }
 
 // SuiteResult holds every metric curve for one network.

@@ -7,7 +7,10 @@ package experiments
 import (
 	"fmt"
 	"sort"
+	"sync"
+	"sync/atomic"
 
+	"topocmp/internal/cache"
 	"topocmp/internal/core"
 	"topocmp/internal/hierarchy"
 	"topocmp/internal/stats"
@@ -42,61 +45,145 @@ func FullConfig(seed int64) Config {
 	}
 }
 
-// Runner lazily builds the network set and memoizes per-network suite
-// results so every figure can reuse them.
+// Runner builds the network set and memoizes per-network suite results so
+// every figure can reuse them. Work is lazy by default (each accessor
+// builds exactly what it needs); Prefetch schedules the whole inventory
+// concurrently under a shared worker budget. All methods are safe for
+// concurrent use, and results are bit-identical however the work is
+// scheduled: every network and every suite seeds its own RNGs.
 type Runner struct {
-	Cfg      Config
-	measured *core.MeasuredSet
-	nets     []*core.Network
-	suites   map[string]*core.SuiteResult
+	Cfg Config
+	// Workers is the pipeline's total concurrency budget (cmd/reproduce's
+	// -j flag): Prefetch fans network builds and suite runs out under this
+	// many tokens, and suite-internal parallelism draws from the same
+	// budget so nested parallelism never oversubscribes cores. 0 uses
+	// NumCPU, 1 runs the whole pipeline sequentially.
+	Workers int
+	// Cache is the optional content-addressed result store; nil (the
+	// default) recomputes everything in-process.
+	Cache *cache.Store
+
+	mu        sync.Mutex
+	onces     map[string]*sync.Once
+	measured  *core.MeasuredSet
+	nets      map[string]*core.Network
+	suites    map[string]*core.SuiteResult
+	summaries map[string]*NetworkSummary
+
+	netBuilds atomic.Int64
+	suiteRuns atomic.Int64
 }
 
 // NewRunner returns a runner for the configuration.
 func NewRunner(cfg Config) *Runner {
-	return &Runner{Cfg: cfg, suites: map[string]*core.SuiteResult{}}
+	return &Runner{
+		Cfg:       cfg,
+		onces:     map[string]*sync.Once{},
+		nets:      map[string]*core.Network{},
+		suites:    map[string]*core.SuiteResult{},
+		summaries: map[string]*NetworkSummary{},
+	}
+}
+
+// onceFor returns the named once-guard, creating it on first use. Every
+// build/run/restore step is guarded by one, so concurrent accessors and the
+// Prefetch scheduler never duplicate work.
+func (r *Runner) onceFor(name string) *sync.Once {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	o := r.onces[name]
+	if o == nil {
+		o = new(sync.Once)
+		r.onces[name] = o
+	}
+	return o
 }
 
 // Measured returns (building on first use) the simulated measurement
-// pipeline products.
+// pipeline products. The pipeline is one unit — BGP collection and the
+// traceroute sweep share a RNG stream — so it counts as a single network
+// build producing both AS and RL.
 func (r *Runner) Measured() *core.MeasuredSet {
-	if r.measured == nil {
-		r.measured = core.BuildMeasured(r.Cfg.Set)
-	}
+	r.onceFor("measured").Do(func() {
+		r.netBuilds.Add(1)
+		ms := core.BuildMeasured(r.Cfg.Set)
+		r.mu.Lock()
+		r.measured = ms
+		r.mu.Unlock()
+	})
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	return r.measured
 }
 
-// Networks returns the full Figure 1 inventory.
+// Networks returns the full Figure 1 inventory, in its fixed assembly
+// order.
 func (r *Runner) Networks() []*core.Network {
-	if r.nets == nil {
-		ms := r.Measured()
-		r.nets = []*core.Network{ms.AS, ms.RL}
-		r.nets = append(r.nets, core.BuildGenerated(r.Cfg.Set)...)
-		r.nets = append(r.nets, core.BuildCanonical(r.Cfg.Set)...)
+	out := make([]*core.Network, 0, len(AllTableNames))
+	for _, name := range AllTableNames {
+		out = append(out, r.Network(name))
 	}
-	return r.nets
+	return out
 }
 
-// Network returns the named network, or nil.
+// Network returns the named network (building it on first use), or nil.
 func (r *Runner) Network(name string) *core.Network {
-	for _, n := range r.Networks() {
-		if n.Name == name {
-			return n
+	r.onceFor("net:" + name).Do(func() {
+		var n *core.Network
+		switch name {
+		case "AS":
+			n = r.Measured().AS
+		case "RL":
+			n = r.Measured().RL
+		default:
+			if n = core.BuildNetwork(name, r.Cfg.Set); n != nil {
+				r.netBuilds.Add(1)
+			}
 		}
-	}
-	return nil
+		r.mu.Lock()
+		r.nets[name] = n
+		r.mu.Unlock()
+	})
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.nets[name]
 }
 
-// Suite returns the memoized metric-suite result for the named network.
+// Suite returns the memoized metric-suite result for the named network,
+// restoring it from the cache or computing it on first use.
 func (r *Runner) Suite(name string) *core.SuiteResult {
-	if res, ok := r.suites[name]; ok {
-		return res
-	}
-	n := r.Network(name)
-	if n == nil {
+	return r.runSuite(name, r.Cfg.Suite.Parallelism)
+}
+
+// runSuite is Suite with an explicit engine width (Prefetch divides its
+// worker budget across pending suites; the width never changes the result).
+func (r *Runner) runSuite(name string, par int) *core.SuiteResult {
+	r.onceFor("suite:" + name).Do(func() {
+		if r.tryRestore(name) {
+			return
+		}
+		n := r.Network(name)
+		if n == nil {
+			return // leave the memo empty; the caller panics below
+		}
+		opts := r.Cfg.Suite
+		opts.Parallelism = par
+		r.suiteRuns.Add(1)
+		res := core.RunSuite(n, opts)
+		sum := summarize(n)
+		r.mu.Lock()
+		r.suites[name] = res
+		r.summaries[name] = sum
+		r.mu.Unlock()
+		// Best-effort persist: a failed write only costs a recompute later.
+		r.Cache.Put(r.suiteKey(name), makeSuiteEntry(res, sum)) //nolint:errcheck
+	})
+	r.mu.Lock()
+	res := r.suites[name]
+	r.mu.Unlock()
+	if res == nil {
 		panic(fmt.Sprintf("experiments: unknown network %q", name))
 	}
-	res := core.RunSuite(n, r.Cfg.Suite)
-	r.suites[name] = res
 	return res
 }
 
@@ -109,11 +196,13 @@ var (
 		"Mesh", "Random", "Tree", "Complete", "Linear"}
 )
 
-// Table1 regenerates the Figure 1 inventory table.
+// Table1 regenerates the Figure 1 inventory table. It reads the cached
+// network summaries, so a warm-cache run renders it without building a
+// single graph.
 func (r *Runner) Table1() []core.Description {
 	var out []core.Description
-	for _, n := range r.Networks() {
-		out = append(out, n.Describe())
+	for _, name := range AllTableNames {
+		out = append(out, r.summaryOf(name).Desc)
 	}
 	return out
 }
@@ -237,17 +326,18 @@ func (r *Runner) Figure5() []Figure5Row {
 		if res.LinkValues == nil {
 			continue
 		}
-		g := r.Network(name).Graph
+		sum := r.summaryOf(name)
+		deg := sum.Degrees
 		if name == "RL" {
 			// Link values were computed on the core (footnote 29);
 			// correlate against the core's degrees.
-			g, _ = g.Core()
+			deg = sum.CoreDegrees
 		}
-		rows = append(rows, Figure5Row{name, res.LinkValues.DegreeCorrelation(g)})
+		rows = append(rows, Figure5Row{name, res.LinkValues.DegreeCorrelationDegrees(deg)})
 		if res.PolicyLinkValues != nil {
 			rows = append(rows, Figure5Row{
 				name + "(Policy)",
-				res.PolicyLinkValues.DegreeCorrelation(r.Network(name).Graph),
+				res.PolicyLinkValues.DegreeCorrelationDegrees(sum.Degrees),
 			})
 		}
 	}
@@ -259,7 +349,7 @@ func (r *Runner) Figure5() []Figure5Row {
 func (r *Runner) Figure6(names []string) []stats.Series {
 	var out []stats.Series
 	for _, name := range names {
-		s := stats.CCDF(r.Network(name).Graph.Degrees())
+		s := stats.CCDF(r.summaryOf(name).Degrees)
 		s.Name = name
 		out = append(out, s)
 	}

@@ -1,0 +1,208 @@
+package experiments
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+
+	"topocmp/internal/cache"
+	"topocmp/internal/core"
+)
+
+// miniCfg is small enough to run the full 11-network pipeline in a test.
+func miniCfg(seed int64, skipHier bool) Config {
+	return Config{
+		Set: core.PaperSetOptions{Seed: seed, Scale: 0.06},
+		Suite: core.SuiteOptions{Sources: 6, MaxBallSize: 400, EigenRank: 8,
+			LinkSources: 96, Seed: seed, SkipHierarchy: skipHier},
+	}
+}
+
+// sameSuite compares two suite results field by field (everything except
+// the Network pointer, which a cache restore replaces with a stub).
+func sameSuite(t *testing.T, name string, a, b *core.SuiteResult) {
+	t.Helper()
+	if a.Network.Name != b.Network.Name || a.Network.Category != b.Network.Category {
+		t.Errorf("%s: network identity %s/%v vs %s/%v", name,
+			a.Network.Name, a.Network.Category, b.Network.Name, b.Network.Category)
+	}
+	checks := []struct {
+		field string
+		a, b  any
+	}{
+		{"Expansion", a.Expansion, b.Expansion},
+		{"Resilience", a.Resilience, b.Resilience},
+		{"Distortion", a.Distortion, b.Distortion},
+		{"Eigenvalues", a.Eigenvalues, b.Eigenvalues},
+		{"Eccentricity", a.Eccentricity, b.Eccentricity},
+		{"VertexCover", a.VertexCover, b.VertexCover},
+		{"Biconnectivity", a.Biconnectivity, b.Biconnectivity},
+		{"Attack", a.Attack, b.Attack},
+		{"Error", a.Error, b.Error},
+		{"Clustering", a.Clustering, b.Clustering},
+		{"WholeGraphClustering", a.WholeGraphClustering, b.WholeGraphClustering},
+		{"LinkValues", a.LinkValues, b.LinkValues},
+		{"PolicyExpansion", a.PolicyExpansion, b.PolicyExpansion},
+		{"PolicyResilience", a.PolicyResilience, b.PolicyResilience},
+		{"PolicyDistortion", a.PolicyDistortion, b.PolicyDistortion},
+		{"PolicyLinkValues", a.PolicyLinkValues, b.PolicyLinkValues},
+	}
+	for _, c := range checks {
+		if !reflect.DeepEqual(c.a, c.b) {
+			t.Errorf("%s: %s differs", name, c.field)
+		}
+	}
+}
+
+// TestPrefetchMatchesLazy is the Runner-level extension of the suite's
+// parallel-matches-sequential contract: the concurrent DAG schedule must
+// produce results bit-identical to the lazy sequential path.
+func TestPrefetchMatchesLazy(t *testing.T) {
+	lazy := NewRunner(miniCfg(1, true))
+	lazy.Workers = 1
+	lazy.Cfg.Suite.Parallelism = 1
+
+	par := NewRunner(miniCfg(1, true))
+	par.Workers = 4
+	par.Prefetch()
+
+	for _, name := range AllTableNames {
+		sameSuite(t, name, lazy.Suite(name), par.Suite(name))
+	}
+	if !reflect.DeepEqual(lazy.Table1(), par.Table1()) {
+		t.Error("Table1 differs between lazy and prefetched runners")
+	}
+	if !reflect.DeepEqual(lazy.Figure6(AllTableNames), par.Figure6(AllTableNames)) {
+		t.Error("Figure6 differs between lazy and prefetched runners")
+	}
+	st := par.Stats()
+	if st.SuiteRuns != int64(len(AllTableNames)) {
+		t.Errorf("prefetch suite runs = %d, want %d", st.SuiteRuns, len(AllTableNames))
+	}
+}
+
+// TestWarmCacheRerunDoesNoWork is the acceptance check for the result
+// cache: a second runner over the same store must restore every artifact —
+// suites, summaries, extras, variant panels — bit-identically while
+// performing zero network builds and zero suite runs.
+func TestWarmCacheRerunDoesNoWork(t *testing.T) {
+	dir := t.TempDir()
+	open := func() *cache.Store {
+		s, err := cache.Open(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s
+	}
+
+	cold := NewRunner(miniCfg(1, false))
+	cold.Cache = open()
+	cold.Workers = 2
+	cold.Prefetch()
+	coldExtras := cold.Extras()
+	coldRewire := cold.RewiringPanel()
+	st := cold.Stats()
+	// Measured AS+RL share one pipeline build; the other 9 networks build
+	// individually.
+	if st.NetworkBuilds != 10 || st.SuiteRuns != 11 {
+		t.Fatalf("cold run: %d builds / %d suite runs, want 10/11",
+			st.NetworkBuilds, st.SuiteRuns)
+	}
+
+	warm := NewRunner(miniCfg(1, false))
+	warm.Cache = open() // fresh store handle: counters start at zero
+	warm.Workers = 2
+	warm.Prefetch()
+	warmExtras := warm.Extras()
+	warmRewire := warm.RewiringPanel()
+
+	for _, name := range AllTableNames {
+		sameSuite(t, name, cold.Suite(name), warm.Suite(name))
+	}
+	if !reflect.DeepEqual(cold.Table1(), warm.Table1()) {
+		t.Error("Table1 differs after cache restore")
+	}
+	if !reflect.DeepEqual(cold.Figure5(), warm.Figure5()) {
+		t.Error("Figure5 differs after cache restore")
+	}
+	if !reflect.DeepEqual(cold.Figure6(AllTableNames), warm.Figure6(AllTableNames)) {
+		t.Error("Figure6 differs after cache restore")
+	}
+	if !reflect.DeepEqual(coldExtras, warmExtras) {
+		t.Error("Extras differ after cache restore")
+	}
+	if !reflect.DeepEqual(coldRewire, warmRewire) {
+		t.Error("RewiringPanel differs after cache restore")
+	}
+	st = warm.Stats()
+	if st.NetworkBuilds != 0 || st.SuiteRuns != 0 {
+		t.Fatalf("warm run did work: %d builds / %d suite runs", st.NetworkBuilds, st.SuiteRuns)
+	}
+	if st.CacheMisses != 0 {
+		t.Fatalf("warm run missed the cache %d times", st.CacheMisses)
+	}
+}
+
+// TestCacheKeyInvalidation pins the key scheme: a changed seed recomputes,
+// an unchanged configuration hits, and the engine width is excluded (suite
+// results are bit-identical at every Parallelism, so -j N shares -j 1's
+// entries).
+func TestCacheKeyInvalidation(t *testing.T) {
+	dir := t.TempDir()
+	runTree := func(seed int64, par int) int64 {
+		s, err := cache.Open(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r := NewRunner(miniCfg(seed, true))
+		r.Cfg.Suite.Parallelism = par
+		r.Cache = s
+		r.Suite("Tree")
+		return r.Stats().SuiteRuns
+	}
+	if runs := runTree(1, 1); runs != 1 {
+		t.Fatalf("first run: %d suite runs, want 1", runs)
+	}
+	if runs := runTree(2, 1); runs != 1 {
+		t.Fatalf("changed seed: %d suite runs, want 1 (must invalidate)", runs)
+	}
+	if runs := runTree(1, 1); runs != 0 {
+		t.Fatalf("unchanged config: %d suite runs, want 0 (must hit)", runs)
+	}
+	if runs := runTree(1, 3); runs != 0 {
+		t.Fatalf("changed parallelism: %d suite runs, want 0 (width is not keyed)", runs)
+	}
+}
+
+// TestPipelineRaceShort exercises the scheduler, the once-guarded memos
+// and the cache store under the race detector: Prefetch races against
+// direct accessor calls on the same runner.
+func TestPipelineRaceShort(t *testing.T) {
+	s, err := cache.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := miniCfg(1, true)
+	cfg.Suite.Sources = 4
+	cfg.Suite.MaxBallSize = 250
+	cfg.Suite.EigenRank = 6
+	r := NewRunner(cfg)
+	r.Workers = 4
+	r.Cache = s
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		r.Prefetch()
+	}()
+	go func() {
+		defer wg.Done()
+		r.Table1()
+		r.Suite("Mesh")
+		r.Figure6(CanonicalNames)
+	}()
+	wg.Wait()
+	if st := r.Stats(); st.SuiteRuns != 11 {
+		t.Fatalf("suite runs = %d, want 11", st.SuiteRuns)
+	}
+}

@@ -64,11 +64,13 @@ type VariantPanel struct {
 // Figure12 computes CCDFs and the three metrics for the degree-based
 // variants (Figures 2(j-l) and 12).
 func (r *Runner) Figure12() VariantPanel {
-	var p VariantPanel
-	for _, n := range r.DegreeBasedVariants() {
-		p.appendNetwork(n.Name, n.Graph, r.Cfg)
-	}
-	return p
+	return cachedArtifact(r, "fig12", func() VariantPanel {
+		var p VariantPanel
+		for _, n := range r.DegreeBasedVariants() {
+			p.appendNetwork(n.Name, n.Graph, r.Cfg)
+		}
+		return p
+	})
 }
 
 func (p *VariantPanel) appendNetwork(name string, g *graph.Graph, cfg Config) {
@@ -105,33 +107,37 @@ func (p *VariantPanel) appendNetwork(name string, g *graph.Graph, cfg Config) {
 // clone-matching method while keeping their degree sequences, and the three
 // metrics are compared.
 func (r *Runner) Figure13() VariantPanel {
-	seed := r.Cfg.Set.Seed
-	n := scaledSize(9000, r.Cfg.Set.Scale, 2000)
-	baG := ba.MustGenerate(rand.New(rand.NewSource(seed+31)), ba.Params{N: n, M: 2})
-	briteG := brite.MustGenerate(rand.New(rand.NewSource(seed+32)),
-		brite.Params{N: n, M: 2, Placement: brite.PlacementHeavyTailed})
-	var p VariantPanel
-	p.appendNetwork("B-A", baG, r.Cfg)
-	p.appendNetwork("Modified B-A", plrg.Reconnect(rand.New(rand.NewSource(seed+41)), baG), r.Cfg)
-	p.appendNetwork("Brite", briteG, r.Cfg)
-	p.appendNetwork("Modified Brite", plrg.Reconnect(rand.New(rand.NewSource(seed+42)), briteG), r.Cfg)
-	return p
+	return cachedArtifact(r, "fig13", func() VariantPanel {
+		seed := r.Cfg.Set.Seed
+		n := scaledSize(9000, r.Cfg.Set.Scale, 2000)
+		baG := ba.MustGenerate(rand.New(rand.NewSource(seed+31)), ba.Params{N: n, M: 2})
+		briteG := brite.MustGenerate(rand.New(rand.NewSource(seed+32)),
+			brite.Params{N: n, M: 2, Placement: brite.PlacementHeavyTailed})
+		var p VariantPanel
+		p.appendNetwork("B-A", baG, r.Cfg)
+		p.appendNetwork("Modified B-A", plrg.Reconnect(rand.New(rand.NewSource(seed+41)), baG), r.Cfg)
+		p.appendNetwork("Brite", briteG, r.Cfg)
+		p.appendNetwork("Modified Brite", plrg.Reconnect(rand.New(rand.NewSource(seed+42)), briteG), r.Cfg)
+		return p
+	})
 }
 
 // Figure14 regenerates the link-value distributions of the degree-based
 // variants, the moderate-hierarchy check of Appendix D.2.
 func (r *Runner) Figure14() []stats.Series {
-	var out []stats.Series
-	for _, n := range r.DegreeBasedVariants() {
-		lv := hierarchy.LinkValues(n.Graph, hierarchy.Options{
-			MaxSources: r.Cfg.Suite.LinkSources,
-			Rand:       rand.New(rand.NewSource(r.Cfg.Set.Seed + 51)),
-		})
-		s := lv.RankDistribution()
-		s.Name = n.Name
-		out = append(out, s)
-	}
-	return out
+	return cachedArtifact(r, "fig14", func() []stats.Series {
+		var out []stats.Series
+		for _, n := range r.DegreeBasedVariants() {
+			lv := hierarchy.LinkValues(n.Graph, hierarchy.Options{
+				MaxSources: r.Cfg.Suite.LinkSources,
+				Rand:       rand.New(rand.NewSource(r.Cfg.Set.Seed + 51)),
+			})
+			s := lv.RankDistribution()
+			s.Name = n.Name
+			out = append(out, s)
+		}
+		return out
+	})
 }
 
 // Figure11Row is one row of the Appendix C parameter-exploration table.
@@ -147,6 +153,10 @@ type Figure11Row struct {
 // generator, reporting sizes, degrees and the three-metric signature — the
 // robustness claim of §4.4.
 func (r *Runner) Figure11() []Figure11Row {
+	return cachedArtifact(r, "fig11", r.figure11)
+}
+
+func (r *Runner) figure11() []Figure11Row {
 	seed := r.Cfg.Set.Seed
 	var rows []Figure11Row
 	add := func(gen, params string, g *graph.Graph) {
@@ -234,18 +244,20 @@ func (r *Runner) classifyGraph(g *graph.Graph) core.Signature {
 // quite different from the PLRG (and thus different from the AS and RL
 // graphs)".
 func (r *Runner) ConnectivityVariants() VariantPanel {
-	seed := r.Cfg.Set.Seed
-	n := scaledSize(9000, r.Cfg.Set.Scale, 2000)
-	var p VariantPanel
-	for i, c := range []plrg.Connectivity{
-		plrg.CloneMatching, plrg.UniformRandom,
-		plrg.ProportionalUnsatisfied, plrg.Deterministic,
-	} {
-		g := plrg.MustGenerate(rand.New(rand.NewSource(seed+int64(100+i))),
-			plrg.Params{N: n, Beta: 2.246, Connect: c})
-		p.appendNetwork(c.String(), g, r.Cfg)
-	}
-	return p
+	return cachedArtifact(r, "connectivity", func() VariantPanel {
+		seed := r.Cfg.Set.Seed
+		n := scaledSize(9000, r.Cfg.Set.Scale, 2000)
+		var p VariantPanel
+		for i, c := range []plrg.Connectivity{
+			plrg.CloneMatching, plrg.UniformRandom,
+			plrg.ProportionalUnsatisfied, plrg.Deterministic,
+		} {
+			g := plrg.MustGenerate(rand.New(rand.NewSource(seed+int64(100+i))),
+				plrg.Params{N: n, Beta: 2.246, Connect: c})
+			p.appendNetwork(c.String(), g, r.Cfg)
+		}
+		return p
+	})
 }
 
 // RewiringPanel runs the null-model test of the paper's central thesis:
@@ -256,11 +268,13 @@ func (r *Runner) ConnectivityVariants() VariantPanel {
 // keeps the AS graph's HHL signature and moderate hierarchy, while local
 // clustering washes out.
 func (r *Runner) RewiringPanel() VariantPanel {
-	asGraph := r.Measured().AS.Graph
-	rewired := plrg.DegreePreservingRewire(
-		rand.New(rand.NewSource(r.Cfg.Set.Seed+61)), asGraph, 3)
-	var p VariantPanel
-	p.appendNetwork("AS", asGraph, r.Cfg)
-	p.appendNetwork("AS rewired", rewired, r.Cfg)
-	return p
+	return cachedArtifact(r, "rewiring", func() VariantPanel {
+		asGraph := r.Measured().AS.Graph
+		rewired := plrg.DegreePreservingRewire(
+			rand.New(rand.NewSource(r.Cfg.Set.Seed+61)), asGraph, 3)
+		var p VariantPanel
+		p.appendNetwork("AS", asGraph, r.Cfg)
+		p.appendNetwork("AS rewired", rewired, r.Cfg)
+		return p
+	})
 }

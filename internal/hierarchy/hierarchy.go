@@ -90,11 +90,18 @@ func (r *Result) RankDistribution() stats.Series {
 // DegreeCorrelation returns the Pearson correlation between each link's
 // value and the smaller of its endpoint degrees (Figure 5).
 func (r *Result) DegreeCorrelation(g *graph.Graph) float64 {
+	return r.DegreeCorrelationDegrees(g.Degrees())
+}
+
+// DegreeCorrelationDegrees is DegreeCorrelation over a plain degree slice
+// (indexed by node id), so callers holding only a cached degree sequence —
+// not the graph itself — can still compute Figure 5.
+func (r *Result) DegreeCorrelationDegrees(deg []int) float64 {
 	vals := make([]float64, len(r.Edges))
 	mins := make([]float64, len(r.Edges))
 	for i, e := range r.Edges {
 		vals[i] = r.Values[i]
-		du, dv := g.Degree(e.U), g.Degree(e.V)
+		du, dv := deg[e.U], deg[e.V]
 		if dv < du {
 			du = dv
 		}

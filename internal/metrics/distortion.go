@@ -49,9 +49,15 @@ func SubgraphDistortion(sub *graph.Graph, roots int) float64 {
 		return 0
 	}
 	centers := topBetweenness(sub, roots)
+	// One scratch set serves every candidate root: each BFS rewrites the
+	// tree arrays in full, and the edge list is the same for all roots.
+	parent := make([]int32, n)
+	depth := make([]int32, n)
+	queue := make([]int32, 0, n)
+	edges := sub.Edges()
 	best := -1.0
 	for _, c := range centers {
-		d := bfsTreeDistortion(sub, c)
+		d := bfsTreeDistortion(sub, c, parent, depth, queue, edges)
 		if best < 0 || d < best {
 			best = d
 		}
@@ -90,47 +96,44 @@ func topBetweenness(g *graph.Graph, k int) []int32 {
 			}
 		}
 	}
-	// Select top-k by betweenness.
-	type cand struct {
-		v int32
-		b float64
-	}
-	cands := make([]cand, n)
-	for v := 0; v < n; v++ {
-		cands[v] = cand{int32(v), bc[v]}
-	}
-	// Partial selection: simple sort is fine at ball sizes.
-	for i := 0; i < k && i < n; i++ {
-		best := i
-		for j := i + 1; j < n; j++ {
-			if cands[j].b > cands[best].b {
-				best = j
-			}
-		}
-		cands[i], cands[best] = cands[best], cands[i]
-	}
+	// Partial top-k selection by (betweenness desc, id asc): one insertion
+	// pass over bc into a k-slot slice, instead of materializing and
+	// selection-sorting an n-entry candidate slice per ball.
 	if k > n {
 		k = n
 	}
-	out := make([]int32, k)
-	for i := 0; i < k; i++ {
-		out[i] = cands[i].v
+	top := make([]int32, 0, k)
+	for v := int32(0); v < int32(n); v++ {
+		pos := len(top)
+		for pos > 0 && bc[top[pos-1]] < bc[v] {
+			pos--
+		}
+		if pos == k {
+			continue
+		}
+		if len(top) < k {
+			top = append(top, 0)
+		}
+		copy(top[pos+1:], top[pos:len(top)-1])
+		top[pos] = v
 	}
-	return out
+	return top
 }
 
 // bfsTreeDistortion builds the BFS tree rooted at root and returns the
 // average tree distance between the endpoints of every graph edge. Tree
-// distances use parent walks (depth-bounded, cheap on BFS trees).
-func bfsTreeDistortion(g *graph.Graph, root int32) float64 {
-	n := g.NumNodes()
-	parent := make([]int32, n)
-	depth := make([]int32, n)
+// distances use parent walks (depth-bounded, cheap on BFS trees). The
+// parent/depth/queue scratch and the edge list are caller-owned so they can
+// be reused across roots.
+func bfsTreeDistortion(g *graph.Graph, root int32,
+	parent, depth, queue []int32, edges []graph.Edge) float64 {
+
 	for i := range parent {
 		parent[i] = -1
 	}
 	parent[root] = root
-	queue := []int32{root}
+	depth[root] = 0
+	queue = append(queue[:0], root)
 	for head := 0; head < len(queue); head++ {
 		u := queue[head]
 		for _, v := range g.Neighbors(u) {
@@ -142,7 +145,7 @@ func bfsTreeDistortion(g *graph.Graph, root int32) float64 {
 		}
 	}
 	total, count := 0.0, 0
-	for _, e := range g.Edges() {
+	for _, e := range edges {
 		total += float64(treeDist(parent, depth, e.U, e.V))
 		count++
 	}

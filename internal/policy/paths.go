@@ -11,12 +11,23 @@ type PathTree struct {
 	dist   []int32 // product distances
 	parent []int32 // product parent state, -1 at roots
 	best   []int32 // best (minimal-distance, tie-break lowest) arrival state per node, -1 unreachable
+	queue  []int32 // BFS frontier, recycled by PathsInto
 }
 
 // Paths computes a policy path tree from src over the annotated graph.
 func (a *Annotated) Paths(src int32) *PathTree {
+	return a.PathsInto(nil, src)
+}
+
+// PathsInto is Paths recycling t's product-space scratch (dist, parent,
+// best, queue); t == nil allocates a fresh tree. Sweeps that run hundreds
+// of single-source trees over one graph (traceroute, BGP collection,
+// policy expansion) pass the previous tree back in and allocate nothing
+// after the first source. The filled tree is always returned; any previous
+// contents of t are overwritten.
+func (a *Annotated) PathsInto(t *PathTree, src int32) *PathTree {
 	n := a.G.NumNodes()
-	return buildPathTree(src, n, func(cur int32, visit func(next int32)) {
+	return buildPathTree(t, src, n, func(cur int32, visit func(next int32)) {
 		u, s := cur/numStates, int(cur%numStates)
 		for _, v := range a.G.Neighbors(u) {
 			if ns := transition(s, a.Rel(u, v)); ns >= 0 {
@@ -28,8 +39,13 @@ func (a *Annotated) Paths(src int32) *PathTree {
 
 // Paths computes a router-level policy path tree from src.
 func (o *RouterOverlay) Paths(src int32) *PathTree {
+	return o.PathsInto(nil, src)
+}
+
+// PathsInto is Paths recycling t's scratch; see Annotated.PathsInto.
+func (o *RouterOverlay) PathsInto(t *PathTree, src int32) *PathTree {
 	n := o.RL.NumNodes()
-	return buildPathTree(src, n, func(cur int32, visit func(next int32)) {
+	return buildPathTree(t, src, n, func(cur int32, visit func(next int32)) {
 		u, s := cur/numStates, int(cur%numStates)
 		asU := o.ASOf[u]
 		for _, v := range o.RL.Neighbors(u) {
@@ -45,13 +61,18 @@ func (o *RouterOverlay) Paths(src int32) *PathTree {
 	})
 }
 
-func buildPathTree(src int32, n int, expand func(cur int32, visit func(next int32))) *PathTree {
-	t := &PathTree{
-		src:    src,
-		dist:   make([]int32, n*numStates),
-		parent: make([]int32, n*numStates),
-		best:   make([]int32, n),
+func buildPathTree(t *PathTree, src int32, n int, expand func(cur int32, visit func(next int32))) *PathTree {
+	if t == nil || cap(t.dist) < n*numStates {
+		t = &PathTree{
+			dist:   make([]int32, n*numStates),
+			parent: make([]int32, n*numStates),
+			best:   make([]int32, n),
+		}
 	}
+	t.src = src
+	t.dist = t.dist[:n*numStates]
+	t.parent = t.parent[:n*numStates]
+	t.best = t.best[:n]
 	for i := range t.dist {
 		t.dist[i] = graph.Unreached
 		t.parent[i] = -1
@@ -61,7 +82,7 @@ func buildPathTree(src int32, n int, expand func(cur int32, visit func(next int3
 	}
 	start := src*numStates + stateUp
 	t.dist[start] = 0
-	queue := []int32{start}
+	queue := append(t.queue[:0], start)
 	for head := 0; head < len(queue); head++ {
 		cur := queue[head]
 		du := t.dist[cur]
@@ -73,6 +94,7 @@ func buildPathTree(src int32, n int, expand func(cur int32, visit func(next int3
 			}
 		})
 	}
+	t.queue = queue
 	for v := int32(0); v < int32(n); v++ {
 		bestD := graph.Unreached
 		for s := int32(0); s < numStates; s++ {

@@ -129,3 +129,31 @@ func TestPathTreeDeterminism(t *testing.T) {
 		}
 	}
 }
+
+// TestPathsIntoMatchesPaths sweeps one recycled tree across every source
+// and checks it agrees with a fresh tree at each: the scratch reuse
+// (stale dist/parent/best/queue contents) must never leak between sources.
+func TestPathsIntoMatchesPaths(t *testing.T) {
+	a := randomAnnotated(rand.New(rand.NewSource(7)), 60, 110)
+	n := int32(a.G.NumNodes())
+	var reused *PathTree
+	for src := int32(0); src < n; src++ {
+		reused = a.PathsInto(reused, src)
+		fresh := a.Paths(src)
+		for v := int32(0); v < n; v++ {
+			if reused.Dist(v) != fresh.Dist(v) {
+				t.Fatalf("src %d: reused dist(%d) = %d, fresh %d",
+					src, v, reused.Dist(v), fresh.Dist(v))
+			}
+			rp, fp := reused.Path(v), fresh.Path(v)
+			if len(rp) != len(fp) {
+				t.Fatalf("src %d: path length mismatch at %d", src, v)
+			}
+			for i := range rp {
+				if rp[i] != fp[i] {
+					t.Fatalf("src %d: path mismatch at %d", src, v)
+				}
+			}
+		}
+	}
+}

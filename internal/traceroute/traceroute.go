@@ -113,9 +113,10 @@ func Sweep(overlay *policy.RouterOverlay, backbone []bool, opts Options) (*graph
 			edges = append(edges, graph.Edge{U: u, V: v})
 		}
 	}
+	var pt *policy.PathTree
 	for _, si := range srcIdx {
 		src := backboneIDs[si]
-		pt := overlay.Paths(src)
+		pt = overlay.PathsInto(pt, src)
 		for _, di := range dsts {
 			dst := int32(di)
 			if dst == src {

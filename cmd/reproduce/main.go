@@ -6,7 +6,8 @@
 // Usage:
 //
 //	reproduce [-out results] [-seed 1] [-scale 0.3] [-full] [-quick]
-//	          [-j N] [-cache dir]
+//	          [-j N] [-cache dir] [-trace file] [-metrics]
+//	          [-cpuprofile file] [-memprofile file]
 //
 // -j sets the pipeline's worker budget (0 = all cores, 1 = sequential);
 // output files are byte-identical at every width. -cache names an on-disk
@@ -14,6 +15,14 @@
 // suite result from it and performs zero network builds and zero suite
 // runs, while a changed seed or scale invalidates only the affected
 // entries.
+//
+// -trace exports the run's span tree as Chrome trace-event JSON (open it at
+// ui.perfetto.dev) and prints it as an indented tree; -metrics prints the
+// final metrics registry. Either flag also writes <out>/run.json, a manifest
+// recording the configuration, seeds, cache schema, per-stage timings and
+// the final metric snapshot. With both flags off the output directory is
+// byte-identical to a run without them. -cpuprofile/-memprofile write pprof
+// profiles of the whole run.
 package main
 
 import (
@@ -21,12 +30,14 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
+	"runtime/pprof"
 	"text/tabwriter"
-	"time"
 
 	"topocmp/internal/cache"
 	"topocmp/internal/core"
 	"topocmp/internal/experiments"
+	"topocmp/internal/obs"
 	"topocmp/internal/plot"
 	"topocmp/internal/stats"
 )
@@ -39,6 +50,10 @@ func main() {
 	quick := flag.Bool("quick", false, "CI-scale run (a few minutes)")
 	workers := flag.Int("j", 0, "pipeline worker budget (0 = all cores, 1 = sequential)")
 	cacheDir := flag.String("cache", "", "result cache directory (empty = no caching)")
+	traceFile := flag.String("trace", "", "write a Chrome trace-event JSON of the run to this file")
+	metrics := flag.Bool("metrics", false, "print the final metrics table and write <out>/run.json")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile to this file")
 	flag.Parse()
 
 	cfg := experiments.Config{
@@ -55,52 +70,127 @@ func main() {
 		cfg.Set.Scale = *scale
 	}
 	cfg.Suite.Parallelism = *workers
-	if _, err := run(cfg, *workers, *cacheDir, *out); err != nil {
-		fmt.Fprintln(os.Stderr, "reproduce:", err)
-		os.Exit(1)
-	}
+	os.Exit(realMain(cfg, *workers, *cacheDir, *out,
+		obsOptions{Trace: *traceFile != "", Metrics: *metrics},
+		*traceFile, *cpuprofile, *memprofile))
 }
 
-// run renders every artifact into out and returns the runner for its
-// pipeline statistics. Stage banners, timings and cache counters go to
-// stdout only — the files under out are byte-identical across worker
-// widths and cache states.
-func run(cfg experiments.Config, workers int, cacheDir, out string) (*experiments.Runner, error) {
+// realMain wraps run with the profiling and trace-export plumbing; it
+// returns the process exit code so deferred profile writers always run.
+func realMain(cfg experiments.Config, workers int, cacheDir, out string,
+	o obsOptions, traceFile, cpuprofile, memprofile string) int {
+
+	fail := func(err error) int {
+		fmt.Fprintln(os.Stderr, "reproduce:", err)
+		return 1
+	}
+	if cpuprofile != "" {
+		f, err := os.Create(cpuprofile)
+		if err != nil {
+			return fail(err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return fail(err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	_, tr, err := run(cfg, workers, cacheDir, out, o)
+	if err != nil {
+		return fail(err)
+	}
+	if traceFile != "" {
+		f, err := os.Create(traceFile)
+		if err != nil {
+			return fail(err)
+		}
+		if err := tr.WriteChromeTrace(f); err != nil {
+			f.Close()
+			return fail(err)
+		}
+		if err := f.Close(); err != nil {
+			return fail(err)
+		}
+	}
+	if memprofile != "" {
+		f, err := os.Create(memprofile)
+		if err != nil {
+			return fail(err)
+		}
+		defer f.Close()
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			return fail(err)
+		}
+	}
+	return 0
+}
+
+// obsOptions selects the run's observability outputs. The zero value — the
+// default — changes nothing observable: stage banners and the final pipeline
+// line are rendered from the same span tree and metrics registry either way,
+// and the output directory stays byte-identical (run.json only appears when
+// an option is on).
+type obsOptions struct {
+	Trace   bool // render the span tree to stdout (main also exports Chrome JSON)
+	Metrics bool // print the metrics table to stdout
+}
+
+// run renders every artifact into out and returns the runner (for its
+// pipeline statistics) and the tracer holding the run's span tree. Stage
+// banners, timings and cache counters go to stdout only — the files under
+// out are byte-identical across worker widths, cache states and observability
+// options (run.json exists only when an obsOption is on).
+func run(cfg experiments.Config, workers int, cacheDir, out string, o obsOptions) (*experiments.Runner, *obs.Tracer, error) {
 	if err := os.MkdirAll(out, 0o755); err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	r := experiments.NewRunner(cfg)
 	r.Workers = workers
 	if cacheDir != "" {
 		store, err := cache.Open(cacheDir)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
+		store.Instrument(r.Metrics())
 		r.Cache = store
 	}
+	r.Metrics().Gauge("pipeline.workers").Set(int64(workers))
 
-	start := time.Now()
-	stage := func(title string, f func() error) error {
-		fmt.Printf("== %s ==\n", title)
-		t0 := time.Now()
-		if err := f(); err != nil {
-			return err
+	// The span tree is always collected (it is cheap — one span per stage
+	// plus a handful per computed network) and is the single source of the
+	// stage banners, the timing lines, the final total, and — when enabled —
+	// the stdout tree, the Chrome export and the manifest stage list.
+	tr := obs.NewTracer("reproduce")
+	root := tr.Root()
+	tr.OnStart = func(s *obs.Span) {
+		if s.Depth() == 1 {
+			fmt.Printf("== %s ==\n", s.Name())
 		}
-		fmt.Printf("   %-28s %8.1fs\n", title, time.Since(t0).Seconds())
-		return nil
+	}
+	tr.OnEnd = func(s *obs.Span) {
+		if s.Depth() == 1 {
+			fmt.Printf("   %-28s %8.1fs\n", s.Name(), s.Duration().Seconds())
+		}
+	}
+	stage := func(title string, f func(sp *obs.Span) error) error {
+		sp := root.Start(title)
+		defer sp.End()
+		return f(sp)
 	}
 
-	if err := stage("Pipeline: networks and suites", func() error {
+	if err := stage("Pipeline: networks and suites", func(sp *obs.Span) error {
+		r.Trace = sp
 		r.Prefetch()
 		return nil
 	}); err != nil {
-		return r, err
+		return r, tr, err
 	}
 
-	if err := stage("Table 1: network inventory", func() error {
+	if err := stage("Table 1: network inventory", func(sp *obs.Span) error {
 		return writeTable1(r, out)
 	}); err != nil {
-		return r, err
+		return r, tr, err
 	}
 
 	groups := []struct {
@@ -111,7 +201,7 @@ func run(cfg experiments.Config, workers int, cacheDir, out string) (*experiment
 		{"measured", experiments.MeasuredNames},
 		{"generated", experiments.GeneratedNames},
 	}
-	if err := stage("Figure 2: expansion/resilience/distortion", func() error {
+	if err := stage("Figure 2: expansion/resilience/distortion", func(sp *obs.Span) error {
 		for _, g := range groups {
 			p := r.Figure2(g.key, g.names)
 			if err := writePanel(out, "fig2_"+g.key, p.Expansion, p.Resilience, p.Distortion); err != nil {
@@ -121,9 +211,9 @@ func run(cfg experiments.Config, workers int, cacheDir, out string) (*experiment
 		}
 		return nil
 	}); err != nil {
-		return r, err
+		return r, tr, err
 	}
-	if err := stage("Figure 2 (degree-based variants, j-l)", func() error {
+	if err := stage("Figure 2 (degree-based variants, j-l)", func(sp *obs.Span) error {
 		vp := r.Figure12()
 		if err := writePanel(out, "fig2_variants", vp.Expansion, vp.Resilience, vp.Distortion); err != nil {
 			return err
@@ -131,10 +221,10 @@ func run(cfg experiments.Config, workers int, cacheDir, out string) (*experiment
 		_, err := plot.WriteDat(out, "fig12_ccdf", vp.CCDF)
 		return err
 	}); err != nil {
-		return r, err
+		return r, tr, err
 	}
 
-	if err := stage("Tables 2 and 3: signatures", func() error {
+	if err := stage("Tables 2 and 3: signatures", func(sp *obs.Span) error {
 		if err := writeRows(filepath.Join(out, "table2_canonical.txt"), r.Table2()); err != nil {
 			return err
 		}
@@ -144,30 +234,30 @@ func run(cfg experiments.Config, workers int, cacheDir, out string) (*experiment
 		}
 		return core.WriteTable(os.Stdout, rows)
 	}); err != nil {
-		return r, err
+		return r, tr, err
 	}
 
-	if err := stage("Figures 3/4: link value distributions", func() error {
+	if err := stage("Figures 3/4: link value distributions", func(sp *obs.Span) error {
 		lv := r.Figure3([]string{"Tree", "Mesh", "Random", "RL", "AS", "TS", "Tiers", "Waxman", "PLRG"})
 		_, err := plot.WriteDat(out, "fig3_linkvalues", lv)
 		return err
 	}); err != nil {
-		return r, err
+		return r, tr, err
 	}
 
-	if err := stage("Table 4: hierarchy groups", func() error {
+	if err := stage("Table 4: hierarchy groups", func(sp *obs.Span) error {
 		return writeTable4(r, out)
 	}); err != nil {
-		return r, err
+		return r, tr, err
 	}
 
-	if err := stage("Figure 5: link value / degree correlation", func() error {
+	if err := stage("Figure 5: link value / degree correlation", func(sp *obs.Span) error {
 		return writeFigure5(r, out)
 	}); err != nil {
-		return r, err
+		return r, tr, err
 	}
 
-	if err := stage("Figure 6: degree distributions", func() error {
+	if err := stage("Figure 6: degree distributions", func(sp *obs.Span) error {
 		for _, g := range groups {
 			if _, err := plot.WriteDat(out, "fig6_"+g.key, r.Figure6(g.names)); err != nil {
 				return err
@@ -175,10 +265,10 @@ func run(cfg experiments.Config, workers int, cacheDir, out string) (*experiment
 		}
 		return nil
 	}); err != nil {
-		return r, err
+		return r, tr, err
 	}
 
-	if err := stage("Figure 7: eigenvalues and eccentricity", func() error {
+	if err := stage("Figure 7: eigenvalues and eccentricity", func(sp *obs.Span) error {
 		for _, g := range groups {
 			names := g.names
 			if g.key == "measured" {
@@ -193,10 +283,10 @@ func run(cfg experiments.Config, workers int, cacheDir, out string) (*experiment
 		}
 		return nil
 	}); err != nil {
-		return r, err
+		return r, tr, err
 	}
 
-	if err := stage("Figure 8: vertex cover and biconnectivity", func() error {
+	if err := stage("Figure 8: vertex cover and biconnectivity", func(sp *obs.Span) error {
 		for _, g := range groups {
 			if _, err := plot.WriteDat(out, "fig8_cover_"+g.key, r.Figure8Cover(g.names)); err != nil {
 				return err
@@ -207,10 +297,10 @@ func run(cfg experiments.Config, workers int, cacheDir, out string) (*experiment
 		}
 		return nil
 	}); err != nil {
-		return r, err
+		return r, tr, err
 	}
 
-	if err := stage("Figure 9: attack and error tolerance", func() error {
+	if err := stage("Figure 9: attack and error tolerance", func(sp *obs.Span) error {
 		for _, g := range groups {
 			att, errTol := r.Figure9(g.names)
 			if _, err := plot.WriteDat(out, "fig9_attack_"+g.key, att); err != nil {
@@ -222,10 +312,10 @@ func run(cfg experiments.Config, workers int, cacheDir, out string) (*experiment
 		}
 		return nil
 	}); err != nil {
-		return r, err
+		return r, tr, err
 	}
 
-	if err := stage("Figure 10: clustering", func() error {
+	if err := stage("Figure 10: clustering", func(sp *obs.Span) error {
 		for _, g := range groups {
 			if _, err := plot.WriteDat(out, "fig10_"+g.key, r.Figure10(g.names)); err != nil {
 				return err
@@ -233,62 +323,92 @@ func run(cfg experiments.Config, workers int, cacheDir, out string) (*experiment
 		}
 		return nil
 	}); err != nil {
-		return r, err
+		return r, tr, err
 	}
 
-	if err := stage("Figure 11: parameter space", func() error {
+	if err := stage("Figure 11: parameter space", func(sp *obs.Span) error {
 		return writeFigure11(r, out)
 	}); err != nil {
-		return r, err
+		return r, tr, err
 	}
 
-	if err := stage("Figure 13: PLRG reconnection", func() error {
+	if err := stage("Figure 13: PLRG reconnection", func(sp *obs.Span) error {
 		rp := r.Figure13()
 		return writePanel(out, "fig13", rp.Expansion, rp.Resilience, rp.Distortion)
 	}); err != nil {
-		return r, err
+		return r, tr, err
 	}
 
-	if err := stage("Figure 14: variant link values", func() error {
+	if err := stage("Figure 14: variant link values", func(sp *obs.Span) error {
 		_, err := plot.WriteDat(out, "fig14_linkvalues", r.Figure14())
 		return err
 	}); err != nil {
-		return r, err
+		return r, tr, err
 	}
 
-	if err := stage("Appendix D.1: connectivity methods", func() error {
+	if err := stage("Appendix D.1: connectivity methods", func(sp *obs.Span) error {
 		cp := r.ConnectivityVariants()
 		return writePanel(out, "appD_connectivity", cp.Expansion, cp.Resilience, cp.Distortion)
 	}); err != nil {
-		return r, err
+		return r, tr, err
 	}
 
-	if err := stage("Null model: degree-preserving rewiring", func() error {
+	if err := stage("Null model: degree-preserving rewiring", func(sp *obs.Span) error {
 		rwp := r.RewiringPanel()
 		return writePanel(out, "nullmodel_rewire", rwp.Expansion, rwp.Resilience, rwp.Distortion)
 	}); err != nil {
-		return r, err
+		return r, tr, err
 	}
 
-	if err := stage("Extras (beyond the paper)", func() error {
+	if err := stage("Extras (beyond the paper)", func(sp *obs.Span) error {
 		return writeExtras(r.Extras(), out)
 	}); err != nil {
-		return r, err
+		return r, tr, err
 	}
 
-	if err := stage("Summary vs. paper", func() error {
+	if err := stage("Summary vs. paper", func(sp *obs.Span) error {
 		return writeSummary(r, out)
 	}); err != nil {
-		return r, err
+		return r, tr, err
 	}
 
+	root.End()
 	st := r.Stats()
 	fmt.Printf("pipeline: %d network builds, %d suite runs", st.NetworkBuilds, st.SuiteRuns)
 	if r.Cache != nil {
 		fmt.Printf(", cache %d hits / %d misses / %d writes", st.CacheHits, st.CacheMisses, st.CachePuts)
+		if st.CacheDecodeErrors > 0 {
+			fmt.Printf(" (%d corrupt entries evicted)", st.CacheDecodeErrors)
+		}
 	}
-	fmt.Printf(", total %.1fs\n", time.Since(start).Seconds())
-	return r, nil
+	fmt.Printf(", total %.1fs\n", root.Duration().Seconds())
+
+	if o.Metrics {
+		fmt.Println("-- metrics --")
+		r.Metrics().Snapshot().WriteTable(os.Stdout)
+	}
+	if o.Trace {
+		fmt.Println("-- trace --")
+		tr.WriteTree(os.Stdout) //nolint:errcheck // stdout rendering is best-effort
+	}
+	if o.Metrics || o.Trace {
+		man := &obs.Manifest{
+			Tool:               "reproduce",
+			GoVersion:          runtime.Version(),
+			CacheSchemaVersion: cache.SchemaVersion,
+			Seed:               cfg.Suite.Seed,
+			Workers:            workers,
+			CacheDir:           cacheDir,
+			Config:             cfg,
+			Stages:             obs.StageTimings(root),
+			TotalSeconds:       root.Duration().Seconds(),
+			Metrics:            r.Metrics().Snapshot(),
+		}
+		if err := man.Write(filepath.Join(out, "run.json")); err != nil {
+			return r, tr, err
+		}
+	}
+	return r, tr, nil
 }
 
 // writeExtras renders the beyond-the-paper artifacts: footnote 22's two

@@ -2,14 +2,27 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"io/fs"
 	"os"
 	"path/filepath"
+	"reflect"
 	"testing"
 
 	"topocmp/internal/core"
 	"topocmp/internal/experiments"
+	"topocmp/internal/obs"
 )
+
+// tinyConfig is the smallest configuration that still exercises every
+// pipeline stage; the end-to-end tests share it to bound their runtime.
+func tinyConfig() experiments.Config {
+	return experiments.Config{
+		Set: core.PaperSetOptions{Seed: 1, Scale: 0.06},
+		Suite: core.SuiteOptions{Sources: 3, MaxBallSize: 200, EigenRank: 6,
+			LinkSources: 32, Seed: 1},
+	}
+}
 
 // readTree loads every rendered artifact under dir, keyed by relative path.
 func readTree(t *testing.T, dir string) map[string][]byte {
@@ -63,25 +76,21 @@ func sameTree(t *testing.T, label string, a, b map[string][]byte) {
 // cache rerun must reproduce it byte-identically with zero network builds
 // and zero suite runs.
 func TestReproduceDeterminism(t *testing.T) {
-	cfg := experiments.Config{
-		Set: core.PaperSetOptions{Seed: 1, Scale: 0.06},
-		Suite: core.SuiteOptions{Sources: 3, MaxBallSize: 200, EigenRank: 6,
-			LinkSources: 32, Seed: 1},
-	}
+	cfg := tinyConfig()
 	base := t.TempDir()
 	cacheDir := filepath.Join(base, "cache")
 
 	seqCfg := cfg
 	seqCfg.Suite.Parallelism = 1
 	seqOut := filepath.Join(base, "seq")
-	if _, err := run(seqCfg, 1, "", seqOut); err != nil {
+	if _, _, err := run(seqCfg, 1, "", seqOut, obsOptions{}); err != nil {
 		t.Fatal(err)
 	}
 
 	parCfg := cfg
 	parCfg.Suite.Parallelism = 3
 	coldOut := filepath.Join(base, "cold")
-	cold, err := run(parCfg, 3, cacheDir, coldOut)
+	cold, _, err := run(parCfg, 3, cacheDir, coldOut, obsOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -91,7 +100,7 @@ func TestReproduceDeterminism(t *testing.T) {
 	}
 
 	warmOut := filepath.Join(base, "warm")
-	warm, err := run(parCfg, 3, cacheDir, warmOut)
+	warm, _, err := run(parCfg, 3, cacheDir, warmOut, obsOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -105,4 +114,134 @@ func TestReproduceDeterminism(t *testing.T) {
 	warmTree := readTree(t, warmOut)
 	sameTree(t, "-j 3 vs -j 1", seq, coldTree)
 	sameTree(t, "warm cache vs cold", coldTree, warmTree)
+}
+
+// TestObsDisabledByteIdentical checks the observability layer's core
+// contract: turning on -trace/-metrics never changes the artifacts. A plain
+// run and an instrumented run must render byte-identical output directories
+// (the manifest aside, which only exists when instrumented), and the
+// manifest's counters must reconcile with the pipeline's actual behavior —
+// in particular a warm-cache rerun records zero builds, zero suite runs and
+// an all-hit cache.
+func TestObsDisabledByteIdentical(t *testing.T) {
+	cfg := tinyConfig()
+	cfg.Suite.Parallelism = 2
+	base := t.TempDir()
+	cacheDir := filepath.Join(base, "cache")
+
+	plainOut := filepath.Join(base, "plain")
+	if _, _, err := run(cfg, 2, "", plainOut, obsOptions{}); err != nil {
+		t.Fatal(err)
+	}
+
+	coldOut := filepath.Join(base, "cold")
+	_, tr, err := run(cfg, 2, cacheDir, coldOut, obsOptions{Trace: true, Metrics: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	plain := readTree(t, plainOut)
+	cold := readTree(t, coldOut)
+	if _, ok := cold["run.json"]; !ok {
+		t.Error("instrumented run did not write run.json")
+	}
+	delete(cold, "run.json")
+	sameTree(t, "obs on vs off", plain, cold)
+
+	// The Chrome export of the instrumented run must be valid trace-event
+	// JSON covering the pipeline's spans.
+	var buf bytes.Buffer
+	if err := tr.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var chrome struct {
+		TraceEvents []struct {
+			Name string `json:"name"`
+			Ph   string `json:"ph"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &chrome); err != nil {
+		t.Fatalf("chrome trace is not valid JSON: %v", err)
+	}
+	names := map[string]bool{}
+	for _, ev := range chrome.TraceEvents {
+		if ev.Ph != "X" {
+			t.Fatalf("unexpected event phase %q", ev.Ph)
+		}
+		names[ev.Name] = true
+	}
+	for _, want := range []string{"reproduce", "Pipeline: networks and suites", "net:AS", "build:AS", "suite:AS"} {
+		if !names[want] {
+			t.Errorf("chrome trace missing span %q", want)
+		}
+	}
+
+	// Cold manifest: real work happened and was recorded.
+	coldMan, err := obs.ReadManifest(filepath.Join(coldOut, "run.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if coldMan.Metrics.Counters["pipeline.network_builds"] == 0 ||
+		coldMan.Metrics.Counters["pipeline.suite_runs"] == 0 {
+		t.Errorf("cold manifest recorded no work: %+v", coldMan.Metrics.Counters)
+	}
+	if len(coldMan.Stages) == 0 {
+		t.Error("cold manifest has no stage timings")
+	}
+
+	// Warm rerun: the manifest must record a zero-compute, all-hit run.
+	warmOut := filepath.Join(base, "warm")
+	if _, _, err := run(cfg, 2, cacheDir, warmOut, obsOptions{Metrics: true}); err != nil {
+		t.Fatal(err)
+	}
+	warm := readTree(t, warmOut)
+	delete(warm, "run.json")
+	sameTree(t, "warm obs vs plain", plain, warm)
+	man, err := obs.ReadManifest(filepath.Join(warmOut, "run.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := man.Metrics.Counters
+	for _, name := range []string{"pipeline.network_builds", "pipeline.suite_runs",
+		"cache.misses", "cache.puts", "cache.decode_errors"} {
+		if c[name] != 0 {
+			t.Errorf("warm manifest: %s = %d, want 0", name, c[name])
+		}
+	}
+	if c["cache.hits"] == 0 {
+		t.Error("warm manifest: cache.hits = 0, want > 0")
+	}
+	if man.CacheSchemaVersion == 0 || man.GoVersion == "" || man.Tool != "reproduce" {
+		t.Errorf("manifest identity fields incomplete: %+v", man)
+	}
+}
+
+// TestSpanTreeDeterministicShape checks the trace determinism contract: the
+// same configuration yields the same span names and hierarchy whatever the
+// worker budget — only the timings may differ.
+func TestSpanTreeDeterministicShape(t *testing.T) {
+	base := t.TempDir()
+
+	seqCfg := tinyConfig()
+	seqCfg.Suite.Parallelism = 1
+	_, seqTr, err := run(seqCfg, 1, "", filepath.Join(base, "seq"), obsOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	parCfg := tinyConfig()
+	parCfg.Suite.Parallelism = 3
+	_, parTr, err := run(parCfg, 3, "", filepath.Join(base, "par"), obsOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	seqShape := seqTr.Root().Shape()
+	parShape := parTr.Root().Shape()
+	if !reflect.DeepEqual(seqShape, parShape) {
+		t.Errorf("span tree shape differs between -j 1 and -j 3:\n%+v\nvs\n%+v", seqShape, parShape)
+	}
+	if len(seqShape.Children) == 0 {
+		t.Fatal("root span has no stage children")
+	}
 }

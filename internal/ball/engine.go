@@ -7,6 +7,7 @@ import (
 	"sync/atomic"
 
 	"topocmp/internal/graph"
+	"topocmp/internal/obs"
 	"topocmp/internal/stats"
 )
 
@@ -28,6 +29,15 @@ type Engine struct {
 
 	mu       sync.Mutex
 	profiles map[int32]*profileEntry
+
+	// Resolved metric handles (nil until Instrument): each event on the
+	// ball hot path costs at most one atomic add, and nothing at all when
+	// uninstrumented beyond a nil check.
+	mProfiles      *obs.Counter // balls grown (one BFS pass each)
+	mBFSVisits     *obs.Counter // nodes visited across those passes
+	mSubgraphs     *obs.Counter // induced ball subgraphs materialized
+	mScratchGets   *obs.Counter // scratch checkouts (pool traffic)
+	mScratchAllocs *obs.Counter // scratch checkouts that had to allocate
 }
 
 // workerScratch bundles one worker's reusable traversal buffers.
@@ -49,9 +59,32 @@ func NewEngine(g *graph.Graph, parallelism int) *Engine {
 	}
 	e := &Engine{g: g, parallel: parallelism, profiles: map[int32]*profileEntry{}}
 	e.scratch.New = func() any {
+		e.mScratchAllocs.Add(1)
 		return &workerScratch{bfs: graph.NewBFSScratch(), sub: graph.NewSubgraphScratch()}
 	}
 	return e
+}
+
+// Instrument resolves the engine's counters from the registry (under the
+// ball.* namespace: profiles, bfs_visits, subgraphs, scratch_gets,
+// scratch_allocs — reuse is gets minus allocs). Call it before the first
+// ball grows; a nil registry leaves the engine uninstrumented.
+func (e *Engine) Instrument(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	e.mProfiles = reg.Counter("ball.profiles")
+	e.mBFSVisits = reg.Counter("ball.bfs_visits")
+	e.mSubgraphs = reg.Counter("ball.subgraphs")
+	e.mScratchGets = reg.Counter("ball.scratch_gets")
+	e.mScratchAllocs = reg.Counter("ball.scratch_allocs")
+}
+
+// getScratch checks a worker's scratch out of the pool, counting the
+// traffic so scratch reuse is observable.
+func (e *Engine) getScratch() *workerScratch {
+	e.mScratchGets.Add(1)
+	return e.scratch.Get().(*workerScratch)
 }
 
 // Graph returns the graph the engine grows balls on.
@@ -105,9 +138,11 @@ func (e *Engine) Profile(center int32) *Profile {
 	}
 	e.mu.Unlock()
 	ent.once.Do(func() {
-		ws := e.scratch.Get().(*workerScratch)
+		ws := e.getScratch()
 		ent.p = computeProfile(e.g, ws.bfs, center)
 		e.scratch.Put(ws)
+		e.mProfiles.Add(1)
+		e.mBFSVisits.Add(int64(len(ent.p.Order)))
 	})
 	return ent.p
 }
@@ -148,9 +183,10 @@ func (e *Engine) BallSubgraph(p *Profile, h int) *graph.Graph {
 	ent := p.subs[h]
 	p.mu.Unlock()
 	ent.once.Do(func() {
-		ws := e.scratch.Get().(*workerScratch)
+		ws := e.getScratch()
 		ent.g = ws.sub.Induced(e.g, p.BallAt(h))
 		e.scratch.Put(ws)
+		e.mSubgraphs.Add(1)
 	})
 	return ent.g
 }

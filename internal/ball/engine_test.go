@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"topocmp/internal/graph"
+	"topocmp/internal/obs"
 	"topocmp/internal/stats"
 )
 
@@ -127,4 +128,38 @@ func TestVisitMatchesProfiles(t *testing.T) {
 				k.center, k.radius, sz, got)
 		}
 	}
+}
+
+// TestEngineInstrumentation: an instrumented engine reports balls grown,
+// BFS visits and subgraph builds through the registry, counting cached
+// reuse exactly once.
+func TestEngineInstrumentation(t *testing.T) {
+	g := engineTestGraph()
+	e := NewEngine(g, 1)
+	reg := obs.NewRegistry()
+	e.Instrument(reg)
+
+	p := e.Profile(5)
+	e.Profile(5) // cached: no second BFS
+	e.BallSubgraph(p, 1)
+	e.BallSubgraph(p, 1) // cached: no second build
+
+	snap := reg.Snapshot()
+	if snap.Counters["ball.profiles"] != 1 {
+		t.Errorf("profiles = %d, want 1", snap.Counters["ball.profiles"])
+	}
+	if snap.Counters["ball.bfs_visits"] != int64(len(p.Order)) {
+		t.Errorf("bfs_visits = %d, want %d", snap.Counters["ball.bfs_visits"], len(p.Order))
+	}
+	if snap.Counters["ball.subgraphs"] != 1 {
+		t.Errorf("subgraphs = %d, want 1", snap.Counters["ball.subgraphs"])
+	}
+	gets, allocs := snap.Counters["ball.scratch_gets"], snap.Counters["ball.scratch_allocs"]
+	if gets != 2 || allocs < 1 || allocs > gets {
+		t.Errorf("scratch gets=%d allocs=%d", gets, allocs)
+	}
+
+	// An uninstrumented engine takes the same calls as pure no-ops.
+	plain := NewEngine(g, 1)
+	plain.BallSubgraph(plain.Profile(5), 1)
 }

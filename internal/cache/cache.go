@@ -21,7 +21,9 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
-	"sync/atomic"
+	"time"
+
+	"topocmp/internal/obs"
 )
 
 // SchemaVersion is folded into every key. Bump it whenever the meaning or
@@ -42,19 +44,29 @@ func Key(parts ...string) string {
 	return hex.EncodeToString(h.Sum(nil))
 }
 
-// Stats counts store traffic.
+// Stats counts store traffic. DecodeErrors counts entries that existed on
+// disk but failed to decode — corruption, truncation or a schema drift the
+// version constant missed — and were evicted so the next run rebuilds them.
 type Stats struct {
-	Hits, Misses, Puts int64
+	Hits, Misses, Puts, DecodeErrors int64
 }
 
 // Store is a directory of gob-encoded entries named by their key. A nil
 // *Store is valid and behaves as an always-miss, drop-writes cache, so
 // callers don't need to branch on "caching enabled".
+//
+// Traffic counters are obs.Counters: standalone by default, or shared with
+// a run's metrics registry via Instrument, where they appear as
+// cache.hits / cache.misses / cache.puts / cache.decode_errors alongside
+// cache.get and cache.put duration histograms.
 type Store struct {
-	dir    string
-	hits   atomic.Int64
-	misses atomic.Int64
-	puts   atomic.Int64
+	dir          string
+	hits         *obs.Counter
+	misses       *obs.Counter
+	puts         *obs.Counter
+	decodeErrors *obs.Counter
+	getTime      *obs.Histogram // nil unless instrumented
+	putTime      *obs.Histogram // nil unless instrumented
 }
 
 // Open creates (if needed) and returns the store rooted at dir.
@@ -62,7 +74,29 @@ func Open(dir string) (*Store, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("cache: %w", err)
 	}
-	return &Store{dir: dir}, nil
+	return &Store{
+		dir:          dir,
+		hits:         &obs.Counter{},
+		misses:       &obs.Counter{},
+		puts:         &obs.Counter{},
+		decodeErrors: &obs.Counter{},
+	}, nil
+}
+
+// Instrument rebinds the store's counters to the registry (as cache.hits,
+// cache.misses, cache.puts, cache.decode_errors) and enables the cache.get
+// and cache.put duration histograms. Call it right after Open, before any
+// traffic — counts accumulated before the rebind stay on the old counters.
+func (s *Store) Instrument(reg *obs.Registry) {
+	if s == nil || reg == nil {
+		return
+	}
+	s.hits = reg.Counter("cache.hits")
+	s.misses = reg.Counter("cache.misses")
+	s.puts = reg.Counter("cache.puts")
+	s.decodeErrors = reg.Counter("cache.decode_errors")
+	s.getTime = reg.Histogram("cache.get")
+	s.putTime = reg.Histogram("cache.put")
 }
 
 // Dir returns the store's root directory ("" for a nil store).
@@ -79,19 +113,29 @@ func (s *Store) path(key string) string {
 }
 
 // Get decodes the entry for key into v (a pointer) and reports whether it
-// was found. Undecodable or truncated entries count as misses.
+// was found. An entry that exists but fails to decode — corrupt, truncated,
+// or written under a schema the version constant failed to capture — is
+// counted as a decode error (not a miss), evicted from disk, and reported
+// as not found, so the caller rebuilds it once instead of tripping over the
+// bad bytes on every future run.
 func (s *Store) Get(key string, v any) bool {
 	if s == nil {
 		return false
 	}
-	f, err := os.Open(s.path(key))
+	if s.getTime != nil {
+		t0 := time.Now()
+		defer func() { s.getTime.Observe(time.Since(t0)) }()
+	}
+	path := s.path(key)
+	f, err := os.Open(path)
 	if err != nil {
 		s.misses.Add(1)
 		return false
 	}
 	defer f.Close()
 	if err := gob.NewDecoder(f).Decode(v); err != nil {
-		s.misses.Add(1)
+		s.decodeErrors.Add(1)
+		os.Remove(path) //nolint:errcheck // best-effort eviction
 		return false
 	}
 	s.hits.Add(1)
@@ -102,6 +146,10 @@ func (s *Store) Get(key string, v any) bool {
 func (s *Store) Put(key string, v any) error {
 	if s == nil {
 		return nil
+	}
+	if s.putTime != nil {
+		t0 := time.Now()
+		defer func() { s.putTime.Observe(time.Since(t0)) }()
 	}
 	path := s.path(key)
 	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
@@ -126,10 +174,15 @@ func (s *Store) Put(key string, v any) error {
 	return nil
 }
 
-// Stats returns the store's hit/miss/put counters since Open.
+// Stats returns the store's traffic counters since Open.
 func (s *Store) Stats() Stats {
 	if s == nil {
 		return Stats{}
 	}
-	return Stats{Hits: s.hits.Load(), Misses: s.misses.Load(), Puts: s.puts.Load()}
+	return Stats{
+		Hits:         s.hits.Value(),
+		Misses:       s.misses.Value(),
+		Puts:         s.puts.Value(),
+		DecodeErrors: s.decodeErrors.Value(),
+	}
 }

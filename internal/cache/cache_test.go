@@ -7,6 +7,8 @@ import (
 	"path/filepath"
 	"sync"
 	"testing"
+
+	"topocmp/internal/obs"
 )
 
 type payload struct {
@@ -56,7 +58,9 @@ func TestMissAndCorruptEntry(t *testing.T) {
 	if s.Get(key, &out) {
 		t.Fatal("unexpected hit")
 	}
-	// A truncated/corrupt entry must read as a miss, not an error.
+	// A truncated/corrupt entry reads as not-found but is distinguished
+	// from a plain miss: counted as a decode error and evicted, so the
+	// rebuilt entry can land cleanly.
 	path := s.path(key)
 	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
 		t.Fatal(err)
@@ -65,10 +69,55 @@ func TestMissAndCorruptEntry(t *testing.T) {
 		t.Fatal(err)
 	}
 	if s.Get(key, &out) {
-		t.Fatal("corrupt entry should miss")
+		t.Fatal("corrupt entry should read as not found")
 	}
-	if st := s.Stats(); st.Misses != 2 {
-		t.Fatalf("misses = %d, want 2", st.Misses)
+	if st := s.Stats(); st.Misses != 1 || st.DecodeErrors != 1 {
+		t.Fatalf("stats = %+v, want 1 miss and 1 decode error", st)
+	}
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Fatalf("corrupt entry not evicted: %v", err)
+	}
+	// The rebuild path: a fresh Put over the evicted slot hits cleanly.
+	if err := s.Put(key, payload{Name: "rebuilt", N: 3}); err != nil {
+		t.Fatal(err)
+	}
+	if !s.Get(key, &out) || out.Name != "rebuilt" {
+		t.Fatalf("rebuild after eviction failed: %+v", out)
+	}
+	if st := s.Stats(); st.Hits != 1 || st.Misses != 1 || st.DecodeErrors != 1 {
+		t.Fatalf("stats after rebuild = %+v", st)
+	}
+}
+
+// TestInstrumentSharesRegistry: an instrumented store reports its traffic
+// through the run's metrics registry, and Stats() reads the same counters,
+// so the manifest and the pipeline summary always reconcile.
+func TestInstrumentSharesRegistry(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := obs.NewRegistry()
+	s.Instrument(reg)
+	key := Key("instrumented")
+	var out payload
+	s.Get(key, &out) // miss
+	if err := s.Put(key, payload{Name: "x"}); err != nil {
+		t.Fatal(err)
+	}
+	s.Get(key, &out) // hit
+	snap := reg.Snapshot()
+	if snap.Counters["cache.misses"] != 1 || snap.Counters["cache.hits"] != 1 ||
+		snap.Counters["cache.puts"] != 1 {
+		t.Fatalf("registry counters = %+v", snap.Counters)
+	}
+	st := s.Stats()
+	if st.Hits != snap.Counters["cache.hits"] || st.Misses != snap.Counters["cache.misses"] ||
+		st.Puts != snap.Counters["cache.puts"] {
+		t.Fatalf("Stats %+v does not reconcile with registry %+v", st, snap.Counters)
+	}
+	if snap.Histograms["cache.get"].Count != 2 || snap.Histograms["cache.put"].Count != 1 {
+		t.Fatalf("histograms = %+v", snap.Histograms)
 	}
 }
 

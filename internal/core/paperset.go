@@ -11,6 +11,7 @@ import (
 	"topocmp/internal/gen/transitstub"
 	"topocmp/internal/gen/waxman"
 	"topocmp/internal/internetsim"
+	"topocmp/internal/obs"
 	"topocmp/internal/policy"
 	"topocmp/internal/traceroute"
 )
@@ -29,6 +30,11 @@ type PaperSetOptions struct {
 	// the sweep clean. Used to test the conclusions' robustness to
 	// measurement artifacts the real SCAN map carries.
 	AliasFailure float64
+
+	// Metrics, when non-nil, receives the measurement pipeline's sweep
+	// counters (bgp.* and traceroute.*). Never affects the constructed
+	// networks, so it is excluded from CacheKey and the manifest config.
+	Metrics *obs.Registry `json:"-"`
 }
 
 func (o *PaperSetOptions) defaults() {
@@ -49,9 +55,10 @@ func scaled(n int, scale float64, min int) int {
 }
 
 // CacheKey returns a canonical description of the options for the result
-// cache. Every field that influences the constructed networks appears here;
-// adding a field to PaperSetOptions must extend this string (or bump
-// cache.SchemaVersion) so stale entries are invalidated.
+// cache. Every field that influences the constructed networks appears here
+// (Metrics does not, so it is excluded); adding a result-affecting field to
+// PaperSetOptions must extend this string (or bump cache.SchemaVersion) so
+// stale entries are invalidated.
 func (o PaperSetOptions) CacheKey() string {
 	o.defaults()
 	return fmt.Sprintf("set:seed=%d,scale=%g,alias=%g", o.Seed, o.Scale, o.AliasFailure)
@@ -82,6 +89,8 @@ func BuildMeasured(opts PaperSetOptions) *MeasuredSet {
 	vantages := bgp.PickVantages(truthAS.Graph, 20, r)
 	table := bgp.Collect(truthAS.Annotated, vantages)
 	asGraph, asOrig := table.ExtractGraph()
+	opts.Metrics.Counter("bgp.vantages").Add(int64(len(vantages)))
+	opts.Metrics.Counter("bgp.paths_collected").Add(int64(len(table.Paths)))
 	// Renumber paths into measured ids for inference.
 	index := make(map[int32]int32, len(asOrig))
 	for i, as := range asOrig {
@@ -106,6 +115,8 @@ func BuildMeasured(opts PaperSetOptions) *MeasuredSet {
 	rlGraph, rlOrig := traceroute.Sweep(truthRL.Overlay, truthRL.Backbone, traceroute.Options{
 		Sources: 8, DestFraction: 0.5, AliasFailure: opts.AliasFailure, Rand: r,
 	})
+	opts.Metrics.Counter("traceroute.routers_discovered").Add(int64(rlGraph.NumNodes()))
+	opts.Metrics.Counter("traceroute.links_discovered").Add(int64(rlGraph.NumEdges()))
 	asOf := make([]int32, rlGraph.NumNodes())
 	for i, orig := range rlOrig {
 		asOf[i] = truthRL.ASOf[orig]

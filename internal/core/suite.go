@@ -9,6 +9,7 @@ import (
 	"topocmp/internal/graph"
 	"topocmp/internal/hierarchy"
 	"topocmp/internal/metrics"
+	"topocmp/internal/obs"
 	"topocmp/internal/partition"
 	"topocmp/internal/policy"
 	"topocmp/internal/stats"
@@ -32,6 +33,14 @@ type SuiteOptions struct {
 	// ToleranceFractions are the removal fractions of Figure 9; default
 	// 0, 0.01, 0.02, 0.05, 0.10, 0.15, 0.20.
 	ToleranceFractions []float64
+
+	// Metrics, when non-nil, receives the suite's operation counters (the
+	// ball engine's ball.* namespace and the hierarchy sweeps). Span, when
+	// non-nil, becomes the parent of one child span per metric stage.
+	// Neither influences results, so both are excluded from CacheKey and
+	// from the manifest's config JSON.
+	Metrics *obs.Registry `json:"-"`
+	Span    *obs.Span     `json:"-"`
 }
 
 func (o *SuiteOptions) defaults() {
@@ -59,9 +68,10 @@ func (o *SuiteOptions) defaults() {
 // cache. Parallelism is deliberately excluded: suite results are
 // bit-identical at every worker-pool width (the PR-1 contract, enforced by
 // TestRunSuiteParallelMatchesSequential), so a `-j N` run must hit entries
-// written by a `-j 1` run and vice versa. Every other field appears; adding
-// a field to SuiteOptions must extend this string (or bump
-// cache.SchemaVersion) so stale entries are invalidated.
+// written by a `-j 1` run and vice versa. Metrics and Span are excluded for
+// the same reason — observability never changes results. Every other field
+// appears; adding a result-affecting field to SuiteOptions must extend this
+// string (or bump cache.SchemaVersion) so stale entries are invalidated.
 func (o SuiteOptions) CacheKey() string {
 	o.defaults()
 	return fmt.Sprintf("suite:src=%d,ball=%d,eig=%d,link=%d,seed=%d,skiphier=%t,tol=%v",
@@ -111,6 +121,7 @@ func RunSuite(n *Network, opts SuiteOptions) *SuiteResult {
 	res := &SuiteResult{Network: n}
 	g := n.Graph
 	eng := ball.NewEngine(g, opts.Parallelism)
+	eng.Instrument(opts.Metrics)
 
 	// One center set (seed+1) for every ball-curve metric: resilience,
 	// distortion, vertex cover, biconnectivity and clustering then share the
@@ -124,51 +135,56 @@ func RunSuite(n *Network, opts SuiteOptions) *SuiteResult {
 		}
 	}
 	var wg sync.WaitGroup
-	stage := func(f func()) {
-		if opts.Parallelism == 1 {
+	stage := func(name string, f func()) {
+		run := func() {
+			sp := opts.Span.Start(name)
+			defer sp.End()
 			f()
+		}
+		if opts.Parallelism == 1 {
+			run()
 			return
 		}
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			f()
+			run()
 		}()
 	}
-	stage(func() {
+	stage("expansion", func() {
 		res.Expansion = metrics.ExpansionWith(eng, ball.Config{
 			MaxSources: 4 * opts.Sources,
 			Rand:       rand.New(rand.NewSource(opts.Seed)),
 		})
 	})
-	stage(func() {
+	stage("resilience", func() {
 		res.Resilience = metrics.ResilienceWith(eng, curveCfg(), partition.Options{},
 			opts.Seed+100)
 	})
-	stage(func() { res.Distortion = metrics.DistortionWith(eng, curveCfg(), 3) })
-	stage(func() { res.Eigenvalues = metrics.EigenvalueSpectrum(g, opts.EigenRank) })
-	stage(func() {
+	stage("distortion", func() { res.Distortion = metrics.DistortionWith(eng, curveCfg(), 3) })
+	stage("eigenvalues", func() { res.Eigenvalues = metrics.EigenvalueSpectrum(g, opts.EigenRank) })
+	stage("eccentricity", func() {
 		// Same sampling stream as expansion, so the eccentricities read
 		// straight off the profiles the expansion metric already grew.
 		res.Eccentricity = metrics.EccentricityDistributionWith(eng, 4*opts.Sources, 0.1,
 			rand.New(rand.NewSource(opts.Seed)))
 	})
-	stage(func() { res.VertexCover = metrics.VertexCoverCurveWith(eng, curveCfg()) })
-	stage(func() { res.Biconnectivity = metrics.BiconnectivityCurveWith(eng, curveCfg()) })
-	stage(func() {
+	stage("vertex_cover", func() { res.VertexCover = metrics.VertexCoverCurveWith(eng, curveCfg()) })
+	stage("biconnectivity", func() { res.Biconnectivity = metrics.BiconnectivityCurveWith(eng, curveCfg()) })
+	stage("attack_tolerance", func() {
 		res.Attack = metrics.AttackTolerance(g, opts.ToleranceFractions, 2*opts.Sources)
 	})
-	stage(func() {
+	stage("error_tolerance", func() {
 		res.Error = metrics.ErrorTolerance(g, opts.ToleranceFractions, 2*opts.Sources,
 			rand.New(rand.NewSource(opts.Seed+200)))
 	})
-	stage(func() {
+	stage("clustering", func() {
 		res.Clustering = metrics.ClusteringCurveWith(eng, curveCfg())
 		res.WholeGraphClustering = metrics.ClusteringCoefficient(g)
 	})
 
 	if !opts.SkipHierarchy {
-		stage(func() {
+		stage("link_values", func() {
 			// Like the paper (footnote 29), router-level graphs reduce to
 			// their core (recursive removal of degree-1 nodes) before link
 			// values: the full graph is computationally out of reach and
@@ -183,20 +199,22 @@ func RunSuite(n *Network, opts SuiteOptions) *SuiteResult {
 				MaxSources:  opts.LinkSources,
 				Rand:        rand.New(rand.NewSource(opts.Seed + 300)),
 				Parallelism: opts.Parallelism,
+				Metrics:     opts.Metrics,
 			})
 		})
 		if n.Policy != nil {
-			stage(func() {
+			stage("policy_link_values", func() {
 				res.PolicyLinkValues = hierarchy.PolicyLinkValues(n.Policy, hierarchy.Options{
 					MaxSources:  opts.LinkSources,
 					Rand:        rand.New(rand.NewSource(opts.Seed + 400)),
 					Parallelism: opts.Parallelism,
+					Metrics:     opts.Metrics,
 				})
 			})
 		}
 	}
 	if n.Policy != nil || n.Overlay != nil {
-		stage(func() {
+		stage("policy_expansion", func() {
 			// Fresh Rand with the same seed so the policy variant samples
 			// the same ball centers as the plain expansion.
 			res.PolicyExpansion = policyExpansion(n, ball.Config{
@@ -204,7 +222,7 @@ func RunSuite(n *Network, opts SuiteOptions) *SuiteResult {
 				Rand:       rand.New(rand.NewSource(opts.Seed)),
 			})
 		})
-		stage(func() {
+		stage("policy_ball_curves", func() {
 			res.PolicyResilience, res.PolicyDistortion = policyBallCurves(n, opts)
 		})
 	}

@@ -8,11 +8,11 @@ import (
 	"fmt"
 	"sort"
 	"sync"
-	"sync/atomic"
 
 	"topocmp/internal/cache"
 	"topocmp/internal/core"
 	"topocmp/internal/hierarchy"
+	"topocmp/internal/obs"
 	"topocmp/internal/stats"
 )
 
@@ -62,6 +62,11 @@ type Runner struct {
 	// Cache is the optional content-addressed result store; nil (the
 	// default) recomputes everything in-process.
 	Cache *cache.Store
+	// Trace, when non-nil, becomes the parent of the pipeline's spans: one
+	// net:<name> span per scheduled network with build:<name> and
+	// suite:<name> children, the suite span fanning into per-metric stage
+	// spans. Nil (the default) disables tracing at zero cost.
+	Trace *obs.Span
 
 	mu        sync.Mutex
 	onces     map[string]*sync.Once
@@ -70,20 +75,33 @@ type Runner struct {
 	suites    map[string]*core.SuiteResult
 	summaries map[string]*NetworkSummary
 
-	netBuilds atomic.Int64
-	suiteRuns atomic.Int64
+	// The runner's operation counters live in its metrics registry, so the
+	// pipeline summary, Stats() and the run manifest all read one source.
+	metrics   *obs.Registry
+	netBuilds *obs.Counter
+	suiteRuns *obs.Counter
 }
 
 // NewRunner returns a runner for the configuration.
 func NewRunner(cfg Config) *Runner {
+	m := obs.NewRegistry()
 	return &Runner{
 		Cfg:       cfg,
 		onces:     map[string]*sync.Once{},
 		nets:      map[string]*core.Network{},
 		suites:    map[string]*core.SuiteResult{},
 		summaries: map[string]*NetworkSummary{},
+		metrics:   m,
+		netBuilds: m.Counter("pipeline.network_builds"),
+		suiteRuns: m.Counter("pipeline.suite_runs"),
 	}
 }
+
+// Metrics returns the runner's metrics registry. It always exists —
+// counting costs one atomic add per pipeline operation — and is shared
+// with the suite runs, the ball engines, the measurement sweeps and (once
+// Instrumented) the cache store, so one snapshot describes the whole run.
+func (r *Runner) Metrics() *obs.Registry { return r.metrics }
 
 // onceFor returns the named once-guard, creating it on first use. Every
 // build/run/restore step is guarded by one, so concurrent accessors and the
@@ -106,7 +124,9 @@ func (r *Runner) onceFor(name string) *sync.Once {
 func (r *Runner) Measured() *core.MeasuredSet {
 	r.onceFor("measured").Do(func() {
 		r.netBuilds.Add(1)
-		ms := core.BuildMeasured(r.Cfg.Set)
+		opts := r.Cfg.Set
+		opts.Metrics = r.metrics
+		ms := core.BuildMeasured(opts)
 		r.mu.Lock()
 		r.measured = ms
 		r.mu.Unlock()
@@ -136,7 +156,9 @@ func (r *Runner) Network(name string) *core.Network {
 		case "RL":
 			n = r.Measured().RL
 		default:
-			if n = core.BuildNetwork(name, r.Cfg.Set); n != nil {
+			opts := r.Cfg.Set
+			opts.Metrics = r.metrics
+			if n = core.BuildNetwork(name, opts); n != nil {
 				r.netBuilds.Add(1)
 			}
 		}
@@ -152,12 +174,14 @@ func (r *Runner) Network(name string) *core.Network {
 // Suite returns the memoized metric-suite result for the named network,
 // restoring it from the cache or computing it on first use.
 func (r *Runner) Suite(name string) *core.SuiteResult {
-	return r.runSuite(name, r.Cfg.Suite.Parallelism)
+	return r.runSuite(name, r.Cfg.Suite.Parallelism, r.Trace)
 }
 
 // runSuite is Suite with an explicit engine width (Prefetch divides its
-// worker budget across pending suites; the width never changes the result).
-func (r *Runner) runSuite(name string, par int) *core.SuiteResult {
+// worker budget across pending suites; the width never changes the result)
+// and an explicit trace parent. Cache restores never open a span — the
+// suite:<name> span exists exactly when the suite was actually computed.
+func (r *Runner) runSuite(name string, par int, parent *obs.Span) *core.SuiteResult {
 	r.onceFor("suite:" + name).Do(func() {
 		if r.tryRestore(name) {
 			return
@@ -168,6 +192,11 @@ func (r *Runner) runSuite(name string, par int) *core.SuiteResult {
 		}
 		opts := r.Cfg.Suite
 		opts.Parallelism = par
+		opts.Metrics = r.metrics
+		sp := parent.Start("suite:" + name)
+		sp.SetAttr("network", name)
+		defer sp.End()
+		opts.Span = sp
 		r.suiteRuns.Add(1)
 		res := core.RunSuite(n, opts)
 		sum := summarize(n)

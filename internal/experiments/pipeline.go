@@ -22,6 +22,7 @@ package experiments
 import (
 	"runtime"
 	"sync"
+	"time"
 
 	"topocmp/internal/cache"
 	"topocmp/internal/core"
@@ -33,18 +34,20 @@ import (
 // plus the traffic of its cache store. A warm-cache run reports zero
 // NetworkBuilds and zero SuiteRuns.
 type Stats struct {
-	NetworkBuilds int64 // measurement-pipeline + generator invocations
-	SuiteRuns     int64 // full metric-suite computations
-	CacheHits     int64
-	CacheMisses   int64
-	CachePuts     int64
+	NetworkBuilds     int64 // measurement-pipeline + generator invocations
+	SuiteRuns         int64 // full metric-suite computations
+	CacheHits         int64
+	CacheMisses       int64
+	CachePuts         int64
+	CacheDecodeErrors int64 // corrupt entries evicted and recomputed
 }
 
 // Stats returns the runner's operation counts so far.
 func (r *Runner) Stats() Stats {
-	st := Stats{NetworkBuilds: r.netBuilds.Load(), SuiteRuns: r.suiteRuns.Load()}
+	st := Stats{NetworkBuilds: r.netBuilds.Value(), SuiteRuns: r.suiteRuns.Value()}
 	cs := r.Cache.Stats()
 	st.CacheHits, st.CacheMisses, st.CachePuts = cs.Hits, cs.Misses, cs.Puts
+	st.CacheDecodeErrors = cs.DecodeErrors
 	return st
 }
 
@@ -110,16 +113,26 @@ func (r *Runner) Prefetch() {
 		width = 1
 	}
 	tokens := newSem(j)
+	semWait := r.metrics.Histogram("pipeline.sem_wait")
+	acquire := func(k int) {
+		t0 := time.Now()
+		tokens.acquire(k)
+		semWait.Observe(time.Since(t0))
+	}
 	var wg sync.WaitGroup
 	for _, name := range misses {
 		wg.Add(1)
 		go func(name string) {
 			defer wg.Done()
-			tokens.acquire(1)
+			sp := r.Trace.Start("net:" + name)
+			defer sp.End()
+			acquire(1)
+			bsp := sp.Start("build:" + name)
 			r.Network(name) // AS and RL share one measurement-pipeline build
+			bsp.End()
 			tokens.release(1)
-			tokens.acquire(width)
-			r.runSuite(name, width)
+			acquire(width)
+			r.runSuite(name, width, sp)
 			tokens.release(width)
 		}(name)
 	}

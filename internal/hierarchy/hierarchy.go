@@ -19,6 +19,7 @@ import (
 	"sync"
 
 	"topocmp/internal/graph"
+	"topocmp/internal/obs"
 	"topocmp/internal/stats"
 )
 
@@ -37,6 +38,10 @@ type Options struct {
 	// Parallelism caps the source-sweep worker count; 0 uses GOMAXPROCS,
 	// 1 runs sequentially. Results are identical at every width.
 	Parallelism int
+	// Metrics, when non-nil, counts the source sweeps performed
+	// (hierarchy.link_value_sweeps / hierarchy.policy_sweeps). Never
+	// affects results.
+	Metrics *obs.Registry `json:"-"`
 }
 
 func (o *Options) defaults() {
@@ -127,6 +132,7 @@ func LinkValues(g *graph.Graph, opts Options) *Result {
 	edges := g.Edges()
 	edgeIdx := buildEdgeIndex(edges)
 	sources, inQ := sampleSources(g.NumNodes(), opts)
+	opts.Metrics.Counter("hierarchy.link_value_sweeps").Add(int64(len(sources)))
 
 	workers := opts.workers(len(sources))
 	n := g.NumNodes()

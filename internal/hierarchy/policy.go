@@ -17,6 +17,7 @@ func PolicyLinkValues(a *policy.Annotated, opts Options) *Result {
 	edges := g.Edges()
 	edgeIdx := buildEdgeIndex(edges)
 	sources, inQ := sampleSources(g.NumNodes(), opts)
+	opts.Metrics.Counter("hierarchy.policy_sweeps").Add(int64(len(sources)))
 
 	n := g.NumNodes()
 	ns := policy.NumStates

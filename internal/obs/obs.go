@@ -1,0 +1,48 @@
+// Package obs is the reproduction pipeline's stdlib-only observability
+// layer: hierarchical spans (a lightweight trace of what work ran, where,
+// under which parent), a registry of named counters/gauges/duration
+// histograms, and a per-run manifest that makes an output directory
+// self-describing.
+//
+// Everything is nil-safe by design: a nil *Tracer, *Span, *Registry,
+// *Counter, *Gauge or *Histogram accepts every call as a no-op, so
+// instrumented code never branches on "observability enabled" and the hot
+// path of a disabled run pays at most a nil check. An enabled counter costs
+// one atomic add. Spans record monotonic durations (time.Since on the
+// monotonic clock) and are exported either as a Chrome trace-event JSON
+// (chrome://tracing, Perfetto) or as an indented human-readable tree.
+//
+// The package deliberately has no opinion about sinks or wire formats
+// beyond those two exports; it holds everything in memory for the duration
+// of one run. That matches the pipeline's shape — a single process that
+// renders a fixed artifact set and exits — and keeps the layer dependency-
+// free so every internal package can link against it.
+package obs
+
+import "context"
+
+type ctxKey struct{}
+
+// With returns a context carrying the span; Start on the returned context
+// creates children of it.
+func With(ctx context.Context, s *Span) context.Context {
+	return context.WithValue(ctx, ctxKey{}, s)
+}
+
+// FromContext returns the span carried by ctx, or nil.
+func FromContext(ctx context.Context) *Span {
+	s, _ := ctx.Value(ctxKey{}).(*Span)
+	return s
+}
+
+// Start begins a child span of the span carried by ctx and returns a
+// context carrying the child. With no span in ctx (tracing disabled) it
+// returns ctx and a nil span, on which every method is a no-op.
+func Start(ctx context.Context, name string) (context.Context, *Span) {
+	parent := FromContext(ctx)
+	if parent == nil {
+		return ctx, nil
+	}
+	child := parent.Start(name)
+	return With(ctx, child), child
+}

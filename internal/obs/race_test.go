@@ -1,0 +1,59 @@
+package obs
+
+import (
+	"bytes"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestConcurrentSpansAndCounters hammers one tracer and one registry from
+// many goroutines — the tier-2 `go test -race ./internal/obs` target. It
+// mirrors the pipeline's real shape: concurrent children under one parent,
+// attrs set from workers, shared counters and histograms, and exports
+// racing with live spans.
+func TestConcurrentSpansAndCounters(t *testing.T) {
+	tr := NewTracer("root")
+	tr.OnStart = func(s *Span) { _ = s.Name() }
+	tr.OnEnd = func(s *Span) { _ = s.Duration() }
+	reg := NewRegistry()
+	parent := tr.Root().Start("stage")
+
+	const workers = 8
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				sp := parent.Start("work")
+				sp.SetAttr("worker", w)
+				reg.Counter("events").Add(1)
+				reg.Gauge("level").Set(int64(w))
+				reg.Histogram("latency").Observe(time.Duration(i) * time.Microsecond)
+				sp.End()
+			}
+		}(w)
+	}
+	// Exports race with the writers on purpose.
+	var buf bytes.Buffer
+	for i := 0; i < 10; i++ {
+		_ = tr.WriteChromeTrace(&buf)
+		_ = reg.Snapshot()
+		_ = parent.Shape()
+		buf.Reset()
+	}
+	wg.Wait()
+	parent.End()
+	tr.Root().End()
+
+	if got := reg.Counter("events").Value(); got != workers*50 {
+		t.Fatalf("events = %d, want %d", got, workers*50)
+	}
+	if got := len(parent.Children()); got != workers*50 {
+		t.Fatalf("children = %d, want %d", got, workers*50)
+	}
+	if st := reg.Histogram("latency").Stats(); st.Count != workers*50 {
+		t.Fatalf("histogram count = %d", st.Count)
+	}
+}

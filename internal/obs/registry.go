@@ -1,0 +1,258 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math/bits"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing atomic count. The zero value is
+// ready to use standalone; a nil *Counter drops every Add, so instrumented
+// code calls Add unconditionally.
+type Counter struct{ v atomic.Int64 }
+
+// Add increments the counter by n (no-op on nil).
+func (c *Counter) Add(n int64) {
+	if c != nil {
+		c.v.Add(n)
+	}
+}
+
+// Value returns the current count (0 on nil).
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is an atomically set level (worker widths, inventory sizes).
+type Gauge struct{ v atomic.Int64 }
+
+// Set records the gauge's current level (no-op on nil).
+func (g *Gauge) Set(n int64) {
+	if g != nil {
+		g.v.Store(n)
+	}
+}
+
+// Value returns the gauge's level (0 on nil).
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// histBuckets is the number of power-of-two duration buckets: bucket i
+// counts observations in [1µs<<(i-1), 1µs<<i), bucket 0 everything under
+// 1µs, the last bucket everything at or beyond ~1.1h.
+const histBuckets = 33
+
+// Histogram records durations in power-of-two microsecond buckets plus
+// count/sum/min/max. A nil *Histogram drops every Observe.
+type Histogram struct {
+	mu      sync.Mutex
+	count   int64
+	sum     time.Duration
+	min     time.Duration
+	max     time.Duration
+	buckets [histBuckets]int64
+}
+
+// Observe records one duration (no-op on nil).
+func (h *Histogram) Observe(d time.Duration) {
+	if h == nil {
+		return
+	}
+	if d < 0 {
+		d = 0
+	}
+	i := bits.Len64(uint64(d / time.Microsecond))
+	if i >= histBuckets {
+		i = histBuckets - 1
+	}
+	h.mu.Lock()
+	if h.count == 0 || d < h.min {
+		h.min = d
+	}
+	if d > h.max {
+		h.max = d
+	}
+	h.count++
+	h.sum += d
+	h.buckets[i]++
+	h.mu.Unlock()
+}
+
+// HistogramStats is a histogram snapshot; durations are nanoseconds so the
+// JSON form is unit-unambiguous.
+type HistogramStats struct {
+	Count int64 `json:"count"`
+	SumNs int64 `json:"sum_ns"`
+	MinNs int64 `json:"min_ns"`
+	MaxNs int64 `json:"max_ns"`
+}
+
+// Stats snapshots the histogram.
+func (h *Histogram) Stats() HistogramStats {
+	if h == nil {
+		return HistogramStats{}
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return HistogramStats{
+		Count: h.count,
+		SumNs: h.sum.Nanoseconds(),
+		MinNs: h.min.Nanoseconds(),
+		MaxNs: h.max.Nanoseconds(),
+	}
+}
+
+// Registry hands out named metrics, creating each on first request and
+// returning the same instance afterwards, so concurrent instrumentation
+// sites share one atomic. A nil *Registry hands out nil metrics — the
+// no-op default that keeps disabled instrumentation free.
+type Registry struct {
+	mu       sync.Mutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: map[string]*Counter{},
+		gauges:   map[string]*Gauge{},
+		hists:    map[string]*Histogram{},
+	}
+}
+
+// Counter returns the named counter (nil on a nil registry).
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c := r.counters[name]
+	if c == nil {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge (nil on a nil registry).
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g := r.gauges[name]
+	if g == nil {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the named duration histogram (nil on a nil registry).
+func (r *Registry) Histogram(name string) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h := r.hists[name]
+	if h == nil {
+		h = &Histogram{}
+		r.hists[name] = h
+	}
+	return h
+}
+
+// Snapshot is a point-in-time copy of every registered metric, shaped for
+// JSON (map keys marshal in sorted order, so the encoding is
+// deterministic for a given set of values).
+type Snapshot struct {
+	Counters   map[string]int64          `json:"counters,omitempty"`
+	Gauges     map[string]int64          `json:"gauges,omitempty"`
+	Histograms map[string]HistogramStats `json:"histograms,omitempty"`
+}
+
+// Snapshot copies out the registry's current values.
+func (r *Registry) Snapshot() Snapshot {
+	var s Snapshot
+	if r == nil {
+		return s
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if len(r.counters) > 0 {
+		s.Counters = make(map[string]int64, len(r.counters))
+		for name, c := range r.counters {
+			s.Counters[name] = c.Value()
+		}
+	}
+	if len(r.gauges) > 0 {
+		s.Gauges = make(map[string]int64, len(r.gauges))
+		for name, g := range r.gauges {
+			s.Gauges[name] = g.Value()
+		}
+	}
+	if len(r.hists) > 0 {
+		s.Histograms = make(map[string]HistogramStats, len(r.hists))
+		for name, h := range r.hists {
+			s.Histograms[name] = h.Stats()
+		}
+	}
+	return s
+}
+
+// WriteTable renders the snapshot as aligned "kind name value" lines in
+// name order within each kind — the -metrics stdout rendering.
+func (s Snapshot) WriteTable(w io.Writer) error {
+	write := func(kind string, names []string, value func(string) string) error {
+		sort.Strings(names)
+		for _, name := range names {
+			if _, err := fmt.Fprintf(w, "%-9s %-34s %s\n", kind, name, value(name)); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	var names []string
+	for name := range s.Counters {
+		names = append(names, name)
+	}
+	if err := write("counter", names, func(n string) string {
+		return fmt.Sprintf("%d", s.Counters[n])
+	}); err != nil {
+		return err
+	}
+	names = names[:0]
+	for name := range s.Gauges {
+		names = append(names, name)
+	}
+	if err := write("gauge", names, func(n string) string {
+		return fmt.Sprintf("%d", s.Gauges[n])
+	}); err != nil {
+		return err
+	}
+	names = names[:0]
+	for name := range s.Histograms {
+		names = append(names, name)
+	}
+	return write("histogram", names, func(n string) string {
+		h := s.Histograms[n]
+		return fmt.Sprintf("count=%d sum=%s min=%s max=%s",
+			h.Count, time.Duration(h.SumNs), time.Duration(h.MinNs), time.Duration(h.MaxNs))
+	})
+}

@@ -1,0 +1,306 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Tracer owns one run's span tree. The zero Tracer is not usable; create
+// one with NewTracer. A nil *Tracer hands out nil spans, so a disabled
+// trace costs nothing beyond nil checks.
+type Tracer struct {
+	start time.Time
+	root  *Span
+
+	// OnStart and OnEnd, when set, are invoked for every span as it starts
+	// and ends (the root excepted). They run on the goroutine that starts
+	// or ends the span, so they must be safe for concurrent use. Set them
+	// before the first span starts.
+	OnStart func(*Span)
+	OnEnd   func(*Span)
+}
+
+// NewTracer returns a tracer whose root span is open and named rootName.
+func NewTracer(rootName string) *Tracer {
+	t := &Tracer{start: time.Now()}
+	t.root = &Span{tracer: t, name: rootName, start: t.start}
+	return t
+}
+
+// Root returns the tracer's root span (nil for a nil tracer).
+func (t *Tracer) Root() *Span {
+	if t == nil {
+		return nil
+	}
+	return t.root
+}
+
+// Attr is one key/value annotation on a span.
+type Attr struct {
+	Key   string
+	Value any
+}
+
+// Span is one timed region of work. All methods are safe on a nil receiver
+// and for concurrent use; children may be started from many goroutines.
+type Span struct {
+	tracer *Tracer
+	parent *Span
+	name   string
+	depth  int
+	start  time.Time
+
+	mu       sync.Mutex
+	attrs    []Attr
+	children []*Span
+	dur      time.Duration
+	ended    bool
+}
+
+// Start begins a child span. On a nil receiver it returns nil.
+func (s *Span) Start(name string) *Span {
+	if s == nil {
+		return nil
+	}
+	c := &Span{tracer: s.tracer, parent: s, name: name, depth: s.depth + 1, start: time.Now()}
+	s.mu.Lock()
+	s.children = append(s.children, c)
+	s.mu.Unlock()
+	if f := s.tracer.OnStart; f != nil {
+		f(c)
+	}
+	return c
+}
+
+// End closes the span, fixing its monotonic duration. Extra Ends are
+// ignored.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	if s.ended {
+		s.mu.Unlock()
+		return
+	}
+	s.ended = true
+	s.dur = time.Since(s.start)
+	s.mu.Unlock()
+	if f := s.tracer.OnEnd; f != nil {
+		f(s)
+	}
+}
+
+// SetAttr attaches a key/value annotation (carried into both exports).
+func (s *Span) SetAttr(key string, value any) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.attrs = append(s.attrs, Attr{key, value})
+	s.mu.Unlock()
+}
+
+// Name returns the span's name ("" on nil).
+func (s *Span) Name() string {
+	if s == nil {
+		return ""
+	}
+	return s.name
+}
+
+// Depth returns the span's distance from the root (the root is 0).
+func (s *Span) Depth() int {
+	if s == nil {
+		return 0
+	}
+	return s.depth
+}
+
+// Duration returns the span's fixed duration, or the live elapsed time if
+// it has not ended yet.
+func (s *Span) Duration() time.Duration {
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.ended {
+		return time.Since(s.start)
+	}
+	return s.dur
+}
+
+// Children returns a snapshot of the span's children in creation order.
+func (s *Span) Children() []*Span {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]*Span, len(s.children))
+	copy(out, s.children)
+	return out
+}
+
+// Attrs returns a snapshot of the span's annotations.
+func (s *Span) Attrs() []Attr {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]Attr, len(s.attrs))
+	copy(out, s.attrs)
+	return out
+}
+
+// Shape is the timing-free skeleton of a span subtree: names and hierarchy
+// only, siblings in name order. Two runs of the same configuration produce
+// equal Shapes regardless of scheduling, worker width or machine speed —
+// the span-tree determinism contract tested by cmd/reproduce.
+type Shape struct {
+	Name     string
+	Children []Shape
+}
+
+// Shape returns the canonical skeleton of the subtree rooted at s.
+func (s *Span) Shape() Shape {
+	if s == nil {
+		return Shape{}
+	}
+	sh := Shape{Name: s.name}
+	for _, c := range s.Children() {
+		sh.Children = append(sh.Children, c.Shape())
+	}
+	sort.Slice(sh.Children, func(i, j int) bool { return sh.Children[i].Name < sh.Children[j].Name })
+	return sh
+}
+
+// byStart returns the span's children sorted by start time (name breaks
+// ties, so the order is stable for display).
+func (s *Span) byStart() []*Span {
+	cs := s.Children()
+	sort.SliceStable(cs, func(i, j int) bool {
+		if cs[i].start.Equal(cs[j].start) {
+			return cs[i].name < cs[j].name
+		}
+		return cs[i].start.Before(cs[j].start)
+	})
+	return cs
+}
+
+// WriteTree renders the span tree as an indented human summary, children
+// in start order:
+//
+//	reproduce                          12.3s
+//	  Pipeline: networks and suites    10.1s
+//	    net:AS                          4.2s
+//	      build:AS                      1.0s
+//	      suite:AS                      3.2s  [width=2]
+func (t *Tracer) WriteTree(w io.Writer) error {
+	if t == nil {
+		return nil
+	}
+	var walk func(s *Span, indent string) error
+	walk = func(s *Span, indent string) error {
+		line := fmt.Sprintf("%s%-*s %8.3fs", indent, 36-len(indent), s.Name(), s.Duration().Seconds())
+		if attrs := s.Attrs(); len(attrs) > 0 {
+			line += "  ["
+			for i, a := range attrs {
+				if i > 0 {
+					line += " "
+				}
+				line += fmt.Sprintf("%s=%v", a.Key, a.Value)
+			}
+			line += "]"
+		}
+		if _, err := fmt.Fprintln(w, line); err != nil {
+			return err
+		}
+		for _, c := range s.byStart() {
+			if err := walk(c, indent+"  "); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	return walk(t.root, "")
+}
+
+// traceEvent is one Chrome trace-event ("X" complete event).
+type traceEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat"`
+	Ph   string         `json:"ph"`
+	Ts   int64          `json:"ts"` // µs since trace start
+	Dur  int64          `json:"dur"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+type chromeTrace struct {
+	TraceEvents     []traceEvent `json:"traceEvents"`
+	DisplayTimeUnit string       `json:"displayTimeUnit"`
+}
+
+// WriteChromeTrace exports the span tree in the Chrome trace-event JSON
+// format (load it at chrome://tracing or ui.perfetto.dev). Spans that ran
+// concurrently are placed on separate tracks ("tid" lanes) by a greedy
+// assignment: a child shares its parent's lane when the lane is free at its
+// start time, otherwise it gets a fresh lane for its whole subtree, so
+// nested events always nest and overlapping events never collide.
+func (t *Tracer) WriteChromeTrace(w io.Writer) error {
+	if t == nil {
+		return nil
+	}
+	var events []traceEvent
+	nextTid := 1
+	var walk func(s *Span, tid int)
+	walk = func(s *Span, tid int) {
+		ev := traceEvent{
+			Name: s.Name(), Cat: "span", Ph: "X",
+			Ts:  s.start.Sub(t.start).Microseconds(),
+			Dur: s.Duration().Microseconds(),
+			Pid: 1, Tid: tid,
+		}
+		if attrs := s.Attrs(); len(attrs) > 0 {
+			ev.Args = map[string]any{}
+			for _, a := range attrs {
+				ev.Args[a.Key] = a.Value
+			}
+		}
+		events = append(events, ev)
+		// Lane 0 of this nesting level is the parent's own lane; it is free
+		// again once the previously placed child has ended.
+		type lane struct {
+			tid int
+			end time.Time
+		}
+		lanes := []lane{{tid: tid}}
+		for _, c := range s.byStart() {
+			placed := -1
+			for i := range lanes {
+				if !lanes[i].end.After(c.start) {
+					placed = i
+					break
+				}
+			}
+			if placed == -1 {
+				lanes = append(lanes, lane{tid: nextTid})
+				nextTid++
+				placed = len(lanes) - 1
+			}
+			lanes[placed].end = c.start.Add(c.Duration())
+			walk(c, lanes[placed].tid)
+		}
+	}
+	walk(t.root, 0)
+	enc := json.NewEncoder(w)
+	return enc.Encode(chromeTrace{TraceEvents: events, DisplayTimeUnit: "ms"})
+}

@@ -1,0 +1,26 @@
+#!/bin/sh
+# verify.sh — the repo's full verification ladder in one shot.
+#
+#   tier 0: go vet ./...
+#   tier 1: go build ./... && go test ./...          (ROADMAP.md tier-1)
+#   tier 2: go test -race <concurrent packages>      (ROADMAP.md tier-2)
+#
+# Tier 2 runs the packages with real concurrency under the race
+# detector: the ball engine's shared caches, the suite fan-out, the
+# pipeline's DAG scheduler, the result store, and the observability
+# layer's concurrent span/counter attachment
+# (obs.TestConcurrentSpansAndCounters).
+set -eu
+
+echo "== tier 0: go vet =="
+go vet ./...
+
+echo "== tier 1: build + full test suite =="
+go build ./...
+go test ./...
+
+echo "== tier 2: race detector on concurrent packages =="
+go test -race ./internal/core ./internal/ball ./internal/experiments \
+    ./internal/cache ./internal/obs
+
+echo "verify.sh: all tiers passed"

@@ -6,8 +6,10 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"topocmp/internal/flow"
 	"topocmp/internal/graph"
 	"topocmp/internal/obs"
+	"topocmp/internal/partition"
 	"topocmp/internal/stats"
 )
 
@@ -26,6 +28,7 @@ type Engine struct {
 	parallel int
 
 	scratch sync.Pool // *workerScratch
+	kernels sync.Pool // *Kernels
 
 	mu       sync.Mutex
 	profiles map[int32]*profileEntry
@@ -38,6 +41,25 @@ type Engine struct {
 	mSubgraphs     *obs.Counter // induced ball subgraphs materialized
 	mScratchGets   *obs.Counter // scratch checkouts (pool traffic)
 	mScratchAllocs *obs.Counter // scratch checkouts that had to allocate
+	mKernelGets    *obs.Counter // kernel-scratch checkouts (one per center)
+	mKernelAllocs  *obs.Counter // kernel checkouts that had to allocate
+}
+
+// Kernels bundles one worker's reusable cut/flow solver scratch: a
+// multilevel-partition workspace, a Dinic network, a BFS scratch and a
+// spare int32 buffer. The engine pools one bundle per worker and hands it
+// to BallPointsKernels callbacks, so the expensive per-ball kernels
+// (resilience's balanced bisection, the surface max-flow sweep) run
+// allocation-free in steady state. Kernel state never influences results —
+// workspace-backed solvers are bit-identical to fresh ones — so pooling is
+// invisible to the determinism contract.
+type Kernels struct {
+	Part *partition.Workspace
+	Flow *flow.Network
+	BFS  *graph.BFSScratch
+	// Ints is a spare reusable buffer (surface node lists and similar
+	// per-ball worksets); contents are unspecified between balls.
+	Ints []int32
 }
 
 // workerScratch bundles one worker's reusable traversal buffers.
@@ -62,13 +84,18 @@ func NewEngine(g *graph.Graph, parallelism int) *Engine {
 		e.mScratchAllocs.Add(1)
 		return &workerScratch{bfs: graph.NewBFSScratch(), sub: graph.NewSubgraphScratch()}
 	}
+	e.kernels.New = func() any {
+		e.mKernelAllocs.Add(1)
+		return &Kernels{Part: partition.NewWorkspace(), Flow: &flow.Network{}, BFS: graph.NewBFSScratch()}
+	}
 	return e
 }
 
 // Instrument resolves the engine's counters from the registry (under the
 // ball.* namespace: profiles, bfs_visits, subgraphs, scratch_gets,
-// scratch_allocs — reuse is gets minus allocs). Call it before the first
-// ball grows; a nil registry leaves the engine uninstrumented.
+// scratch_allocs, kernel_gets, kernel_allocs — reuse is gets minus
+// allocs). Call it before the first ball grows; a nil registry leaves the
+// engine uninstrumented.
 func (e *Engine) Instrument(reg *obs.Registry) {
 	if reg == nil {
 		return
@@ -78,6 +105,8 @@ func (e *Engine) Instrument(reg *obs.Registry) {
 	e.mSubgraphs = reg.Counter("ball.subgraphs")
 	e.mScratchGets = reg.Counter("ball.scratch_gets")
 	e.mScratchAllocs = reg.Counter("ball.scratch_allocs")
+	e.mKernelGets = reg.Counter("ball.kernel_gets")
+	e.mKernelAllocs = reg.Counter("ball.kernel_allocs")
 }
 
 // getScratch checks a worker's scratch out of the pool, counting the
@@ -85,6 +114,13 @@ func (e *Engine) Instrument(reg *obs.Registry) {
 func (e *Engine) getScratch() *workerScratch {
 	e.mScratchGets.Add(1)
 	return e.scratch.Get().(*workerScratch)
+}
+
+// getKernels checks a kernel bundle out of the pool, counting the traffic
+// so kernel-workspace reuse is observable alongside the BFS scratch.
+func (e *Engine) getKernels() *Kernels {
+	e.mKernelGets.Add(1)
+	return e.kernels.Get().(*Kernels)
 }
 
 // Graph returns the graph the engine grows balls on.
@@ -229,6 +265,21 @@ func (e *Engine) forEach(n int, work func(i int)) {
 // goroutines and receives a per-center RNG seeded seed+centerIndex; it must
 // not retain sub, which is shared through the engine's subgraph cache.
 func (e *Engine) BallPoints(cfg Config, seed int64, perBall func(sub *graph.Graph, rng *rand.Rand) (y float64, ok bool)) []stats.Point {
+	return e.BallPointsKernels(cfg, seed,
+		func(sub *graph.Graph, _ int, rng *rand.Rand, _ *Kernels) (float64, bool) {
+			return perBall(sub, rng)
+		})
+}
+
+// BallPointsKernels is BallPoints for kernel-backed metrics: perBall
+// additionally receives the ball's radius and a pooled per-worker Kernels
+// bundle whose solvers it may use freely for the duration of the call. The
+// bundle is checked out once per center and returned to the pool
+// afterwards, so consecutive balls (and consecutive centers on the same
+// worker) reuse the same workspaces. Kernel contents carry no state between
+// balls that affects results, preserving the bit-identical-at-every-
+// parallelism contract.
+func (e *Engine) BallPointsKernels(cfg Config, seed int64, perBall func(sub *graph.Graph, radius int, rng *rand.Rand, k *Kernels) (y float64, ok bool)) []stats.Point {
 	cfg.defaults()
 	centers := Centers(e.g, &cfg)
 	profs := e.Profiles(centers)
@@ -236,6 +287,8 @@ func (e *Engine) BallPoints(cfg Config, seed int64, perBall func(sub *graph.Grap
 	e.forEach(len(centers), func(i int) {
 		p := profs[i]
 		rng := rand.New(rand.NewSource(seed + int64(i)))
+		k := e.getKernels()
+		defer e.kernels.Put(k)
 		maxR := p.Eccentricity()
 		if cfg.MaxRadius > 0 && maxR > cfg.MaxRadius {
 			maxR = cfg.MaxRadius
@@ -250,7 +303,7 @@ func (e *Engine) BallPoints(cfg Config, seed int64, perBall func(sub *graph.Grap
 				continue
 			}
 			sub := e.BallSubgraph(p, h)
-			if y, ok := perBall(sub, rng); ok {
+			if y, ok := perBall(sub, h, rng, k); ok {
 				pts = append(pts, stats.Point{X: float64(sz), Y: y})
 			}
 		}

@@ -249,6 +249,9 @@ func policyBallCurves(n *Network, opts SuiteOptions) (stats.Series, stats.Series
 		return n.Policy.PolicyBall(src, h)
 	}
 	popts := partition.Options{Rand: rand.New(rand.NewSource(opts.Seed + 100))}
+	// One workspace serves the whole sequential sweep; CutSizeWith is
+	// bit-identical to CutSize, it just skips the per-ball solver arenas.
+	pws := partition.NewWorkspace()
 	var resRaw, distRaw []stats.Point
 	for _, src := range centers {
 		prev := 0
@@ -265,7 +268,7 @@ func policyBallCurves(n *Network, opts SuiteOptions) (stats.Series, stats.Series
 				continue
 			}
 			sub := b.Subgraph()
-			cut := partition.CutSize(sub, popts)
+			cut := partition.CutSizeWith(pws, sub, popts)
 			resRaw = append(resRaw, stats.Point{X: float64(sub.NumNodes()), Y: float64(cut)})
 			if d := metrics.SubgraphDistortion(sub, 3); d > 0 {
 				distRaw = append(distRaw, stats.Point{X: float64(sub.NumNodes()), Y: d})

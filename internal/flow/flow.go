@@ -18,36 +18,68 @@ type arc struct {
 	cap int8
 }
 
-// Network is a reusable Dinic solver over a fixed graph.
+// Network is a reusable Dinic solver. The zero value is empty; Reset loads
+// a graph into it, recycling every internal buffer (arcs, the head CSR, the
+// level/iter/queue scratch), so one solver can sweep the surface samples of
+// thousands of ball subgraphs without per-ball allocation. A Network is not
+// safe for concurrent use; give each worker its own (the ball engine pools
+// one per worker).
 type Network struct {
-	n     int
-	arcs  []arc
-	head  [][]int32 // arc indices per node
+	n    int
+	arcs []arc
+	// hoff/hadj form the per-node arc-index CSR: node v's outgoing arcs
+	// are hadj[hoff[v]:hoff[v+1]].
+	hoff  []int32
+	hadj  []int32
 	level []int32
-	iter  []int
+	iter  []int32 // per-node cursor into hadj, absolute positions
+	queue []int32
 }
 
 // NewNetwork builds a unit-capacity flow network from an undirected graph.
 func NewNetwork(g *graph.Graph) *Network {
-	n := g.NumNodes()
-	nw := &Network{
-		n:     n,
-		head:  make([][]int32, n),
-		level: make([]int32, n),
-		iter:  make([]int, n),
-	}
-	for _, e := range g.Edges() {
-		// Undirected unit edge: capacity 1 in each direction.
-		nw.addEdge(e.U, e.V)
-	}
+	nw := &Network{}
+	nw.Reset(g)
 	return nw
 }
 
-func (nw *Network) addEdge(u, v int32) {
-	nw.head[u] = append(nw.head[u], int32(len(nw.arcs)))
-	nw.arcs = append(nw.arcs, arc{to: v, cap: 1})
-	nw.head[v] = append(nw.head[v], int32(len(nw.arcs)))
-	nw.arcs = append(nw.arcs, arc{to: u, cap: 1})
+// Reset loads g into the network, replacing whatever graph it previously
+// held. Buffers are reused; only growth beyond the high-water mark
+// allocates. Arcs are laid out in the same order NewNetwork has always
+// produced: undirected edges in (U,V) order, each contributing the forward
+// arc to U's list and the reverse arc to V's list.
+func (nw *Network) Reset(g *graph.Graph) {
+	n := g.NumNodes()
+	m2 := 2 * g.NumEdges()
+	nw.n = n
+	nw.arcs = growArc(nw.arcs, m2)
+	nw.hoff = grow32(nw.hoff, n+1)
+	nw.hadj = grow32(nw.hadj, m2)
+	nw.level = grow32(nw.level, n)
+	nw.iter = grow32(nw.iter, n)
+	off := int32(0)
+	for v := int32(0); v < int32(n); v++ {
+		nw.hoff[v] = off
+		off += int32(g.Degree(v))
+	}
+	nw.hoff[n] = off
+	// iter doubles as the CSR fill cursor during the build.
+	copy(nw.iter, nw.hoff[:n])
+	na := int32(0)
+	for u := int32(0); u < int32(n); u++ {
+		for _, v := range g.Neighbors(u) {
+			if u < v {
+				// Undirected unit edge: capacity 1 in each direction.
+				nw.arcs[na] = arc{to: v, cap: 1}
+				nw.arcs[na+1] = arc{to: u, cap: 1}
+				nw.hadj[nw.iter[u]] = na
+				nw.iter[u]++
+				nw.hadj[nw.iter[v]] = na + 1
+				nw.iter[v]++
+				na += 2
+			}
+		}
+	}
 }
 
 // reset restores all arc capacities to 1.
@@ -67,9 +99,7 @@ func (nw *Network) MaxFlow(s, t int32) int {
 	nw.reset()
 	total := 0
 	for nw.bfs(s, t) {
-		for i := range nw.iter {
-			nw.iter[i] = 0
-		}
+		copy(nw.iter, nw.hoff[:nw.n])
 		for {
 			f := nw.dfs(s, t)
 			if f == 0 {
@@ -85,15 +115,15 @@ func (nw *Network) bfs(s, t int32) bool {
 	for i := range nw.level {
 		nw.level[i] = -1
 	}
-	queue := []int32{s}
+	nw.queue = append(nw.queue[:0], s)
 	nw.level[s] = 0
-	for head := 0; head < len(queue); head++ {
-		u := queue[head]
-		for _, ai := range nw.head[u] {
+	for head := 0; head < len(nw.queue); head++ {
+		u := nw.queue[head]
+		for _, ai := range nw.hadj[nw.hoff[u]:nw.hoff[u+1]] {
 			a := nw.arcs[ai]
 			if a.cap > 0 && nw.level[a.to] == -1 {
 				nw.level[a.to] = nw.level[u] + 1
-				queue = append(queue, a.to)
+				nw.queue = append(nw.queue, a.to)
 			}
 		}
 	}
@@ -104,8 +134,8 @@ func (nw *Network) dfs(u, t int32) int {
 	if u == t {
 		return 1
 	}
-	for ; nw.iter[u] < len(nw.head[u]); nw.iter[u]++ {
-		ai := nw.head[u][nw.iter[u]]
+	for ; nw.iter[u] < nw.hoff[u+1]; nw.iter[u]++ {
+		ai := nw.hadj[nw.iter[u]]
 		a := &nw.arcs[ai]
 		if a.cap > 0 && nw.level[a.to] == nw.level[u]+1 {
 			if nw.dfs(a.to, t) > 0 {
@@ -121,4 +151,18 @@ func (nw *Network) dfs(u, t int32) int {
 // EdgeDisjointPaths is a convenience wrapper building a throwaway network.
 func EdgeDisjointPaths(g *graph.Graph, s, t int32) int {
 	return NewNetwork(g).MaxFlow(s, t)
+}
+
+func grow32(buf []int32, n int) []int32 {
+	if cap(buf) < n {
+		return make([]int32, n)
+	}
+	return buf[:n]
+}
+
+func growArc(buf []arc, n int) []arc {
+	if cap(buf) < n {
+		return make([]arc, n)
+	}
+	return buf[:n]
 }

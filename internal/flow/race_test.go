@@ -1,0 +1,34 @@
+package flow_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"topocmp/internal/ball"
+	"topocmp/internal/gen/canonical"
+	"topocmp/internal/metrics"
+)
+
+// TestSurfaceMaxFlowRaceShort drives the pooled Dinic networks from a
+// four-worker ball engine — the tier-2 race target for this package. Under
+// the race detector this catches any sharing between per-worker solvers;
+// the parallel series must also stay bit-identical to sequential.
+func TestSurfaceMaxFlowRaceShort(t *testing.T) {
+	g := canonical.Random(rand.New(rand.NewSource(22)), 260, 0.03)
+	cfg := func() ball.Config {
+		return ball.Config{MaxSources: 8, MaxBallSize: 200, Rand: rand.New(rand.NewSource(5))}
+	}
+	seq := metrics.SurfaceMaxFlowCurveWith(ball.NewEngine(g, 1), cfg(), 4, 7)
+	par := metrics.SurfaceMaxFlowCurveWith(ball.NewEngine(g, 4), cfg(), 4, 7)
+	if len(seq.Points) == 0 {
+		t.Fatal("empty surface max-flow series")
+	}
+	if len(par.Points) != len(seq.Points) {
+		t.Fatalf("parallel series has %d points, sequential %d", len(par.Points), len(seq.Points))
+	}
+	for i := range seq.Points {
+		if par.Points[i] != seq.Points[i] {
+			t.Fatalf("point %d: parallel %v != sequential %v", i, par.Points[i], seq.Points[i])
+		}
+	}
+}

@@ -1,7 +1,6 @@
 package metrics
 
 import (
-	"container/heap"
 	"math/rand"
 
 	"topocmp/internal/ball"
@@ -64,22 +63,31 @@ func matchingCover(g *graph.Graph) []int32 {
 }
 
 // greedyCover repeatedly takes the node with the most uncovered incident
-// edges, using a lazily updated max-heap.
+// edges, using a lazily updated max-heap. The heap is a typed port of
+// container/heap's sift order (same Init / Push / Pop element movement), so
+// the cover comes out byte-identical to the historical boxed version while
+// the hot loop stays free of per-element interface allocations.
 func greedyCover(g *graph.Graph) []int32 {
 	n := g.NumNodes()
 	uncov := make([]int, n) // uncovered incident edges per node
 	inCover := make([]bool, n)
-	h := make(coverHeap, 0, n)
+	h := make([]coverCand, 0, n)
 	for v := int32(0); v < int32(n); v++ {
 		uncov[v] = g.Degree(v)
 		if uncov[v] > 0 {
 			h = append(h, coverCand{v, uncov[v]})
 		}
 	}
-	heap.Init(&h)
+	for i := len(h)/2 - 1; i >= 0; i-- {
+		coverDown(h, i, len(h))
+	}
 	var cover []int32
-	for h.Len() > 0 {
-		c := heap.Pop(&h).(coverCand)
+	for len(h) > 0 {
+		last := len(h) - 1
+		h[0], h[last] = h[last], h[0]
+		coverDown(h, 0, last)
+		c := h[last]
+		h = h[:last]
 		u := c.v
 		if inCover[u] || c.count != uncov[u] {
 			continue // stale entry
@@ -94,7 +102,8 @@ func greedyCover(g *graph.Graph) []int32 {
 			if !inCover[v] && uncov[v] > 0 {
 				uncov[v]--
 				if uncov[v] > 0 {
-					heap.Push(&h, coverCand{v, uncov[v]})
+					h = append(h, coverCand{v, uncov[v]})
+					coverUp(h, len(h)-1)
 				}
 			}
 		}
@@ -107,23 +116,43 @@ type coverCand struct {
 	count int
 }
 
-type coverHeap []coverCand
-
-func (h coverHeap) Len() int { return len(h) }
-func (h coverHeap) Less(i, j int) bool {
-	if h[i].count != h[j].count {
-		return h[i].count > h[j].count
+// coverLess orders candidates by uncovered count descending, node id
+// ascending — a strict total order, so heap pops are fully deterministic.
+func coverLess(a, b coverCand) bool {
+	if a.count != b.count {
+		return a.count > b.count
 	}
-	return h[i].v < h[j].v
+	return a.v < b.v
 }
-func (h coverHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *coverHeap) Push(x any)   { *h = append(*h, x.(coverCand)) }
-func (h *coverHeap) Pop() any {
-	old := *h
-	n := len(old)
-	x := old[n-1]
-	*h = old[:n-1]
-	return x
+
+func coverUp(h []coverCand, j int) {
+	for j > 0 {
+		i := (j - 1) / 2
+		if !coverLess(h[j], h[i]) {
+			break
+		}
+		h[i], h[j] = h[j], h[i]
+		j = i
+	}
+}
+
+func coverDown(h []coverCand, i0, n int) {
+	i := i0
+	for {
+		j1 := 2*i + 1
+		if j1 >= n || j1 < 0 {
+			break
+		}
+		j := j1
+		if j2 := j1 + 1; j2 < n && coverLess(h[j2], h[j1]) {
+			j = j2
+		}
+		if !coverLess(h[j], h[i]) {
+			break
+		}
+		h[i], h[j] = h[j], h[i]
+		i = j
+	}
 }
 
 // WeightedVertexCover computes a 2-approximate minimum weighted vertex

@@ -41,7 +41,10 @@ func BallPathLengthCurve(g *graph.Graph, cfg ball.Config) stats.Series {
 
 // SurfaceMaxFlowCurve computes the expected unit-capacity max flow from a
 // ball's center to nodes on its surface (nodes at exactly the ball radius),
-// as a function of ball size.
+// as a function of ball size. One subgraph scratch, BFS scratch and Dinic
+// network are reused across every ball, so the sweep allocates only the
+// per-ball subgraphs themselves; the sampling RNG sequence is unchanged, so
+// the series is byte-identical to the historical implementation.
 func SurfaceMaxFlowCurve(g *graph.Graph, cfg ball.Config, flowSamples int) stats.Series {
 	if cfg.MinBallSize == 0 {
 		cfg.MinBallSize = 3
@@ -50,22 +53,26 @@ func SurfaceMaxFlowCurve(g *graph.Graph, cfg ball.Config, flowSamples int) stats
 		flowSamples = 8
 	}
 	r := rand.New(rand.NewSource(29))
+	subScratch := graph.NewSubgraphScratch()
+	bfs := graph.NewBFSScratch()
+	var nw flow.Network
+	var surface []int32
 	var raw []stats.Point
 	ball.Visit(g, cfg, func(b ball.Ball) {
-		sub := ball.Subgraph(g, b)
+		sub := subScratch.Induced(g, b.Nodes)
 		// The center is node 0 of the subgraph (BFS order); surface nodes
 		// are those at distance Radius.
-		dist, _ := sub.BFS(0)
-		var surface []int32
+		bfs.BFS(sub, 0)
+		surface = surface[:0]
 		for v := int32(0); v < int32(sub.NumNodes()); v++ {
-			if int(dist[v]) == b.Radius {
+			if int(bfs.Dist(v)) == b.Radius {
 				surface = append(surface, v)
 			}
 		}
 		if len(surface) == 0 {
 			return
 		}
-		nw := flow.NewNetwork(sub)
+		nw.Reset(sub)
 		total, samples := 0.0, 0
 		for i := 0; i < flowSamples && i < len(surface); i++ {
 			t := surface[r.Intn(len(surface))]
@@ -77,6 +84,47 @@ func SurfaceMaxFlowCurve(g *graph.Graph, cfg ball.Config, flowSamples int) stats
 			Y: total / float64(samples),
 		})
 	})
+	s := stats.Bucketize(raw, bucketRatio)
+	s.Name = "surfacemaxflow"
+	return s
+}
+
+// SurfaceMaxFlowCurveWith is the engine form of SurfaceMaxFlowCurve: balls,
+// subgraphs and BFS passes come from the engine's shared caches, the Dinic
+// solver and surface buffer come from the pooled per-worker kernel bundle,
+// and each center samples surface targets with an RNG derived from
+// seed+centerIndex — so the series is bit-identical at every engine
+// parallelism (it intentionally differs from the legacy single-RNG
+// sequential curve, which is kept for cached-artifact compatibility).
+func SurfaceMaxFlowCurveWith(e *ball.Engine, cfg ball.Config, flowSamples int, seed int64) stats.Series {
+	if cfg.MinBallSize == 0 {
+		cfg.MinBallSize = 3
+	}
+	if flowSamples <= 0 {
+		flowSamples = 8
+	}
+	raw := e.BallPointsKernels(cfg, seed,
+		func(sub *graph.Graph, radius int, rng *rand.Rand, k *ball.Kernels) (float64, bool) {
+			k.BFS.BFS(sub, 0)
+			k.Ints = k.Ints[:0]
+			for v := int32(0); v < int32(sub.NumNodes()); v++ {
+				if int(k.BFS.Dist(v)) == radius {
+					k.Ints = append(k.Ints, v)
+				}
+			}
+			surface := k.Ints
+			if len(surface) == 0 {
+				return 0, false
+			}
+			k.Flow.Reset(sub)
+			total, samples := 0.0, 0
+			for i := 0; i < flowSamples && i < len(surface); i++ {
+				t := surface[rng.Intn(len(surface))]
+				total += float64(k.Flow.MaxFlow(0, t))
+				samples++
+			}
+			return total / float64(samples), true
+		})
 	s := stats.Bucketize(raw, bucketRatio)
 	s.Name = "surfacemaxflow"
 	return s

@@ -15,12 +15,19 @@
 //
 // All internal iteration orders are deterministic, so a fixed Options.Rand
 // reproduces the same partition.
+//
+// The solver is allocation-free in steady state: every phase runs on a
+// Workspace whose level arena (CSR-flattened weighted graphs, matching and
+// side buffers, the FM gain heap) is grown once and recycled across calls.
+// Resilience partitions hundreds of thousands of ball subgraphs per suite,
+// so hot paths hold a Workspace (one per worker — it is not safe for
+// concurrent use) and call CutSizeWith / BisectWith; the package-level
+// CutSize / Bisect wrappers build a throwaway Workspace per call.
 package partition
 
 import (
-	"container/heap"
 	"math/rand"
-	"sort"
+	"slices"
 
 	"topocmp/internal/graph"
 )
@@ -28,40 +35,85 @@ import (
 // wedge is a weighted adjacency entry.
 type wedge struct {
 	to int32
-	w  int
+	w  int32
 }
 
-// weighted is the internal multilevel representation: node weights count
-// collapsed original vertices, edge weights count collapsed original edges.
-// Adjacency lists are sorted by target id for deterministic iteration.
-type weighted struct {
-	nodeW []int
-	adj   [][]wedge
+// level is one rung of the multilevel hierarchy: a CSR-flattened weighted
+// graph (node weights count collapsed original vertices, edge weights count
+// collapsed original edges; adjacency runs are sorted by target id for
+// deterministic iteration), the cmap projecting this level's nodes onto the
+// next-coarser level, and this level's side buffer. All slices are owned by
+// the workspace and recycled across calls.
+type level struct {
+	nodeW []int32
+	off   []int32
+	adj   []wedge
+	cmap  []int32
+	side  []bool
 }
 
-func fromGraph(g *graph.Graph) *weighted {
-	n := g.NumNodes()
-	w := &weighted{nodeW: make([]int, n), adj: make([][]wedge, n)}
-	for v := int32(0); v < int32(n); v++ {
-		w.nodeW[v] = 1
-		nb := g.Neighbors(v)
-		w.adj[v] = make([]wedge, len(nb))
-		for i, u := range nb {
-			w.adj[v][i] = wedge{u, 1}
-		}
-	}
-	return w
-}
+func (l *level) numNodes() int { return len(l.nodeW) }
 
-func (w *weighted) numNodes() int { return len(w.nodeW) }
+func (l *level) edgesOf(v int32) []wedge { return l.adj[l.off[v]:l.off[v+1]] }
 
-func (w *weighted) totalNodeW() int {
+func (l *level) totalNodeW() int {
 	t := 0
-	for _, x := range w.nodeW {
-		t += x
+	for _, x := range l.nodeW {
+		t += int(x)
 	}
 	return t
 }
+
+// fromGraph loads g into the level as the finest rung: unit node and edge
+// weights, adjacency copied straight out of g's CSR (already sorted).
+func (l *level) fromGraph(g *graph.Graph) {
+	n := g.NumNodes()
+	l.nodeW = growInt32(l.nodeW, n)
+	for i := range l.nodeW {
+		l.nodeW[i] = 1
+	}
+	l.off = growInt32(l.off, n+1)
+	l.adj = growWedge(l.adj, 2*g.NumEdges())
+	idx := int32(0)
+	for v := int32(0); v < int32(n); v++ {
+		l.off[v] = idx
+		for _, u := range g.Neighbors(v) {
+			l.adj[idx] = wedge{u, 1}
+			idx++
+		}
+	}
+	l.off[n] = idx
+}
+
+// Workspace holds every buffer the multilevel pipeline needs, grown on
+// first use and recycled across calls, so steady-state bisection does not
+// allocate. A Workspace is not safe for concurrent use; give each worker
+// its own (the ball engine pools one per worker).
+type Workspace struct {
+	levels []*level
+
+	perm    []int   // coarsening visit order (Fisher–Yates into a reused buffer)
+	match   []int32 // heavy-edge matching partner
+	memberA []int32 // finest member of each coarse node
+	memberB []int32 // second member, -1 for unmatched singletons
+
+	accStamp []int32 // coarse-adjacency merge stamps, epoch-keyed
+	accPos   []int32 // position of a stamped target in the open adjacency run
+	accEpoch int32
+
+	visitStamp []int32 // region-growing visited marks, epoch-keyed
+	visitEpoch int32
+	queue      []int32
+	cand       []bool // candidate side assignment per region-growing seed
+
+	gain    []int // FM gains
+	moved   []bool
+	history []int32
+	heap    []moveCand
+}
+
+// NewWorkspace returns an empty workspace; buffers grow on first use.
+func NewWorkspace() *Workspace { return &Workspace{} }
 
 // Options tunes the bisection.
 type Options struct {
@@ -94,70 +146,120 @@ func (o *Options) defaults() {
 
 // Bisect computes a balanced bipartition of g and returns the cut size (the
 // number of edges crossing the partition) and the side assignment. Graphs
-// with fewer than two nodes have cut 0.
+// with fewer than two nodes have cut 0. One-shot convenience over a
+// throwaway Workspace; hot paths should hold a Workspace and call
+// BisectWith.
 func Bisect(g *graph.Graph, opts Options) (int, []bool) {
-	opts.defaults()
-	n := g.NumNodes()
-	if n < 2 {
-		return 0, make([]bool, n)
-	}
-	w := fromGraph(g)
-	return bisectWeighted(w, &opts)
+	return BisectWith(NewWorkspace(), g, opts)
 }
 
 // CutSize is a convenience wrapper returning only the cut value.
 func CutSize(g *graph.Graph, opts Options) int {
-	c, _ := Bisect(g, opts)
+	c, _ := bisect(NewWorkspace(), g, opts)
 	return c
 }
 
-func bisectWeighted(w *weighted, opts *Options) (int, []bool) {
-	const coarsestSize = 48
-	type level struct {
-		w    *weighted
-		cmap []int32 // fine node -> coarse node
-	}
-	var levels []level
-	cur := w
-	for cur.numNodes() > coarsestSize {
-		cmap, coarse := coarsen(cur, opts.Rand)
-		if coarse.numNodes() >= cur.numNodes() {
-			break // no progress
-		}
-		levels = append(levels, level{w: cur, cmap: cmap})
-		cur = coarse
-	}
-	side := initialBisection(cur, opts)
-	refine(cur, side, opts)
-	for i := len(levels) - 1; i >= 0; i-- {
-		lv := levels[i]
-		fine := make([]bool, lv.w.numNodes())
-		for v := range fine {
-			fine[v] = side[lv.cmap[v]]
-		}
-		side = fine
-		refine(lv.w, side, opts)
-	}
-	return cutOf(w, side), side
+// BisectWith is Bisect running on ws's recycled buffers. The returned side
+// slice is freshly allocated (it does not alias the workspace), so callers
+// may retain it across further calls.
+func BisectWith(ws *Workspace, g *graph.Graph, opts Options) (int, []bool) {
+	cut, side := bisect(ws, g, opts)
+	out := make([]bool, g.NumNodes())
+	copy(out, side)
+	return cut, out
 }
 
-// coarsen performs heavy-edge matching: visit nodes in random order, match
-// each unmatched node with its unmatched neighbor of heaviest edge weight
-// (smallest id on ties).
-func coarsen(w *weighted, r *rand.Rand) ([]int32, *weighted) {
-	n := w.numNodes()
-	match := make([]int32, n)
+// CutSizeWith is CutSize running on ws's recycled buffers; it performs no
+// per-call allocation once the workspace is warm.
+func CutSizeWith(ws *Workspace, g *graph.Graph, opts Options) int {
+	c, _ := bisect(ws, g, opts)
+	return c
+}
+
+// bisect runs the three phases; the returned side aliases workspace storage
+// and is valid until the next call.
+func bisect(ws *Workspace, g *graph.Graph, opts Options) (int, []bool) {
+	opts.defaults()
+	n := g.NumNodes()
+	if n < 2 {
+		l0 := ws.level0()
+		l0.side = growBool(l0.side, n)
+		for i := range l0.side {
+			l0.side[i] = false
+		}
+		return 0, l0.side
+	}
+	const coarsestSize = 48
+	l0 := ws.level0()
+	l0.fromGraph(g)
+	depth := 0
+	cur := l0
+	for cur.numNodes() > coarsestSize {
+		next := ws.levelAt(depth + 1)
+		ws.coarsen(cur, next, opts.Rand)
+		if next.numNodes() >= cur.numNodes() {
+			break // no progress
+		}
+		depth++
+		cur = next
+	}
+	cur.side = growBool(cur.side, cur.numNodes())
+	ws.initialBisection(cur, cur.side, &opts)
+	ws.refine(cur, cur.side, &opts)
+	for i := depth - 1; i >= 0; i-- {
+		lv := ws.levels[i]
+		lv.side = growBool(lv.side, lv.numNodes())
+		for v := range lv.side {
+			lv.side[v] = ws.levels[i+1].side[lv.cmap[v]]
+		}
+		ws.refine(lv, lv.side, &opts)
+	}
+	return cutOf(l0, l0.side), l0.side
+}
+
+func (ws *Workspace) level0() *level { return ws.levelAt(0) }
+
+func (ws *Workspace) levelAt(i int) *level {
+	for len(ws.levels) <= i {
+		ws.levels = append(ws.levels, &level{})
+	}
+	return ws.levels[i]
+}
+
+// permInto refills ws.perm with opts.Rand.Perm(n) using the exact
+// math/rand.Perm recurrence, so the RNG stream (and therefore every
+// downstream tie-break) is bit-identical to the historical Perm call while
+// reusing one buffer.
+func (ws *Workspace) permInto(r *rand.Rand, n int) []int {
+	if cap(ws.perm) < n {
+		ws.perm = make([]int, n)
+	}
+	m := ws.perm[:n]
+	for i := 0; i < n; i++ {
+		j := r.Intn(i + 1)
+		m[i] = m[j]
+		m[j] = i
+	}
+	return m
+}
+
+// coarsen performs heavy-edge matching on fine (visit nodes in random
+// order, match each unmatched node with its unmatched neighbor of heaviest
+// edge weight, smallest id on ties) and contracts the matching into coarse.
+func (ws *Workspace) coarsen(fine, coarse *level, r *rand.Rand) {
+	n := fine.numNodes()
+	ws.match = growInt32(ws.match, n)
+	match := ws.match
 	for i := range match {
 		match[i] = -1
 	}
-	order := r.Perm(n)
-	for _, ui := range order {
+	for _, ui := range ws.permInto(r, n) {
 		u := int32(ui)
 		if match[u] != -1 {
 			continue
 		}
-		bestV, bestW := int32(-1), -1
-		for _, e := range w.adj[u] {
+		bestV, bestW := int32(-1), int32(-1)
+		for _, e := range fine.edgesOf(u) {
 			if match[e.to] == -1 && e.to != u && e.w > bestW {
 				bestV, bestW = e.to, e.w
 			}
@@ -169,85 +271,126 @@ func coarsen(w *weighted, r *rand.Rand) ([]int32, *weighted) {
 			match[u] = u
 		}
 	}
-	cmap := make([]int32, n)
+	fine.cmap = growInt32(fine.cmap, n)
+	cmap := fine.cmap
 	for i := range cmap {
 		cmap[i] = -1
 	}
+	ws.memberA = growInt32(ws.memberA, n)
+	ws.memberB = growInt32(ws.memberB, n)
 	next := int32(0)
 	for u := int32(0); u < int32(n); u++ {
 		if cmap[u] != -1 {
 			continue
 		}
 		cmap[u] = next
+		ws.memberA[next] = u
+		ws.memberB[next] = -1
 		if match[u] != u && match[u] >= 0 {
 			cmap[match[u]] = next
+			ws.memberB[next] = match[u]
 		}
 		next++
 	}
-	coarse := &weighted{nodeW: make([]int, next), adj: make([][]wedge, next)}
-	accum := make([]map[int32]int, next)
-	for i := range accum {
-		accum[i] = map[int32]int{}
+	nc := int(next)
+
+	// Contract: per coarse node, merge its members' neighbor runs with an
+	// epoch-stamped accumulator (deterministic replacement for the
+	// historical per-node map), then sort the run by target id — the same
+	// sorted, weight-summed adjacency the map build produced.
+	coarse.nodeW = growInt32(coarse.nodeW, nc)
+	for i := range coarse.nodeW[:nc] {
+		coarse.nodeW[i] = 0
 	}
-	for u := int32(0); u < int32(n); u++ {
-		cu := cmap[u]
-		coarse.nodeW[cu] += w.nodeW[u]
-		for _, e := range w.adj[u] {
-			cv := cmap[e.to]
-			if cu != cv {
-				accum[cu][cv] += e.w
+	coarse.off = growInt32(coarse.off, nc+1)
+	coarse.adj = coarse.adj[:0]
+	ws.accStamp = growInt32(ws.accStamp, nc)
+	ws.accPos = growInt32(ws.accPos, nc)
+	if ws.accEpoch > 1<<30 {
+		for i := range ws.accStamp {
+			ws.accStamp[i] = 0
+		}
+		ws.accEpoch = 0
+	}
+	for cu := int32(0); cu < next; cu++ {
+		ws.accEpoch++
+		epoch := ws.accEpoch
+		start := len(coarse.adj)
+		coarse.off[cu] = int32(start)
+		for _, u := range [2]int32{ws.memberA[cu], ws.memberB[cu]} {
+			if u < 0 {
+				continue
+			}
+			coarse.nodeW[cu] += fine.nodeW[u]
+			for _, e := range fine.edgesOf(u) {
+				cv := cmap[e.to]
+				if cv == cu {
+					continue
+				}
+				if ws.accStamp[cv] != epoch {
+					ws.accStamp[cv] = epoch
+					ws.accPos[cv] = int32(len(coarse.adj) - start)
+					coarse.adj = append(coarse.adj, wedge{cv, e.w})
+				} else {
+					coarse.adj[start+int(ws.accPos[cv])].w += e.w
+				}
 			}
 		}
+		slices.SortFunc(coarse.adj[start:], func(a, b wedge) int {
+			return int(a.to) - int(b.to)
+		})
 	}
-	for cu := range accum {
-		lst := make([]wedge, 0, len(accum[cu]))
-		for cv, ew := range accum[cu] {
-			lst = append(lst, wedge{cv, ew})
-		}
-		sort.Slice(lst, func(i, j int) bool { return lst[i].to < lst[j].to })
-		coarse.adj[cu] = lst
-	}
-	return cmap, coarse
+	coarse.off[nc] = int32(len(coarse.adj))
 }
 
-// initialBisection grows a region by BFS from several random seeds and keeps
-// the assignment with the smallest cut.
-func initialBisection(w *weighted, opts *Options) []bool {
-	n := w.numNodes()
-	total := w.totalNodeW()
+// initialBisection grows a region by BFS from several random seeds and
+// writes the assignment with the smallest cut into best.
+func (ws *Workspace) initialBisection(l *level, best []bool, opts *Options) {
+	n := l.numNodes()
+	total := l.totalNodeW()
+	ws.visitStamp = growInt32(ws.visitStamp, n)
+	ws.cand = growBool(ws.cand, n)
+	if ws.visitEpoch > 1<<30 {
+		for i := range ws.visitStamp {
+			ws.visitStamp[i] = 0
+		}
+		ws.visitEpoch = 0
+	}
 	bestCut := -1
-	var best []bool
 	for s := 0; s < opts.Seeds; s++ {
 		seed := int32(opts.Rand.Intn(n))
-		side := make([]bool, n)
-		visited := make([]bool, n)
-		queue := []int32{seed}
-		visited[seed] = true
+		ws.visitEpoch++
+		epoch := ws.visitEpoch
+		cand := ws.cand
+		for i := range cand {
+			cand[i] = false
+		}
+		ws.queue = append(ws.queue[:0], seed)
+		ws.visitStamp[seed] = epoch
 		grown := 0
-		for head := 0; head < len(queue) && grown*2 < total; head++ {
-			u := queue[head]
-			side[u] = true
-			grown += w.nodeW[u]
-			for _, e := range w.adj[u] {
-				if !visited[e.to] {
-					visited[e.to] = true
-					queue = append(queue, e.to)
+		for head := 0; head < len(ws.queue) && grown*2 < total; head++ {
+			u := ws.queue[head]
+			cand[u] = true
+			grown += int(l.nodeW[u])
+			for _, e := range l.edgesOf(u) {
+				if ws.visitStamp[e.to] != epoch {
+					ws.visitStamp[e.to] = epoch
+					ws.queue = append(ws.queue, e.to)
 				}
 			}
 		}
 		for v := int32(0); grown*2 < total && v < int32(n); v++ {
-			if !side[v] {
-				side[v] = true
-				grown += w.nodeW[v]
+			if !cand[v] {
+				cand[v] = true
+				grown += int(l.nodeW[v])
 			}
 		}
-		cut := cutOf(w, side)
+		cut := cutOf(l, cand)
 		if bestCut == -1 || cut < bestCut {
 			bestCut = cut
-			best = side
+			copy(best, cand)
 		}
 	}
-	return best
 }
 
 // moveCand is a heap entry: a candidate node move with the gain it had when
@@ -259,73 +402,106 @@ type moveCand struct {
 	gain int
 }
 
-type gainHeap []moveCand
+// The gain heap is a typed port of container/heap's sift algorithms (same
+// Init / Push / Pop element order, so pop order is bit-identical to the
+// historical heap.Interface implementation) without the per-operation `any`
+// boxing.
 
-func (h gainHeap) Len() int { return len(h) }
-func (h gainHeap) Less(i, j int) bool {
+func gainLess(h []moveCand, i, j int) bool {
 	if h[i].gain != h[j].gain {
 		return h[i].gain > h[j].gain
 	}
 	return h[i].v < h[j].v
 }
-func (h gainHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *gainHeap) Push(x any)   { *h = append(*h, x.(moveCand)) }
-func (h *gainHeap) Pop() any {
-	old := *h
-	n := len(old)
-	x := old[n-1]
-	*h = old[:n-1]
-	return x
+
+func gainDown(h []moveCand, i0, n int) {
+	i := i0
+	for {
+		j1 := 2*i + 1
+		if j1 >= n || j1 < 0 {
+			break
+		}
+		j := j1
+		if j2 := j1 + 1; j2 < n && gainLess(h, j2, j1) {
+			j = j2
+		}
+		if !gainLess(h, j, i) {
+			break
+		}
+		h[i], h[j] = h[j], h[i]
+		i = j
+	}
+}
+
+func gainUp(h []moveCand, j int) {
+	for {
+		i := (j - 1) / 2
+		if i == j || !gainLess(h, j, i) {
+			break
+		}
+		h[i], h[j] = h[j], h[i]
+		j = i
+	}
 }
 
 // refine runs Fiduccia–Mattheyses passes: each pass tentatively moves every
 // node once in best-gain-first order (negative gains included, balance
 // respected), then rolls back to the prefix of moves with the smallest cut.
-func refine(w *weighted, side []bool, opts *Options) {
-	n := w.numNodes()
-	total := w.totalNodeW()
+func (ws *Workspace) refine(l *level, side []bool, opts *Options) {
+	n := l.numNodes()
+	total := l.totalNodeW()
 	maxSide := int(opts.Balance * float64(total))
 	if maxSide*2 < total {
 		maxSide = (total + 1) / 2
 	}
-	gain := make([]int, n)
+	ws.gain = growInt(ws.gain, n)
+	ws.moved = growBool(ws.moved, n)
+	gain, moved := ws.gain, ws.moved
 	for pass := 0; pass < opts.Refinements; pass++ {
 		weightTrue := 0
 		for v := 0; v < n; v++ {
 			if side[v] {
-				weightTrue += w.nodeW[v]
+				weightTrue += int(l.nodeW[v])
 			}
 		}
 		for v := int32(0); v < int32(n); v++ {
 			g := 0
-			for _, e := range w.adj[v] {
+			for _, e := range l.edgesOf(v) {
 				if side[e.to] == side[v] {
-					g -= e.w
+					g -= int(e.w)
 				} else {
-					g += e.w
+					g += int(e.w)
 				}
 			}
 			gain[v] = g
 		}
-		h := make(gainHeap, 0, n)
+		h := ws.heap[:0]
 		for v := int32(0); v < int32(n); v++ {
 			h = append(h, moveCand{v, gain[v]})
 		}
-		heap.Init(&h)
-		moved := make([]bool, n)
-		var history []int32
+		for i := len(h)/2 - 1; i >= 0; i-- {
+			gainDown(h, i, len(h))
+		}
+		for i := range moved {
+			moved[i] = false
+		}
+		history := ws.history[:0]
 		cumGain, bestGain, bestPrefix := 0, 0, 0
-		for h.Len() > 0 {
-			c := heap.Pop(&h).(moveCand)
+		for len(h) > 0 {
+			last := len(h) - 1
+			h[0], h[last] = h[last], h[0]
+			gainDown(h, 0, last)
+			c := h[last]
+			h = h[:last]
 			v := c.v
 			if moved[v] || c.gain != gain[v] {
 				continue
 			}
 			var newTrue int
 			if side[v] {
-				newTrue = weightTrue - w.nodeW[v]
+				newTrue = weightTrue - int(l.nodeW[v])
 			} else {
-				newTrue = weightTrue + w.nodeW[v]
+				newTrue = weightTrue + int(l.nodeW[v])
 			}
 			if newTrue > maxSide || total-newTrue > maxSide {
 				continue
@@ -340,36 +516,69 @@ func refine(w *weighted, side []bool, opts *Options) {
 				bestGain = cumGain
 				bestPrefix = len(history)
 			}
-			for _, e := range w.adj[v] {
+			for _, e := range l.edgesOf(v) {
 				if moved[e.to] {
 					continue
 				}
 				if side[e.to] == side[v] {
-					gain[e.to] -= 2 * e.w
+					gain[e.to] -= 2 * int(e.w)
 				} else {
-					gain[e.to] += 2 * e.w
+					gain[e.to] += 2 * int(e.w)
 				}
-				heap.Push(&h, moveCand{e.to, gain[e.to]})
+				h = append(h, moveCand{e.to, gain[e.to]})
+				gainUp(h, len(h)-1)
 			}
 		}
 		// Roll back moves beyond the best prefix.
 		for i := len(history) - 1; i >= bestPrefix; i-- {
 			side[history[i]] = !side[history[i]]
 		}
+		ws.heap = h[:0]
+		ws.history = history[:0]
 		if bestGain == 0 {
 			break
 		}
 	}
 }
 
-func cutOf(w *weighted, side []bool) int {
+func cutOf(l *level, side []bool) int {
 	cut := 0
-	for u := 0; u < w.numNodes(); u++ {
-		for _, e := range w.adj[u] {
-			if int32(u) < e.to && side[u] != side[e.to] {
-				cut += e.w
+	for u := int32(0); u < int32(l.numNodes()); u++ {
+		for _, e := range l.edgesOf(u) {
+			if u < e.to && side[u] != side[e.to] {
+				cut += int(e.w)
 			}
 		}
 	}
 	return cut
+}
+
+// growInt32 returns buf resliced to length n, reallocating only when the
+// capacity is short. Contents are unspecified.
+func growInt32(buf []int32, n int) []int32 {
+	if cap(buf) < n {
+		return make([]int32, n)
+	}
+	return buf[:n]
+}
+
+func growInt(buf []int, n int) []int {
+	if cap(buf) < n {
+		return make([]int, n)
+	}
+	return buf[:n]
+}
+
+func growBool(buf []bool, n int) []bool {
+	if cap(buf) < n {
+		return make([]bool, n)
+	}
+	return buf[:n]
+}
+
+func growWedge(buf []wedge, n int) []wedge {
+	if cap(buf) < n {
+		return make([]wedge, n)
+	}
+	return buf[:n]
 }

@@ -4,12 +4,15 @@
 #   tier 0: go vet ./...
 #   tier 1: go build ./... && go test ./...          (ROADMAP.md tier-1)
 #   tier 2: go test -race <concurrent packages>      (ROADMAP.md tier-2)
+#   bench smoke: one iteration of the kernel benchmarks
 #
 # Tier 2 runs the packages with real concurrency under the race
 # detector: the ball engine's shared caches, the suite fan-out, the
-# pipeline's DAG scheduler, the result store, and the observability
+# pipeline's DAG scheduler, the result store, the observability
 # layer's concurrent span/counter attachment
-# (obs.TestConcurrentSpansAndCounters).
+# (obs.TestConcurrentSpansAndCounters), and the pooled per-worker
+# cut/flow kernels (partition.TestResilienceRaceShort,
+# flow.TestSurfaceMaxFlowRaceShort).
 set -eu
 
 echo "== tier 0: go vet =="
@@ -21,6 +24,10 @@ go test ./...
 
 echo "== tier 2: race detector on concurrent packages =="
 go test -race ./internal/core ./internal/ball ./internal/experiments \
-    ./internal/cache ./internal/obs
+    ./internal/cache ./internal/obs ./internal/partition ./internal/flow
+
+echo "== bench smoke: kernel benchmarks compile and run =="
+go test -run '^$' -bench 'CutSize|SurfaceMaxFlow|ResilienceMesh' \
+    -benchtime 1x ./internal/partition ./internal/metrics
 
 echo "verify.sh: all tiers passed"

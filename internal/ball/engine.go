@@ -18,6 +18,9 @@ import (
 // queues, so steady-state ball growth is allocation-free) and a shared
 // ball-profile cache, so every metric that grows balls from the same center
 // shares one BFS pass per (graph, center) instead of recomputing it.
+// Distance-only metrics take the batched path instead: CumProfiles sweeps
+// up to 64 centers per CSR pass through the bit-parallel MSBFS kernel into
+// a coherent cum-only side cache.
 //
 // Determinism contract: results are assembled in center order and every
 // per-center RNG is derived from seed+centerIndex, so the output is
@@ -29,9 +32,11 @@ type Engine struct {
 
 	scratch sync.Pool // *workerScratch
 	kernels sync.Pool // *Kernels
+	msbfs   sync.Pool // *graph.MSBFSScratch
 
 	mu       sync.Mutex
 	profiles map[int32]*profileEntry
+	cums     map[int32]*cumEntry
 
 	// Resolved metric handles (nil until Instrument): each event on the
 	// ball hot path costs at most one atomic add, and nothing at all when
@@ -43,6 +48,8 @@ type Engine struct {
 	mScratchAllocs *obs.Counter // scratch checkouts that had to allocate
 	mKernelGets    *obs.Counter // kernel-scratch checkouts (one per center)
 	mKernelAllocs  *obs.Counter // kernel checkouts that had to allocate
+	mMSBFSBatches  *obs.Counter // bit-parallel distance batches run
+	mMSBFSSources  *obs.Counter // sources swept across those batches
 }
 
 // Kernels bundles one worker's reusable cut/flow solver scratch: a
@@ -71,6 +78,18 @@ type workerScratch struct {
 type profileEntry struct {
 	once sync.Once
 	p    *Profile
+	// pub is p republished for opportunistic readers (the cum-profile path
+	// peeks at completed full profiles without entering the once).
+	pub atomic.Pointer[Profile]
+}
+
+// cumEntry is one center's cum-only profile. Unlike profileEntry's
+// sync.Once, completion is a closed channel: batched computation fills many
+// entries per kernel run, and late arrivals wait on exactly the entries
+// another call claimed.
+type cumEntry struct {
+	done chan struct{}
+	c    *CumProfile
 }
 
 // NewEngine returns an engine for g with the given worker-pool width;
@@ -79,7 +98,8 @@ func NewEngine(g *graph.Graph, parallelism int) *Engine {
 	if parallelism <= 0 {
 		parallelism = runtime.NumCPU()
 	}
-	e := &Engine{g: g, parallel: parallelism, profiles: map[int32]*profileEntry{}}
+	e := &Engine{g: g, parallel: parallelism,
+		profiles: map[int32]*profileEntry{}, cums: map[int32]*cumEntry{}}
 	e.scratch.New = func() any {
 		e.mScratchAllocs.Add(1)
 		return &workerScratch{bfs: graph.NewBFSScratch(), sub: graph.NewSubgraphScratch()}
@@ -88,13 +108,15 @@ func NewEngine(g *graph.Graph, parallelism int) *Engine {
 		e.mKernelAllocs.Add(1)
 		return &Kernels{Part: partition.NewWorkspace(), Flow: &flow.Network{}, BFS: graph.NewBFSScratch()}
 	}
+	e.msbfs.New = func() any { return graph.NewMSBFSScratch() }
 	return e
 }
 
 // Instrument resolves the engine's counters from the registry (under the
 // ball.* namespace: profiles, bfs_visits, subgraphs, scratch_gets,
-// scratch_allocs, kernel_gets, kernel_allocs — reuse is gets minus
-// allocs). Call it before the first ball grows; a nil registry leaves the
+// scratch_allocs, kernel_gets, kernel_allocs — reuse is gets minus allocs —
+// plus msbfs_batches/msbfs_sources for the bit-parallel distance kernel's
+// traffic). Call it before the first ball grows; a nil registry leaves the
 // engine uninstrumented.
 func (e *Engine) Instrument(reg *obs.Registry) {
 	if reg == nil {
@@ -107,6 +129,8 @@ func (e *Engine) Instrument(reg *obs.Registry) {
 	e.mScratchAllocs = reg.Counter("ball.scratch_allocs")
 	e.mKernelGets = reg.Counter("ball.kernel_gets")
 	e.mKernelAllocs = reg.Counter("ball.kernel_allocs")
+	e.mMSBFSBatches = reg.Counter("ball.msbfs_batches")
+	e.mMSBFSSources = reg.Counter("ball.msbfs_sources")
 }
 
 // getScratch checks a worker's scratch out of the pool, counting the
@@ -177,6 +201,7 @@ func (e *Engine) Profile(center int32) *Profile {
 		ws := e.getScratch()
 		ent.p = computeProfile(e.g, ws.bfs, center)
 		e.scratch.Put(ws)
+		ent.pub.Store(ent.p)
 		e.mProfiles.Add(1)
 		e.mBFSVisits.Add(int64(len(ent.p.Order)))
 	})
@@ -203,6 +228,102 @@ func computeProfile(g *graph.Graph, s *graph.BFSScratch, center int32) *Profile 
 func (e *Engine) Profiles(centers []int32) []*Profile {
 	out := make([]*Profile, len(centers))
 	e.forEach(len(centers), func(i int) { out[i] = e.Profile(centers[i]) })
+	return out
+}
+
+// CumProfile is the order-free slice of a ball profile: the cumulative ball
+// sizes per radius, without the Order membership a full Profile carries.
+// Ball-size counts are order-independent, so a CumProfile derived from the
+// bit-parallel kernel is identical to the Cum of a scalar full profile.
+type CumProfile struct {
+	Center int32
+	// Cum[h] is the ball size at radius h; len(Cum) == eccentricity+1.
+	// Shared storage — do not modify.
+	Cum []int32
+}
+
+// Eccentricity returns the center's hop radius within its component.
+func (c *CumProfile) Eccentricity() int { return len(c.Cum) - 1 }
+
+// Size returns |ball(Center, h)|, saturating beyond the eccentricity.
+func (c *CumProfile) Size(h int) int {
+	if h >= len(c.Cum) {
+		h = len(c.Cum) - 1
+	}
+	return int(c.Cum[h])
+}
+
+// CumProfiles returns the centers' cum-only profiles in center order. The
+// misses run through the bit-parallel MSBFS kernel in batches of up to 64
+// sources (one CSR sweep per batch), fanned over the worker pool — the fast
+// path for distance-only metrics (expansion, eccentricity, path lengths)
+// that never materialize ball membership.
+//
+// Cache coherence with full profiles: a completed full profile satisfies a
+// cum request directly (its Cum is shared, no kernel pass runs), while cum
+// entries live in a side cache that Profile never consults — so a cum entry
+// can never downgrade or preempt a cached full profile, and a later
+// Profile(center) still computes (and caches) the full ordered pass.
+func (e *Engine) CumProfiles(centers []int32) []*CumProfile {
+	out := make([]*CumProfile, len(centers))
+	ents := make([]*cumEntry, len(centers))
+	var mine, theirs []int // indices this call computes vs. waits on
+	e.mu.Lock()
+	for i, c := range centers {
+		if pe := e.profiles[c]; pe != nil {
+			if p := pe.pub.Load(); p != nil {
+				out[i] = &CumProfile{Center: c, Cum: p.Cum}
+				continue
+			}
+		}
+		ent := e.cums[c]
+		if ent == nil {
+			ent = &cumEntry{done: make(chan struct{})}
+			e.cums[c] = ent
+			mine = append(mine, i)
+		} else {
+			theirs = append(theirs, i)
+		}
+		ents[i] = ent
+	}
+	e.mu.Unlock()
+	batches := (len(mine) + graph.MSBFSWidth - 1) / graph.MSBFSWidth
+	e.forEach(batches, func(b int) {
+		lo := b * graph.MSBFSWidth
+		hi := lo + graph.MSBFSWidth
+		if hi > len(mine) {
+			hi = len(mine)
+		}
+		batch := mine[lo:hi]
+		sources := make([]int32, len(batch))
+		for j, idx := range batch {
+			sources[j] = centers[idx]
+		}
+		ms := e.msbfs.Get().(*graph.MSBFSScratch)
+		ms.Run(e.g, sources)
+		for j, idx := range batch {
+			levels := ms.LevelCounts(j)
+			cum := make([]int32, len(levels))
+			run := int32(0)
+			for h, cnt := range levels {
+				run += cnt
+				cum[h] = run
+			}
+			ent := ents[idx]
+			ent.c = &CumProfile{Center: sources[j], Cum: cum}
+			out[idx] = ent.c
+			close(ent.done)
+		}
+		e.msbfs.Put(ms)
+		e.mMSBFSBatches.Add(1)
+		e.mMSBFSSources.Add(int64(len(batch)))
+	})
+	// Entries claimed by a concurrent call: their owner always completes
+	// its batches before waiting on anyone else, so this cannot cycle.
+	for _, i := range theirs {
+		<-ents[i].done
+		out[i] = ents[i].c
+	}
 	return out
 }
 

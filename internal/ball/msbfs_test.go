@@ -1,0 +1,139 @@
+package ball
+
+import (
+	"math/rand"
+	"reflect"
+	"sync"
+	"testing"
+
+	"topocmp/internal/obs"
+)
+
+// TestCumProfilesMatchFullProfiles: the batched kernel path must produce
+// exactly the Cum rows of the scalar full-profile path, at every batch
+// width (the 70-center set spans two kernel batches).
+func TestCumProfilesMatchFullProfiles(t *testing.T) {
+	g := engineTestGraph()
+	centers := make([]int32, 70)
+	for i := range centers {
+		centers[i] = int32(i * 5)
+	}
+	cums := NewEngine(g, 1).CumProfiles(centers)
+	full := NewEngine(g, 1).Profiles(centers)
+	for i, c := range centers {
+		if cums[i].Center != c {
+			t.Fatalf("center %d: got %d", c, cums[i].Center)
+		}
+		if !reflect.DeepEqual(cums[i].Cum, full[i].Cum) {
+			t.Fatalf("center %d: cum rows differ: %v vs %v", c, cums[i].Cum, full[i].Cum)
+		}
+		if cums[i].Eccentricity() != full[i].Eccentricity() ||
+			cums[i].Size(2) != full[i].Size(2) {
+			t.Fatalf("center %d: accessor mismatch", c)
+		}
+	}
+}
+
+// TestCumProfileCacheCoherence pins the coherence rule between the two
+// caches: a completed full profile satisfies cum requests without a kernel
+// pass, and a cum entry never downgrades or preempts a full profile.
+func TestCumProfileCacheCoherence(t *testing.T) {
+	g := engineTestGraph()
+	e := NewEngine(g, 1)
+	reg := obs.NewRegistry()
+	e.Instrument(reg)
+
+	// Full first: the cum request reads the full profile's Cum storage and
+	// runs no kernel batch.
+	p := e.Profile(5)
+	c := e.CumProfiles([]int32{5})[0]
+	if &c.Cum[0] != &p.Cum[0] {
+		t.Fatal("cum request did not share the cached full profile's Cum")
+	}
+	if n := reg.Snapshot().Counters["ball.msbfs_batches"]; n != 0 {
+		t.Fatalf("full-profile hit ran %d kernel batches, want 0", n)
+	}
+
+	// Cum first: a kernel batch runs, and a later Profile call still
+	// computes (and caches) the full ordered pass.
+	c7 := e.CumProfiles([]int32{7})[0]
+	snap := reg.Snapshot()
+	if snap.Counters["ball.msbfs_batches"] != 1 || snap.Counters["ball.msbfs_sources"] != 1 {
+		t.Fatalf("cum miss: batches=%d sources=%d, want 1/1",
+			snap.Counters["ball.msbfs_batches"], snap.Counters["ball.msbfs_sources"])
+	}
+	p7 := e.Profile(7)
+	if len(p7.Order) == 0 || !reflect.DeepEqual(p7.Cum, c7.Cum) {
+		t.Fatal("full profile after cum entry is missing Order or disagrees on Cum")
+	}
+	if e.Profile(7) != p7 {
+		t.Fatal("cum entry displaced the cached full profile")
+	}
+	// Once the full profile exists it satisfies further cum requests.
+	if got := e.CumProfiles([]int32{7})[0]; &got.Cum[0] != &p7.Cum[0] {
+		t.Fatal("cum request after full profile did not read the full cache")
+	}
+	if n := reg.Snapshot().Counters["ball.msbfs_batches"]; n != 1 {
+		t.Fatalf("cum request after full profile ran a kernel batch (total %d)", n)
+	}
+
+	// Repeated cum requests hit the cum cache, not the kernel.
+	e.CumProfiles([]int32{9, 11})
+	before := reg.Snapshot().Counters["ball.msbfs_batches"]
+	e.CumProfiles([]int32{9, 11})
+	if n := reg.Snapshot().Counters["ball.msbfs_batches"]; n != before {
+		t.Fatalf("warm cum request ran a kernel batch (%d -> %d)", before, n)
+	}
+}
+
+// TestMSBFSRaceShort exercises the batched distance path on a P=4 engine
+// under the race detector: concurrent CumProfiles calls over overlapping
+// center sets, racing Profile calls on some of the same centers. Every
+// result must be bit-identical to the sequential P=1 engine.
+func TestMSBFSRaceShort(t *testing.T) {
+	g := engineTestGraph()
+	n := g.NumNodes()
+	want := make(map[int32][]int32, n)
+	ref := NewEngine(g, 1)
+	for v := int32(0); v < int32(n); v++ {
+		want[v] = ref.Profile(v).Cum
+	}
+
+	e := NewEngine(g, 4)
+	r := rand.New(rand.NewSource(55))
+	sets := make([][]int32, 8)
+	for i := range sets {
+		sets[i] = make([]int32, 96) // spans two kernel batches, overlaps heavily
+		for j := range sets[i] {
+			sets[i][j] = int32(r.Intn(n))
+		}
+	}
+	var wg sync.WaitGroup
+	for i := range sets {
+		wg.Add(1)
+		go func(centers []int32) {
+			defer wg.Done()
+			got := e.CumProfiles(centers)
+			for j, c := range centers {
+				if !reflect.DeepEqual(got[j].Cum, want[c]) {
+					t.Errorf("center %d: concurrent cum differs from sequential", c)
+					return
+				}
+			}
+		}(sets[i])
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			r := rand.New(rand.NewSource(seed))
+			for k := 0; k < 24; k++ {
+				c := int32(r.Intn(n))
+				p := e.Profile(c)
+				if !reflect.DeepEqual(p.Cum, want[c]) {
+					t.Errorf("center %d: concurrent full profile differs", c)
+					return
+				}
+			}
+		}(int64(i))
+	}
+	wg.Wait()
+}

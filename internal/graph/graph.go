@@ -252,31 +252,26 @@ func (g *Graph) BFSCounts(src int32) (dist []int32, sigma []float64, order []int
 }
 
 // Ball returns the nodes within h hops of src (including src), in BFS order.
+// The traversal runs on pooled epoch-stamped scratch; only the returned
+// slice is allocated.
 func (g *Graph) Ball(src int32, h int) []int32 {
-	dist := make(map[int32]int32, 64)
-	queue := []int32{src}
-	dist[src] = 0
-	for head := 0; head < len(queue); head++ {
-		u := queue[head]
-		du := dist[u]
-		if int(du) >= h {
-			continue
-		}
-		for _, v := range g.Neighbors(u) {
-			if _, ok := dist[v]; !ok {
-				dist[v] = du + 1
-				queue = append(queue, v)
-			}
-		}
-	}
-	return queue
+	s := bfsScratchPool.Get().(*BFSScratch)
+	ball := s.Ball(g, src, h)
+	out := make([]int32, len(ball))
+	copy(out, ball)
+	bfsScratchPool.Put(s)
+	return out
 }
 
 // Eccentricity returns the maximum finite BFS distance from src, i.e. the
-// hop radius of src's component as seen from src.
+// hop radius of src's component as seen from src. Runs on pooled scratch;
+// sweeps over many sources should batch through MSBFSScratch instead.
 func (g *Graph) Eccentricity(src int32) int {
-	dist, order := g.BFS(src)
-	return int(dist[order[len(order)-1]])
+	s := bfsScratchPool.Get().(*BFSScratch)
+	order := s.BFS(g, src)
+	ecc := int(s.Dist(order[len(order)-1]))
+	bfsScratchPool.Put(s)
+	return ecc
 }
 
 // Components labels each node with a component id and returns the labels and

@@ -1,0 +1,174 @@
+package graph
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// MSBFSWidth is the maximum number of sources one bit-parallel BFS batch
+// processes: one bit of a uint64 mask per source.
+const MSBFSWidth = 64
+
+// MSBFSScratch runs bit-parallel multi-source breadth-first traversals
+// (MS-BFS style): up to MSBFSWidth sources advance through one shared CSR
+// sweep per level, tracked by per-node uint64 seen/frontier/next masks where
+// bit i belongs to sources[i]. The metric sweeps (expansion, eccentricity,
+// path length, hop plots) are embarrassingly source-parallel but were paying
+// one full adjacency scan per source; a batch pays one scan per level for
+// all 64, which is what makes the paper-scale sweeps fast on a single core.
+//
+// Like BFSScratch, visited-ness is epoch-stamped: a run bumps an epoch
+// counter instead of clearing the mask arrays, so starting a batch costs
+// O(sources), not O(N). The same ownership rules apply: a scratch is not
+// safe for concurrent use (give each worker its own), and every result
+// accessor (Dist, LevelCounts, Reached, Eccentricity) reads buffers owned
+// by the scratch that are valid only until the next Run.
+type MSBFSScratch struct {
+	epoch    int32
+	stamp    []int32   // stamp[v] == epoch ⇔ v's masks are live this run
+	seen     []uint64  // bit i set ⇔ sources[i] has reached v
+	frontier []uint64  // bit i set ⇔ v entered i's frontier at the current level
+	next     []uint64  // bits accumulated for the next level's frontier
+	dist     []int32   // per-source distance rows: dist[i*n+v], valid where seen
+	cur, nxt []int32   // active node lists for the level sweep
+	counts   [][]int32 // counts[i][h] = nodes at distance exactly h from sources[i]
+	nsrc     int
+	n        int
+}
+
+// NewMSBFSScratch returns an empty scratch; buffers grow on first use.
+func NewMSBFSScratch() *MSBFSScratch { return &MSBFSScratch{} }
+
+// begin sizes the buffers for an n-node graph and nsrc sources and opens a
+// new epoch.
+func (s *MSBFSScratch) begin(n, nsrc int) {
+	if len(s.stamp) < n {
+		s.stamp = make([]int32, n)
+		s.seen = make([]uint64, n)
+		s.frontier = make([]uint64, n)
+		s.next = make([]uint64, n)
+		s.cur = make([]int32, 0, n)
+		s.nxt = make([]int32, 0, n)
+		s.epoch = 0
+	}
+	s.epoch++
+	if s.epoch < 0 { // epoch wrapped: clear stamps and restart
+		for i := range s.stamp {
+			s.stamp[i] = 0
+		}
+		s.epoch = 1
+	}
+	if need := nsrc * n; cap(s.dist) < need {
+		s.dist = make([]int32, need)
+	} else {
+		s.dist = s.dist[:need]
+	}
+	for len(s.counts) < nsrc {
+		s.counts = append(s.counts, nil)
+	}
+	for i := 0; i < nsrc; i++ {
+		s.counts[i] = s.counts[i][:0]
+	}
+	s.cur = s.cur[:0]
+	s.n, s.nsrc = n, nsrc
+}
+
+// touch opens v's masks for the current epoch.
+func (s *MSBFSScratch) touch(v int32) {
+	if s.stamp[v] != s.epoch {
+		s.stamp[v] = s.epoch
+		s.seen[v] = 0
+		s.frontier[v] = 0
+		s.next[v] = 0
+	}
+}
+
+// Run traverses g from all sources at once (1 to MSBFSWidth of them; it
+// panics otherwise). Afterwards Dist(i, v) is sources[i]'s hop distance to
+// v and LevelCounts(i) its per-level reach counts, both valid until the
+// next Run. Distances are exactly those of a scalar BFS per source.
+func (s *MSBFSScratch) Run(g *Graph, sources []int32) {
+	if len(sources) == 0 || len(sources) > MSBFSWidth {
+		panic(fmt.Sprintf("graph: MSBFS batch of %d sources, want 1..%d", len(sources), MSBFSWidth))
+	}
+	n := g.NumNodes()
+	s.begin(n, len(sources))
+	for i, src := range sources {
+		bit := uint64(1) << uint(i)
+		s.touch(src)
+		if s.frontier[src] == 0 {
+			s.cur = append(s.cur, src)
+		}
+		s.seen[src] |= bit
+		s.frontier[src] |= bit
+		s.dist[i*n+int(src)] = 0
+		s.counts[i] = append(s.counts[i], 1)
+	}
+	for level := int32(1); len(s.cur) > 0; level++ {
+		s.nxt = s.nxt[:0]
+		for _, u := range s.cur {
+			fu := s.frontier[u]
+			for _, v := range g.Neighbors(u) {
+				s.touch(v)
+				// seen is only updated when the level closes, so the same
+				// node can collect frontier bits from several level-h
+				// neighbors; next deduplicates them.
+				add := fu &^ s.seen[v]
+				if add == 0 {
+					continue
+				}
+				if s.next[v] == 0 {
+					s.nxt = append(s.nxt, v)
+				}
+				s.next[v] |= add
+			}
+		}
+		for _, v := range s.nxt {
+			fresh := s.next[v]
+			s.next[v] = 0
+			s.seen[v] |= fresh
+			s.frontier[v] = fresh
+			row := int(v)
+			for m := fresh; m != 0; m &= m - 1 {
+				i := bits.TrailingZeros64(m)
+				s.dist[i*n+row] = level
+				// A source's frontier drains monotonically, so its count
+				// row is contiguous: level == len(row) on first touch.
+				if len(s.counts[i]) <= int(level) {
+					s.counts[i] = append(s.counts[i], 0)
+				}
+				s.counts[i][level]++
+			}
+		}
+		s.cur, s.nxt = s.nxt, s.cur
+	}
+}
+
+// NumSources returns the batch width of the last Run.
+func (s *MSBFSScratch) NumSources() int { return s.nsrc }
+
+// Dist returns v's hop distance from sources[i] in the last Run, or
+// Unreached for nodes in other components.
+func (s *MSBFSScratch) Dist(i int, v int32) int32 {
+	if s.stamp[v] != s.epoch || s.seen[v]&(uint64(1)<<uint(i)) == 0 {
+		return Unreached
+	}
+	return s.dist[i*s.n+int(v)]
+}
+
+// LevelCounts returns sources[i]'s per-level reach counts: counts[h] nodes
+// sit at distance exactly h, and len(counts) is the source's eccentricity
+// plus one. The slice is owned by the scratch and valid until the next Run.
+func (s *MSBFSScratch) LevelCounts(i int) []int32 { return s.counts[i] }
+
+// Eccentricity returns sources[i]'s hop radius within its component.
+func (s *MSBFSScratch) Eccentricity(i int) int { return len(s.counts[i]) - 1 }
+
+// Reached returns how many nodes sources[i] reached, including itself.
+func (s *MSBFSScratch) Reached(i int) int {
+	total := 0
+	for _, c := range s.counts[i] {
+		total += int(c)
+	}
+	return total
+}

@@ -1,0 +1,143 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// msbfsTestGraph builds a sparse random graph; leaving isolated nodes and
+// multiple components in is deliberate, the kernel must handle both.
+func msbfsTestGraph(seed int64, n, edges int) *Graph {
+	r := rand.New(rand.NewSource(seed))
+	b := NewBuilder(n)
+	for i := 0; i < edges; i++ {
+		b.AddEdge(int32(r.Intn(n)), int32(r.Intn(n)))
+	}
+	return b.Graph()
+}
+
+// checkBatchMatchesScalar verifies one Run against a scalar BFS per source:
+// every distance row, level-count row, eccentricity and reach count.
+func checkBatchMatchesScalar(t *testing.T, g *Graph, s *MSBFSScratch, sources []int32) {
+	t.Helper()
+	s.Run(g, sources)
+	if s.NumSources() != len(sources) {
+		t.Fatalf("NumSources = %d, want %d", s.NumSources(), len(sources))
+	}
+	for i, src := range sources {
+		dist, order := g.BFS(src)
+		for v := int32(0); v < int32(g.NumNodes()); v++ {
+			if got := s.Dist(i, v); got != dist[v] {
+				t.Fatalf("source %d (%d): Dist(%d) = %d, want %d", i, src, v, got, dist[v])
+			}
+		}
+		ecc := int(dist[order[len(order)-1]])
+		if got := s.Eccentricity(i); got != ecc {
+			t.Fatalf("source %d (%d): eccentricity %d, want %d", i, src, got, ecc)
+		}
+		if got := s.Reached(i); got != len(order) {
+			t.Fatalf("source %d (%d): reached %d, want %d", i, src, got, len(order))
+		}
+		want := make([]int32, ecc+1)
+		for _, v := range order {
+			want[dist[v]]++
+		}
+		lc := s.LevelCounts(i)
+		if len(lc) != len(want) {
+			t.Fatalf("source %d (%d): %d levels, want %d", i, src, len(lc), len(want))
+		}
+		for h := range want {
+			if lc[h] != want[h] {
+				t.Fatalf("source %d (%d): level %d count %d, want %d", i, src, h, lc[h], want[h])
+			}
+		}
+	}
+}
+
+func TestMSBFSMatchesScalarBFS(t *testing.T) {
+	g := msbfsTestGraph(7, 300, 700) // sparse: isolated nodes + several components
+	s := NewMSBFSScratch()
+	r := rand.New(rand.NewSource(9))
+	for _, width := range []int{1, 2, 7, 63, 64} {
+		sources := make([]int32, width)
+		for i := range sources {
+			sources[i] = int32(r.Intn(g.NumNodes()))
+		}
+		checkBatchMatchesScalar(t, g, s, sources)
+	}
+}
+
+// TestMSBFSScratchReuse reruns one scratch across graphs of different sizes
+// and shapes; the epoch stamping must isolate every run.
+func TestMSBFSScratchReuse(t *testing.T) {
+	s := NewMSBFSScratch()
+	big := msbfsTestGraph(1, 400, 1200)
+	small := msbfsTestGraph(2, 50, 60)
+	checkBatchMatchesScalar(t, big, s, []int32{0, 17, 399})
+	checkBatchMatchesScalar(t, small, s, []int32{0, 1, 2, 49})
+	checkBatchMatchesScalar(t, big, s, []int32{399, 17, 0, 5})
+}
+
+// TestMSBFSDuplicateSources: the same node may carry several source bits.
+func TestMSBFSDuplicateSources(t *testing.T) {
+	g := msbfsTestGraph(3, 120, 300)
+	s := NewMSBFSScratch()
+	checkBatchMatchesScalar(t, g, s, []int32{5, 5, 9, 5})
+}
+
+func TestMSBFSBatchWidthPanics(t *testing.T) {
+	g := msbfsTestGraph(4, 80, 160)
+	s := NewMSBFSScratch()
+	for _, sources := range [][]int32{nil, make([]int32, MSBFSWidth+1)} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("Run with %d sources did not panic", len(sources))
+				}
+			}()
+			s.Run(g, sources)
+		}()
+	}
+}
+
+// TestBallScratchMatchesBFS pins the scratch-backed Graph.Ball (and the
+// BFSScratch.Ball primitive beneath it) to the distances of a full BFS.
+func TestBallScratchMatchesBFS(t *testing.T) {
+	g := msbfsTestGraph(11, 200, 500)
+	s := NewBFSScratch()
+	for _, src := range []int32{0, 3, 77, 199} {
+		dist, _ := g.BFS(src)
+		for h := 0; h <= 6; h++ {
+			want := []int32{}
+			prev := int32(-1)
+			for _, v := range g.Ball(src, h) {
+				want = append(want, v)
+				if dist[v] > int32(h) {
+					t.Fatalf("src %d h %d: node %d at distance %d in ball", src, h, v, dist[v])
+				}
+				if dist[v] < prev {
+					t.Fatalf("src %d h %d: ball not in BFS order", src, h)
+				}
+				prev = dist[v]
+			}
+			inBall := 0
+			for v := int32(0); v < int32(g.NumNodes()); v++ {
+				if dist[v] != Unreached && int(dist[v]) <= h {
+					inBall++
+				}
+			}
+			if len(want) != inBall {
+				t.Fatalf("src %d h %d: ball has %d nodes, want %d", src, h, len(want), inBall)
+			}
+			scratch := s.Ball(g, src, h)
+			if len(scratch) != len(want) {
+				t.Fatalf("src %d h %d: scratch ball %d nodes, Graph.Ball %d", src, h, len(scratch), len(want))
+			}
+			for i := range scratch {
+				if scratch[i] != want[i] {
+					t.Fatalf("src %d h %d: scratch ball diverges at %d", src, h, i)
+				}
+			}
+		}
+	}
+}

@@ -1,6 +1,16 @@
 package graph
 
-import "slices"
+import (
+	"slices"
+	"sync"
+)
+
+// bfsScratchPool backs the Graph convenience traversals (Ball,
+// Eccentricity) so their steady-state cost is the traversal itself, not
+// fresh dist/order arrays per call. Hot loops should still hold their own
+// scratch (or batch through MSBFSScratch); the pool only serves the
+// one-shot entry points.
+var bfsScratchPool = sync.Pool{New: func() any { return NewBFSScratch() }}
 
 // BFSScratch holds reusable buffers for repeated breadth-first traversals so
 // steady-state BFS is allocation-free. Visited-ness is epoch-stamped: each
@@ -12,8 +22,8 @@ import "slices"
 // valid only until the next traversal.
 type BFSScratch struct {
 	epoch int32
-	stamp []int32 // stamp[v] == epoch ⇔ v reached in the current traversal
-	dist  []int32 // valid where stamped
+	stamp []int32   // stamp[v] == epoch ⇔ v reached in the current traversal
+	dist  []int32   // valid where stamped
 	sigma []float64 // shortest-path counts, valid where stamped (Counts only)
 	order []int32
 }
@@ -88,6 +98,32 @@ func (s *BFSScratch) Counts(g *Graph, src int32) []int32 {
 			}
 			if s.dist[v] == du+1 {
 				s.sigma[v] += s.sigma[u]
+			}
+		}
+	}
+	return s.order
+}
+
+// Ball runs a traversal from src bounded at h hops and returns the nodes
+// within h hops (including src) in BFS order. Like BFS, the returned slice
+// is owned by the scratch and valid only until the next traversal, and
+// distances are available through Dist.
+func (s *BFSScratch) Ball(g *Graph, src int32, h int) []int32 {
+	s.begin(g.NumNodes())
+	s.stamp[src] = s.epoch
+	s.dist[src] = 0
+	s.order = append(s.order, src)
+	for head := 0; head < len(s.order); head++ {
+		u := s.order[head]
+		du := s.dist[u]
+		if int(du) >= h {
+			continue
+		}
+		for _, v := range g.Neighbors(u) {
+			if s.stamp[v] != s.epoch {
+				s.stamp[v] = s.epoch
+				s.dist[v] = du + 1
+				s.order = append(s.order, v)
 			}
 		}
 	}

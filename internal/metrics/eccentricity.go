@@ -19,9 +19,10 @@ func EccentricityDistribution(g *graph.Graph, maxSamples int, binWidth float64) 
 }
 
 // EccentricityDistributionWith is EccentricityDistribution over an engine,
-// with rng driving the node sampling. Eccentricities read straight off the
-// engine's ball-profile cache, so when rng matches the expansion metric's
-// center sampling the two metrics share one BFS pass per center.
+// with rng driving the node sampling. Eccentricities only need distances,
+// so sampling runs through the engine's bit-parallel distance kernel and
+// its cum-profile cache: when rng matches the expansion metric's center
+// sampling the two metrics share one batched kernel pass per 64 centers.
 func EccentricityDistributionWith(e *ball.Engine, maxSamples int, binWidth float64, rng *rand.Rand) stats.Series {
 	out := stats.Series{Name: "eccentricity"}
 	g := e.Graph()
@@ -34,7 +35,7 @@ func EccentricityDistributionWith(e *ball.Engine, maxSamples int, binWidth float
 	}
 	cfg := ball.Config{MaxSources: maxSamples, Rand: rng}
 	centers := ball.Centers(g, &cfg)
-	profiles := e.Profiles(centers)
+	profiles := e.CumProfiles(centers)
 	sum := 0.0
 	for _, p := range profiles {
 		sum += float64(p.Eccentricity())

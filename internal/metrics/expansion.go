@@ -20,9 +20,12 @@ func Expansion(g *graph.Graph, cfg ball.Config) stats.Series {
 	return ExpansionWith(ball.NewEngine(g, 1), cfg)
 }
 
-// ExpansionWith is Expansion over an engine: the per-center BFS passes run
-// on the engine's worker pool and land in its shared ball-profile cache, so
-// other metrics sampling the same centers reuse them.
+// ExpansionWith is Expansion over an engine: expansion only needs ball
+// sizes, so the per-center passes run through the engine's bit-parallel
+// distance kernel (up to 64 centers per CSR sweep) and land in its cum
+// profile cache, where metrics sampling the same centers reuse them.
+// Cached full profiles satisfy the request directly; the series is
+// byte-identical to the scalar per-center path.
 func ExpansionWith(e *ball.Engine, cfg ball.Config) stats.Series {
 	g := e.Graph()
 	n := g.NumNodes()
@@ -31,7 +34,7 @@ func ExpansionWith(e *ball.Engine, cfg ball.Config) stats.Series {
 		return out
 	}
 	centers := ball.Centers(g, &cfg)
-	profiles := e.Profiles(centers)
+	profiles := e.CumProfiles(centers)
 	maxEcc := 0
 	for _, p := range profiles {
 		if ecc := p.Eccentricity(); ecc > maxEcc {

@@ -102,23 +102,34 @@ func HopPlot(g *graph.Graph, maxSources int, r *rand.Rand) stats.Series {
 	}
 	perm := r.Perm(n)
 	// Per-source cumulative reach profiles, saturated to the global
-	// maximum eccentricity.
+	// maximum eccentricity. The sources sweep through the bit-parallel
+	// MSBFS kernel 64 at a time; the cum profiles are integer counts, so
+	// the series matches the scalar per-source BFS exactly.
 	var profiles [][]float64
 	maxEcc := 0
-	for i := 0; i < sources; i++ {
-		dist, order := g.BFS(int32(perm[i]))
-		ecc := int(dist[order[len(order)-1]])
-		cum := make([]float64, ecc+1)
-		idx := 0
-		for h := 0; h <= ecc; h++ {
-			for idx < len(order) && int(dist[order[idx]]) <= h {
-				idx++
-			}
-			cum[h] = float64(idx)
+	ms := graph.NewMSBFSScratch()
+	for lo := 0; lo < sources; lo += graph.MSBFSWidth {
+		hi := lo + graph.MSBFSWidth
+		if hi > sources {
+			hi = sources
 		}
-		profiles = append(profiles, cum)
-		if ecc > maxEcc {
-			maxEcc = ecc
+		batch := make([]int32, hi-lo)
+		for i := range batch {
+			batch[i] = int32(perm[lo+i])
+		}
+		ms.Run(g, batch)
+		for i := range batch {
+			levels := ms.LevelCounts(i)
+			cum := make([]float64, len(levels))
+			run := 0.0
+			for h, cnt := range levels {
+				run += float64(cnt)
+				cum[h] = run
+			}
+			profiles = append(profiles, cum)
+			if ecc := len(levels) - 1; ecc > maxEcc {
+				maxEcc = ecc
+			}
 		}
 	}
 	scale := float64(n) / float64(sources)

@@ -65,7 +65,11 @@ func removalCurve(g *graph.Graph, order []int32, fractions []float64, pathSample
 }
 
 // AveragePathLength estimates the mean pairwise shortest-path length of a
-// connected graph by running BFS from up to maxSources nodes (0 = all).
+// connected graph from up to maxSources source nodes (0 = all). The sources
+// sweep through the bit-parallel MSBFS kernel, 64 per CSR pass, and the
+// per-source sums come off its level counts; every partial sum is an exact
+// integer in float64, so the result is identical to the scalar per-source
+// BFS it replaced.
 func AveragePathLength(g *graph.Graph, maxSources int) float64 {
 	n := g.NumNodes()
 	if n < 2 {
@@ -77,15 +81,24 @@ func AveragePathLength(g *graph.Graph, maxSources int) float64 {
 	}
 	r := rand.New(rand.NewSource(int64(n)))
 	perm := r.Perm(n)
+	ms := graph.NewMSBFSScratch()
 	totalDist, totalPairs := 0.0, 0.0
-	for i := 0; i < sources; i++ {
-		src := int32(perm[i])
-		dist, order := g.BFS(src)
-		for _, v := range order {
-			if v != src {
-				totalDist += float64(dist[v])
-				totalPairs++
+	for lo := 0; lo < sources; lo += graph.MSBFSWidth {
+		hi := lo + graph.MSBFSWidth
+		if hi > sources {
+			hi = sources
+		}
+		batch := make([]int32, hi-lo)
+		for i := range batch {
+			batch[i] = int32(perm[lo+i])
+		}
+		ms.Run(g, batch)
+		for i := range batch {
+			for h, cnt := range ms.LevelCounts(i) {
+				totalDist += float64(h) * float64(cnt)
+				totalPairs += float64(cnt)
 			}
+			totalPairs-- // the source itself is not a pair
 		}
 	}
 	if totalPairs == 0 {

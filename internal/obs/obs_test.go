@@ -210,7 +210,7 @@ func TestRegistryCountersGaugesHistograms(t *testing.T) {
 		t.Errorf("gauge = %d, want 7", snap.Gauges["g"])
 	}
 	h := snap.Histograms["h"]
-	if h.Count != 2 || h.SumNs != (6 * time.Millisecond).Nanoseconds() {
+	if h.Count != 2 || h.SumNs != (6*time.Millisecond).Nanoseconds() {
 		t.Errorf("histogram = %+v", h)
 	}
 	if h.MinNs != (2*time.Millisecond).Nanoseconds() || h.MaxNs != (4*time.Millisecond).Nanoseconds() {

@@ -1,19 +1,27 @@
 #!/bin/sh
 # verify.sh — the repo's full verification ladder in one shot.
 #
-#   tier 0: go vet ./...
+#   tier 0: gofmt -l cleanliness + go vet ./...
 #   tier 1: go build ./... && go test ./...          (ROADMAP.md tier-1)
 #   tier 2: go test -race <concurrent packages>      (ROADMAP.md tier-2)
 #   bench smoke: one iteration of the kernel benchmarks
 #
 # Tier 2 runs the packages with real concurrency under the race
-# detector: the ball engine's shared caches, the suite fan-out, the
-# pipeline's DAG scheduler, the result store, the observability
-# layer's concurrent span/counter attachment
-# (obs.TestConcurrentSpansAndCounters), and the pooled per-worker
-# cut/flow kernels (partition.TestResilienceRaceShort,
-# flow.TestSurfaceMaxFlowRaceShort).
+# detector: the ball engine's shared caches and batched distance path
+# (ball.TestMSBFSRaceShort), the suite fan-out, the pipeline's DAG
+# scheduler, the result store, the observability layer's concurrent
+# span/counter attachment (obs.TestConcurrentSpansAndCounters), and the
+# pooled per-worker cut/flow kernels
+# (partition.TestResilienceRaceShort, flow.TestSurfaceMaxFlowRaceShort).
 set -eu
+
+echo "== tier 0: gofmt cleanliness =="
+unformatted=$(gofmt -l .)
+if [ -n "$unformatted" ]; then
+    echo "gofmt: files need formatting:"
+    echo "$unformatted"
+    exit 1
+fi
 
 echo "== tier 0: go vet =="
 go vet ./...
@@ -23,11 +31,15 @@ go build ./...
 go test ./...
 
 echo "== tier 2: race detector on concurrent packages =="
-go test -race ./internal/core ./internal/ball ./internal/experiments \
+# Race instrumentation on a single core pushes the experiments package
+# (full metric suites per figure) well past go test's default 10m
+# per-package timeout; give the tier an explicit ceiling instead.
+go test -race -timeout 45m ./internal/core ./internal/ball ./internal/experiments \
     ./internal/cache ./internal/obs ./internal/partition ./internal/flow
 
 echo "== bench smoke: kernel benchmarks compile and run =="
 go test -run '^$' -bench 'CutSize|SurfaceMaxFlow|ResilienceMesh' \
     -benchtime 1x ./internal/partition ./internal/metrics
+go test -run '^$' -bench 'BenchmarkMSBFS' -benchtime 1x .
 
 echo "verify.sh: all tiers passed"

@@ -30,43 +30,64 @@ type Engine struct {
 	g        *graph.Graph
 	parallel int
 
-	scratch sync.Pool // *workerScratch
-	kernels sync.Pool // *Kernels
-	msbfs   sync.Pool // *graph.MSBFSScratch
+	scratch *Pool[*workerScratch]
+	kernels *Pool[*Kernels]
+	msbfs   *Pool[*graph.MSBFSScratch]
 
 	mu       sync.Mutex
 	profiles map[int32]*profileEntry
 	cums     map[int32]*cumEntry
 
+	diamOnce sync.Once
+	diam     int
+
 	// Resolved metric handles (nil until Instrument): each event on the
 	// ball hot path costs at most one atomic add, and nothing at all when
-	// uninstrumented beyond a nil check.
-	mProfiles      *obs.Counter // balls grown (one BFS pass each)
-	mBFSVisits     *obs.Counter // nodes visited across those passes
-	mSubgraphs     *obs.Counter // induced ball subgraphs materialized
-	mScratchGets   *obs.Counter // scratch checkouts (pool traffic)
-	mScratchAllocs *obs.Counter // scratch checkouts that had to allocate
-	mKernelGets    *obs.Counter // kernel-scratch checkouts (one per center)
-	mKernelAllocs  *obs.Counter // kernel checkouts that had to allocate
-	mMSBFSBatches  *obs.Counter // bit-parallel distance batches run
-	mMSBFSSources  *obs.Counter // sources swept across those batches
+	// uninstrumented beyond a nil check. Pool traffic (gets/allocs per
+	// scratch family) is carried by the Pool leases themselves.
+	mProfiles       *obs.Counter // balls grown (one BFS pass each)
+	mBFSVisits      *obs.Counter // nodes visited across those passes
+	mSubgraphs      *obs.Counter // induced ball subgraphs materialized
+	mMSBFSBatches   *obs.Counter // bit-parallel distance batches run
+	mMSBFSSources   *obs.Counter // sources swept across those batches
+	mMSBFSWidth     *obs.Gauge   // batch width the last wide sweep chose
+	mDistScalar     *obs.Counter // centers the diameter probe routed to scalar BFS
+	mBrandesBatches *obs.Counter // bit-parallel Brandes batches run by kernel consumers
+	mBrandesScalar  *obs.Counter // subgraphs the probe kept on scalar Brandes
 }
 
-// Kernels bundles one worker's reusable cut/flow solver scratch: a
-// multilevel-partition workspace, a Dinic network, a BFS scratch and a
-// spare int32 buffer. The engine pools one bundle per worker and hands it
-// to BallPointsKernels callbacks, so the expensive per-ball kernels
-// (resilience's balanced bisection, the surface max-flow sweep) run
-// allocation-free in steady state. Kernel state never influences results —
-// workspace-backed solvers are bit-identical to fresh ones — so pooling is
-// invisible to the determinism contract.
+// Kernels bundles one worker's reusable solver scratch: a multilevel-
+// partition workspace, a Dinic network, a BFS scratch, the bit-parallel
+// MSBFS and Brandes strips, and a spare int32 buffer. The engine pools one
+// bundle per worker and hands it to BallPointsKernels callbacks, so the
+// expensive per-ball kernels (resilience's balanced bisection, the surface
+// max-flow sweep, distortion's betweenness election) run allocation-free in
+// steady state. Kernel state never influences results — workspace-backed
+// solvers are bit-identical to fresh ones — so pooling is invisible to the
+// determinism contract.
 type Kernels struct {
-	Part *partition.Workspace
-	Flow *flow.Network
-	BFS  *graph.BFSScratch
+	Part    *partition.Workspace
+	Flow    *flow.Network
+	BFS     *graph.BFSScratch
+	MSBFS   *graph.MSBFSScratch
+	Brandes *graph.BrandesScratch
 	// Ints is a spare reusable buffer (surface node lists and similar
 	// per-ball worksets); contents are unspecified between balls.
 	Ints []int32
+
+	eng *Engine // counter backref; nil for bundles built outside an engine
+}
+
+// CountBrandes records kernel-consumer Brandes traffic under the engine's
+// ball.* namespace: batches bit-parallel batches run, and scalar subgraphs
+// the diameter probe kept on the scalar path. Safe on bundles built outside
+// an engine.
+func (k *Kernels) CountBrandes(batches, scalar int64) {
+	if k.eng == nil {
+		return
+	}
+	k.eng.mBrandesBatches.Add(batches)
+	k.eng.mBrandesScalar.Add(scalar)
 }
 
 // workerScratch bundles one worker's reusable traversal buffers.
@@ -100,24 +121,26 @@ func NewEngine(g *graph.Graph, parallelism int) *Engine {
 	}
 	e := &Engine{g: g, parallel: parallelism,
 		profiles: map[int32]*profileEntry{}, cums: map[int32]*cumEntry{}}
-	e.scratch.New = func() any {
-		e.mScratchAllocs.Add(1)
+	e.scratch = NewPool(func() *workerScratch {
 		return &workerScratch{bfs: graph.NewBFSScratch(), sub: graph.NewSubgraphScratch()}
-	}
-	e.kernels.New = func() any {
-		e.mKernelAllocs.Add(1)
-		return &Kernels{Part: partition.NewWorkspace(), Flow: &flow.Network{}, BFS: graph.NewBFSScratch()}
-	}
-	e.msbfs.New = func() any { return graph.NewMSBFSScratch() }
+	})
+	e.kernels = NewPool(func() *Kernels {
+		return &Kernels{Part: partition.NewWorkspace(), Flow: &flow.Network{},
+			BFS: graph.NewBFSScratch(), MSBFS: graph.NewMSBFSScratch(),
+			Brandes: graph.NewBrandesScratch(), eng: e}
+	})
+	e.msbfs = NewPool(graph.NewMSBFSScratch)
 	return e
 }
 
 // Instrument resolves the engine's counters from the registry (under the
-// ball.* namespace: profiles, bfs_visits, subgraphs, scratch_gets,
-// scratch_allocs, kernel_gets, kernel_allocs — reuse is gets minus allocs —
-// plus msbfs_batches/msbfs_sources for the bit-parallel distance kernel's
-// traffic). Call it before the first ball grows; a nil registry leaves the
-// engine uninstrumented.
+// ball.* namespace: profiles, bfs_visits, subgraphs; scratch_gets/
+// scratch_allocs, kernel_gets/kernel_allocs, msbfs_gets/msbfs_allocs for
+// the leased-workspace pools — reuse is gets minus allocs; msbfs_batches/
+// msbfs_sources/msbfs_width for the bit-parallel distance kernel's traffic;
+// dist_scalar and brandes_batches/brandes_scalar for the diameter probe's
+// routing decisions). Call it before the first ball grows; a nil registry
+// leaves the engine uninstrumented.
 func (e *Engine) Instrument(reg *obs.Registry) {
 	if reg == nil {
 		return
@@ -125,26 +148,15 @@ func (e *Engine) Instrument(reg *obs.Registry) {
 	e.mProfiles = reg.Counter("ball.profiles")
 	e.mBFSVisits = reg.Counter("ball.bfs_visits")
 	e.mSubgraphs = reg.Counter("ball.subgraphs")
-	e.mScratchGets = reg.Counter("ball.scratch_gets")
-	e.mScratchAllocs = reg.Counter("ball.scratch_allocs")
-	e.mKernelGets = reg.Counter("ball.kernel_gets")
-	e.mKernelAllocs = reg.Counter("ball.kernel_allocs")
+	e.scratch.Instrument(reg.Counter("ball.scratch_gets"), reg.Counter("ball.scratch_allocs"))
+	e.kernels.Instrument(reg.Counter("ball.kernel_gets"), reg.Counter("ball.kernel_allocs"))
+	e.msbfs.Instrument(reg.Counter("ball.msbfs_gets"), reg.Counter("ball.msbfs_allocs"))
 	e.mMSBFSBatches = reg.Counter("ball.msbfs_batches")
 	e.mMSBFSSources = reg.Counter("ball.msbfs_sources")
-}
-
-// getScratch checks a worker's scratch out of the pool, counting the
-// traffic so scratch reuse is observable.
-func (e *Engine) getScratch() *workerScratch {
-	e.mScratchGets.Add(1)
-	return e.scratch.Get().(*workerScratch)
-}
-
-// getKernels checks a kernel bundle out of the pool, counting the traffic
-// so kernel-workspace reuse is observable alongside the BFS scratch.
-func (e *Engine) getKernels() *Kernels {
-	e.mKernelGets.Add(1)
-	return e.kernels.Get().(*Kernels)
+	e.mMSBFSWidth = reg.Gauge("ball.msbfs_width")
+	e.mDistScalar = reg.Counter("ball.dist_scalar")
+	e.mBrandesBatches = reg.Counter("ball.brandes_batches")
+	e.mBrandesScalar = reg.Counter("ball.brandes_scalar")
 }
 
 // Graph returns the graph the engine grows balls on.
@@ -152,6 +164,19 @@ func (e *Engine) Graph() *graph.Graph { return e.g }
 
 // Parallelism returns the worker-pool width.
 func (e *Engine) Parallelism() int { return e.parallel }
+
+// ApproxDiameter returns the double-sweep diameter estimate for the
+// engine's graph, computed once on first use and cached. The batched
+// kernels consult it to route high-diameter graphs (lattices) onto scalar
+// paths where bit-parallel batching loses.
+func (e *Engine) ApproxDiameter() int {
+	e.diamOnce.Do(func() {
+		ws := e.scratch.Get()
+		e.diam = graph.ApproxDiameter(e.g, ws.bfs)
+		e.scratch.Put(ws)
+	})
+	return e.diam
+}
 
 // Profile is one center's cached ball profile: everything a single BFS pass
 // reveals about the balls around the center.
@@ -198,7 +223,7 @@ func (e *Engine) Profile(center int32) *Profile {
 	}
 	e.mu.Unlock()
 	ent.once.Do(func() {
-		ws := e.getScratch()
+		ws := e.scratch.Get()
 		ent.p = computeProfile(e.g, ws.bfs, center)
 		e.scratch.Put(ws)
 		ent.pub.Store(ent.p)
@@ -253,11 +278,21 @@ func (c *CumProfile) Size(h int) int {
 	return int(c.Cum[h])
 }
 
+// msbfsDiameterCutoff routes high-diameter graphs off the bit-parallel
+// distance sweeps: past this estimated diameter the per-level frontiers are
+// thin and the mask strips repeat work every level, and a scalar BFS per
+// center wins (the wave-1 benchmarks measured ~2.5x regressions on
+// lattices). The double-sweep probe is cached per engine.
+const msbfsDiameterCutoff = 32
+
 // CumProfiles returns the centers' cum-only profiles in center order. The
-// misses run through the bit-parallel MSBFS kernel in batches of up to 64
-// sources (one CSR sweep per batch), fanned over the worker pool — the fast
-// path for distance-only metrics (expansion, eccentricity, path lengths)
-// that never materialize ball membership.
+// misses run through the bit-parallel MSBFS kernel in multi-word batches of
+// up to graph.MSBFSMaxWidth sources (one CSR sweep per batch, counts-only —
+// no distance matrix), fanned over the worker pool — the fast path for
+// distance-only metrics (expansion, eccentricity, path lengths) that never
+// materialize ball membership. High-diameter graphs route to a scalar BFS
+// per center instead (see msbfsDiameterCutoff); level counts are integers
+// either way, so the routing and batch width are invisible in the results.
 //
 // Cache coherence with full profiles: a completed full profile satisfies a
 // cum request directly (its Cum is shared, no kernel pass runs), while cum
@@ -287,37 +322,53 @@ func (e *Engine) CumProfiles(centers []int32) []*CumProfile {
 		ents[i] = ent
 	}
 	e.mu.Unlock()
-	batches := (len(mine) + graph.MSBFSWidth - 1) / graph.MSBFSWidth
-	e.forEach(batches, func(b int) {
-		lo := b * graph.MSBFSWidth
-		hi := lo + graph.MSBFSWidth
-		if hi > len(mine) {
-			hi = len(mine)
-		}
-		batch := mine[lo:hi]
-		sources := make([]int32, len(batch))
-		for j, idx := range batch {
-			sources[j] = centers[idx]
-		}
-		ms := e.msbfs.Get().(*graph.MSBFSScratch)
-		ms.Run(e.g, sources)
-		for j, idx := range batch {
-			levels := ms.LevelCounts(j)
-			cum := make([]int32, len(levels))
-			run := int32(0)
-			for h, cnt := range levels {
-				run += cnt
-				cum[h] = run
-			}
+	if len(mine) > 0 && e.ApproxDiameter() > msbfsDiameterCutoff {
+		e.forEach(len(mine), func(j int) {
+			idx := mine[j]
+			ws := e.scratch.Get()
+			cum := cumFromBFS(e.g, ws.bfs, centers[idx])
+			e.scratch.Put(ws)
 			ent := ents[idx]
-			ent.c = &CumProfile{Center: sources[j], Cum: cum}
+			ent.c = &CumProfile{Center: centers[idx], Cum: cum}
 			out[idx] = ent.c
 			close(ent.done)
-		}
-		e.msbfs.Put(ms)
-		e.mMSBFSBatches.Add(1)
-		e.mMSBFSSources.Add(int64(len(batch)))
-	})
+		})
+		e.mDistScalar.Add(int64(len(mine)))
+	} else if len(mine) > 0 {
+		width := e.batchWidth(len(mine))
+		e.mMSBFSWidth.Set(int64(width))
+		batches := (len(mine) + width - 1) / width
+		e.forEach(batches, func(b int) {
+			lo := b * width
+			hi := lo + width
+			if hi > len(mine) {
+				hi = len(mine)
+			}
+			batch := mine[lo:hi]
+			sources := make([]int32, len(batch))
+			for j, idx := range batch {
+				sources[j] = centers[idx]
+			}
+			ms := e.msbfs.Get()
+			ms.RunLevels(e.g, sources)
+			for j, idx := range batch {
+				levels := ms.LevelCounts(j)
+				cum := make([]int32, len(levels))
+				run := int32(0)
+				for h, cnt := range levels {
+					run += cnt
+					cum[h] = run
+				}
+				ent := ents[idx]
+				ent.c = &CumProfile{Center: sources[j], Cum: cum}
+				out[idx] = ent.c
+				close(ent.done)
+			}
+			e.msbfs.Put(ms)
+			e.mMSBFSBatches.Add(1)
+			e.mMSBFSSources.Add(int64(len(batch)))
+		})
+	}
 	// Entries claimed by a concurrent call: their owner always completes
 	// its batches before waiting on anyone else, so this cannot cycle.
 	for _, i := range theirs {
@@ -325,6 +376,37 @@ func (e *Engine) CumProfiles(centers []int32) []*CumProfile {
 		out[i] = ents[i].c
 	}
 	return out
+}
+
+// batchWidth picks the wide sweep's mask width: as wide as the pending work
+// allows without starving the worker pool, rounded up to whole 64-bit words
+// and clamped to [MSBFSWidth, MSBFSMaxWidth].
+func (e *Engine) batchWidth(pending int) int {
+	width := (pending + e.parallel - 1) / e.parallel
+	if width < graph.MSBFSWidth {
+		width = graph.MSBFSWidth
+	}
+	if width > graph.MSBFSMaxWidth {
+		width = graph.MSBFSMaxWidth
+	}
+	words := (width + graph.MSBFSWordBits - 1) / graph.MSBFSWordBits
+	return words * graph.MSBFSWordBits
+}
+
+// cumFromBFS builds one center's cumulative ball sizes from a scalar BFS —
+// the per-center route for graphs the diameter probe keeps off the
+// bit-parallel sweeps. The counts are identical to the kernel's.
+func cumFromBFS(g *graph.Graph, s *graph.BFSScratch, center int32) []int32 {
+	order := s.BFS(g, center)
+	ecc := int(s.Dist(order[len(order)-1]))
+	cum := make([]int32, ecc+1)
+	for _, v := range order {
+		cum[s.Dist(v)]++
+	}
+	for h := 1; h <= ecc; h++ {
+		cum[h] += cum[h-1]
+	}
+	return cum
 }
 
 // BallSubgraph returns the induced subgraph of ball(p.Center, h), built at
@@ -340,7 +422,7 @@ func (e *Engine) BallSubgraph(p *Profile, h int) *graph.Graph {
 	ent := p.subs[h]
 	p.mu.Unlock()
 	ent.once.Do(func() {
-		ws := e.getScratch()
+		ws := e.scratch.Get()
 		ent.g = ws.sub.Induced(e.g, p.BallAt(h))
 		e.scratch.Put(ws)
 		e.mSubgraphs.Add(1)
@@ -408,7 +490,7 @@ func (e *Engine) BallPointsKernels(cfg Config, seed int64, perBall func(sub *gra
 	e.forEach(len(centers), func(i int) {
 		p := profs[i]
 		rng := rand.New(rand.NewSource(seed + int64(i)))
-		k := e.getKernels()
+		k := e.kernels.Get()
 		defer e.kernels.Put(k)
 		maxR := p.Eccentricity()
 		if cfg.MaxRadius > 0 && maxR > cfg.MaxRadius {

@@ -137,3 +137,57 @@ func TestMSBFSRaceShort(t *testing.T) {
 	}
 	wg.Wait()
 }
+
+// TestWideMSBFSRaceShort is the tier-2 race target for the multi-word
+// kernel: a P=4 engine batching a center set large enough that batchWidth
+// picks strips wider than one 64-bit word, raced against scalar Profile
+// calls on overlapping centers. Results must be bit-identical to the
+// sequential engine.
+func TestWideMSBFSRaceShort(t *testing.T) {
+	g := engineTestGraph()
+	n := g.NumNodes()
+	want := make(map[int32][]int32, n)
+	ref := NewEngine(g, 1)
+	for v := int32(0); v < int32(n); v++ {
+		want[v] = ref.Profile(v).Cum
+	}
+
+	e := NewEngine(g, 4)
+	reg := obs.NewRegistry()
+	e.Instrument(reg)
+	centers := make([]int32, n) // pending/parallel = 100 -> two-word strips
+	for i := range centers {
+		centers[i] = int32(i)
+	}
+	var wg sync.WaitGroup
+	for rep := 0; rep < 2; rep++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			got := e.CumProfiles(centers)
+			for j, c := range centers {
+				if !reflect.DeepEqual(got[j].Cum, want[c]) {
+					t.Errorf("center %d: wide cum differs from sequential", c)
+					return
+				}
+			}
+		}()
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			r := rand.New(rand.NewSource(seed))
+			for k := 0; k < 16; k++ {
+				c := int32(r.Intn(n))
+				p := e.Profile(c)
+				if !reflect.DeepEqual(p.Cum, want[c]) {
+					t.Errorf("center %d: racing full profile differs", c)
+					return
+				}
+			}
+		}(int64(rep))
+	}
+	wg.Wait()
+	if w := reg.Gauge("ball.msbfs_width").Value(); w <= 64 {
+		t.Fatalf("expected a multi-word batch width, recorded %d", w)
+	}
+}

@@ -1,6 +1,7 @@
 package bgp
 
 import (
+	"topocmp/internal/graph"
 	"topocmp/internal/policy"
 	"topocmp/internal/stats"
 )
@@ -11,32 +12,40 @@ import (
 // Connectivity from BGP Routing Tables", INFOCOM 2002) quantified on real
 // collectors, and the reason the paper treats its measured graphs as
 // incomplete. The vantages are added in the given order.
+//
+// Each vantage's table contributes the union of its selected-path edges.
+// The union is collected by stamped parent-chain walks over the vantage's
+// path tree (shared suffixes are walked once, so a vantage costs one visit
+// per product state rather than one per path hop) into dense edge-id marks,
+// and is identical to enumerating every destination's full path.
 func CoverageCurve(a *policy.Annotated, vantages []int32) stats.Series {
 	truthEdges := a.G.NumEdges()
 	s := stats.Series{Name: "coverage"}
 	if truthEdges == 0 {
 		return s
 	}
-	type pair struct{ u, v int32 }
-	seen := map[pair]bool{}
+	ix := graph.NewEdgeIndex(a.G)
+	covered := make([]bool, ix.NumEdges())
+	count := 0
+	mark := func(u, v int32) {
+		if id := ix.ID(u, v); id >= 0 && !covered[id] {
+			covered[id] = true
+			count++
+		}
+	}
 	n := a.G.NumNodes()
+	var stamp graph.Stamp
 	var pt *policy.PathTree
 	for i, vp := range vantages {
 		pt = a.PathsInto(pt, vp)
+		stamp.Begin(pt.NumProductStates())
 		for dst := int32(0); dst < int32(n); dst++ {
 			if dst == vp {
 				continue
 			}
-			path := pt.Path(dst)
-			for j := 0; j+1 < len(path); j++ {
-				u, v := path[j], path[j+1]
-				if u > v {
-					u, v = v, u
-				}
-				seen[pair{u, v}] = true
-			}
+			pt.VisitPathEdges(&stamp, dst, mark)
 		}
-		s.Add(float64(i+1), float64(len(seen))/float64(truthEdges))
+		s.Add(float64(i+1), float64(count)/float64(truthEdges))
 	}
 	return s
 }

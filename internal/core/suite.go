@@ -295,16 +295,21 @@ func policyExpansion(n *Network, cfg ball.Config) stats.Series {
 	var profiles [][]float64
 	var counts []int
 	maxH := 0
+	// One product-space tree serves every center: PathsInto recycles the
+	// dist/parent/best arrays, and the tree's per-node Dist is the same
+	// min-over-states the standalone Dist sweep computes.
+	var pt *policy.PathTree
+	nn := int32(g.NumNodes())
 	for _, src := range centers {
-		var dist []int32
 		if n.Overlay != nil {
-			dist = n.Overlay.Dist(src)
+			pt = n.Overlay.PathsInto(pt, src)
 		} else {
-			dist = n.Policy.Dist(src)
+			pt = n.Policy.PathsInto(pt, src)
 		}
 		counts = counts[:0]
 		ecc := 0
-		for _, d := range dist {
+		for v := int32(0); v < nn; v++ {
+			d := pt.Dist(v)
 			if d == graph.Unreached {
 				continue
 			}

@@ -1,0 +1,210 @@
+package graph
+
+import (
+	"fmt"
+	"math/bits"
+	"slices"
+)
+
+// BrandesWidth is the maximum number of sources one bit-parallel Brandes
+// batch accumulates: one bit of a uint64 frontier word per source.
+const BrandesWidth = MSBFSWordBits
+
+// BrandesScratch runs batched Brandes betweenness accumulation: up to
+// BrandesWidth sources advance through one shared MS-BFS level sweep, with
+// per-source sigma (shortest-path count) and delta (dependency) rows laid
+// out node-major so the per-level accumulation walks each adjacency list
+// once per node instead of once per source.
+//
+// Instead of per-source distance rows, the sweep keeps one "bits of v at
+// the previous level" mask per node (prev), ping-ponged with the mask of
+// the level being built (curm): the predecessor test Brandes runs per
+// (edge, source) collapses to a single AND against prev, and the backward
+// sweep reloads prev per level from the recorded level events.
+//
+// Ordering contract: within every level, nodes are processed in increasing
+// id, and each dependency term is evaluated as sigma[a]/sigma[v]*(1+delta[v])
+// exactly as the scalar accumulation writes it. For any one (node, source)
+// slot the contributing terms arrive level by level in adjacency order, so
+// sigma values are exact integers in float64 matching any scalar order
+// bit-for-bit; delta sums are added in the canonical (level desc, id asc,
+// adjacency, bit asc) order, which can differ from a scalar per-source run
+// in the last float ulps — consumers rank by betweenness, and the golden
+// tests pin the ranks to the scalar path.
+//
+// Like the other scratch families the buffers are epoch-stamped
+// (graph.Stamp), single-owner, and valid only until the next Accumulate.
+type BrandesScratch struct {
+	live     Stamp
+	seen     []uint64  // bit i set ⇔ sources[i] has reached v
+	next     []uint64  // frontier bits accumulated for the level being built
+	prev     []uint64  // bits of v at the level below the one in flight
+	curm     []uint64  // bits of v at the level in flight (swapped into prev)
+	cur, nxt []int32   // active node lists for the level sweep
+	sigma    []float64 // node-major rows: sigma[v*B+i], valid where seen
+	delta    []float64
+	levOff   []int32  // event ranges per level: events[levOff[h]:levOff[h+1]]
+	levNode  []int32  // event node ids, ascending within a level
+	levMask  []uint64 // fresh source bits of the event node
+	width    int      // B of the current run
+	n        int
+}
+
+// NewBrandesScratch returns an empty scratch; buffers grow on first use.
+func NewBrandesScratch() *BrandesScratch { return &BrandesScratch{} }
+
+func (b *BrandesScratch) begin(n, width int) {
+	if b.live.Begin(n) {
+		b.seen = make([]uint64, n)
+		b.next = make([]uint64, n)
+		b.prev = make([]uint64, n)
+		b.curm = make([]uint64, n)
+		b.cur = make([]int32, 0, n)
+		b.nxt = make([]int32, 0, n)
+	}
+	if need := n * width; len(b.sigma) < need {
+		b.sigma = make([]float64, need)
+		b.delta = make([]float64, need)
+	}
+	b.levOff = b.levOff[:0]
+	b.levNode = b.levNode[:0]
+	b.levMask = b.levMask[:0]
+	b.cur = b.cur[:0]
+	b.width, b.n = width, n
+}
+
+// touch opens v's masks and zeroes its sigma/delta rows for this run.
+func (b *BrandesScratch) touch(v int32) {
+	if b.live.Visit(v) {
+		b.seen[v] = 0
+		b.next[v] = 0
+		b.prev[v] = 0
+		b.curm[v] = 0
+		row := int(v) * b.width
+		for i := 0; i < b.width; i++ {
+			b.sigma[row+i] = 0
+			b.delta[row+i] = 0
+		}
+	}
+}
+
+// Accumulate adds every source's Brandes dependency contributions into bc
+// (which must have length g.NumNodes(); contributions are added, so callers
+// accumulate across batches by looping). The batch size must be
+// 1..BrandesWidth; a repeated source simply contributes once per occurrence,
+// as a scalar loop over the same list would. A source's own bc entry
+// receives no contribution from its own traversal, mirroring the scalar
+// accumulation.
+func (b *BrandesScratch) Accumulate(g *Graph, sources []int32, bc []float64) {
+	if len(sources) == 0 || len(sources) > BrandesWidth {
+		panic(fmt.Sprintf("graph: Brandes batch of %d sources, want 1..%d", len(sources), BrandesWidth))
+	}
+	n := g.NumNodes()
+	B := len(sources)
+	b.begin(n, B)
+
+	// Level 0: seed the sources. prev carries each node's level-0 bits
+	// while level 1 is built.
+	for i, src := range sources {
+		b.touch(src)
+		if b.seen[src] == 0 {
+			b.cur = append(b.cur, src)
+		}
+		b.seen[src] |= uint64(1) << uint(i)
+		b.prev[src] |= uint64(1) << uint(i)
+		b.sigma[int(src)*B+i] = 1
+	}
+	slices.Sort(b.cur)
+	b.levOff = append(b.levOff, 0)
+	for _, v := range b.cur {
+		b.levNode = append(b.levNode, v)
+		b.levMask = append(b.levMask, b.seen[v])
+	}
+	b.levOff = append(b.levOff, int32(len(b.levNode)))
+
+	// Forward sweep: shared frontier expansion, then per-level sigma
+	// accumulation in canonical (id asc, adjacency, bit asc) order. A
+	// neighbor a is a predecessor of v for exactly the bits of prev[a].
+	for len(b.cur) > 0 {
+		b.nxt = b.nxt[:0]
+		for _, u := range b.cur {
+			fu := b.prev[u]
+			for _, v := range g.Neighbors(u) {
+				b.touch(v)
+				add := fu &^ b.seen[v]
+				if add == 0 {
+					continue
+				}
+				if b.next[v] == 0 {
+					b.nxt = append(b.nxt, v)
+				}
+				b.next[v] |= add
+			}
+		}
+		slices.Sort(b.nxt)
+		for _, v := range b.nxt {
+			fresh := b.next[v]
+			b.next[v] = 0
+			b.seen[v] |= fresh
+			b.curm[v] = fresh
+			b.levNode = append(b.levNode, v)
+			b.levMask = append(b.levMask, fresh)
+			row := int(v) * B
+			for _, a := range g.Neighbors(v) {
+				arow := int(a) * B
+				for m := b.prev[a] & fresh; m != 0; m &= m - 1 {
+					i := bits.TrailingZeros64(m)
+					b.sigma[row+i] += b.sigma[arow+i]
+				}
+			}
+		}
+		b.levOff = append(b.levOff, int32(len(b.levNode)))
+		// Retire the finished level's masks and promote the fresh ones;
+		// both arrays drain back to all-zero by the time the sweep ends.
+		for _, u := range b.cur {
+			b.prev[u] = 0
+		}
+		b.prev, b.curm = b.curm, b.prev
+		b.cur, b.nxt = b.nxt, b.cur
+	}
+
+	// Backward sweep: dependency accumulation level by level, deepest
+	// first, nodes ascending within a level. prev is reloaded per level
+	// from the recorded events, so the predecessor test is again one AND.
+	// Each term is written exactly as the scalar loop writes it.
+	for h := len(b.levOff) - 2; h >= 1; h-- {
+		for e := b.levOff[h-1]; e < b.levOff[h]; e++ {
+			b.prev[b.levNode[e]] = b.levMask[e]
+		}
+		for e := b.levOff[h]; e < b.levOff[h+1]; e++ {
+			v := b.levNode[e]
+			row := int(v) * B
+			fresh := b.levMask[e]
+			for _, a := range g.Neighbors(v) {
+				arow := int(a) * B
+				for m := b.prev[a] & fresh; m != 0; m &= m - 1 {
+					i := bits.TrailingZeros64(m)
+					b.delta[arow+i] += b.sigma[arow+i] / b.sigma[row+i] * (1 + b.delta[row+i])
+				}
+			}
+		}
+		for e := b.levOff[h-1]; e < b.levOff[h]; e++ {
+			b.prev[b.levNode[e]] = 0
+		}
+	}
+
+	// Fold the delta rows into bc: node ascending, source bits ascending,
+	// matching a scalar sweep that processes sources in index order.
+	for v := int32(0); v < int32(n); v++ {
+		if !b.live.Seen(v) {
+			continue
+		}
+		row := int(v) * B
+		for m := b.seen[v]; m != 0; m &= m - 1 {
+			i := bits.TrailingZeros64(m)
+			if sources[i] != v {
+				bc[v] += b.delta[row+i]
+			}
+		}
+	}
+}

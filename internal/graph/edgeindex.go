@@ -1,0 +1,63 @@
+package graph
+
+import "sort"
+
+// EdgeIndex assigns every undirected edge a dense id in [0, NumEdges()), in
+// the (U, V) order of Edges(), straight off the CSR: id(u, v) is the rank
+// of v among u's higher-numbered neighbors plus u's prefix of up-edges.
+// Dense ids replace the map[packed-pair] lookups the sweep metrics used to
+// pay on every path hop — a lookup is one binary search over one adjacency
+// list, and per-edge state (coverage marks, accumulators) becomes a flat
+// array. The index is immutable after construction and safe for concurrent
+// readers.
+type EdgeIndex struct {
+	g       *Graph
+	upStart []int32 // index into adj of u's first neighbor > u
+	base    []int32 // edge id of u's first up-edge; base[n] == NumEdges()
+}
+
+// NewEdgeIndex builds the index in one CSR pass.
+func NewEdgeIndex(g *Graph) *EdgeIndex {
+	n := g.NumNodes()
+	ix := &EdgeIndex{g: g, upStart: make([]int32, n), base: make([]int32, n+1)}
+	for u := int32(0); u < int32(n); u++ {
+		nb := g.Neighbors(u)
+		// Adjacency is sorted ascending: the up-neighbors are the tail.
+		lo := sort.Search(len(nb), func(i int) bool { return nb[i] > u })
+		ix.upStart[u] = g.off[u] + int32(lo)
+		ix.base[u+1] = ix.base[u] + int32(len(nb)-lo)
+	}
+	return ix
+}
+
+// NumEdges returns the number of indexed edges.
+func (ix *EdgeIndex) NumEdges() int { return int(ix.base[len(ix.base)-1]) }
+
+// ID returns the dense id of edge {u, v}, or -1 if the graph has no such
+// edge. Orientation does not matter.
+func (ix *EdgeIndex) ID(u, v int32) int32 {
+	if u > v {
+		u, v = v, u
+	}
+	lo, hi := ix.upStart[u], ix.g.off[u+1]
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if ix.g.adj[mid] < v {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo == ix.g.off[u+1] || ix.g.adj[lo] != v {
+		return -1
+	}
+	return ix.base[u] + (lo - ix.upStart[u])
+}
+
+// Edge returns the (U, V) endpoints of the edge with the given id — the
+// inverse of ID, one binary search over the per-node prefix sums.
+func (ix *EdgeIndex) Edge(id int32) Edge {
+	u := sort.Search(len(ix.base)-1, func(i int) bool { return ix.base[i+1] > id })
+	pos := ix.upStart[u] + (id - ix.base[u])
+	return Edge{U: int32(u), V: ix.g.adj[pos]}
+}

@@ -5,31 +5,44 @@ import (
 	"math/bits"
 )
 
-// MSBFSWidth is the maximum number of sources one bit-parallel BFS batch
-// processes: one bit of a uint64 mask per source.
-const MSBFSWidth = 64
+// MSBFSWordBits is the number of sources one uint64 mask word tracks.
+const MSBFSWordBits = 64
+
+// MSBFSMaxWords bounds the mask width: a batch uses W = ceil(sources/64)
+// words per node, up to this many.
+const MSBFSMaxWords = 4
+
+// MSBFSWidth is the single-word batch width, kept as the conservative
+// default for callers that size their own batches.
+const MSBFSWidth = MSBFSWordBits
+
+// MSBFSMaxWidth is the maximum number of sources one bit-parallel batch
+// processes with multi-word masks.
+const MSBFSMaxWidth = MSBFSWordBits * MSBFSMaxWords
 
 // MSBFSScratch runs bit-parallel multi-source breadth-first traversals
-// (MS-BFS style): up to MSBFSWidth sources advance through one shared CSR
-// sweep per level, tracked by per-node uint64 seen/frontier/next masks where
-// bit i belongs to sources[i]. The metric sweeps (expansion, eccentricity,
-// path length, hop plots) are embarrassingly source-parallel but were paying
-// one full adjacency scan per source; a batch pays one scan per level for
-// all 64, which is what makes the paper-scale sweeps fast on a single core.
+// (MS-BFS style): up to MSBFSMaxWidth sources advance through one shared
+// CSR sweep per level, tracked by per-node seen/frontier/next mask strips of
+// W×uint64 where bit i (word i/64, bit i%64) belongs to sources[i]. The
+// metric sweeps (expansion, eccentricity, path length, hop plots) are
+// embarrassingly source-parallel but were paying one full adjacency scan
+// per source; a batch pays one scan per level for the whole strip, which is
+// what makes the paper-scale sweeps fast on a single core. W is chosen per
+// Run from the batch size, so narrow batches keep the one-word fast path.
 //
-// Like BFSScratch, visited-ness is epoch-stamped: a run bumps an epoch
-// counter instead of clearing the mask arrays, so starting a batch costs
-// O(sources), not O(N). The same ownership rules apply: a scratch is not
-// safe for concurrent use (give each worker its own), and every result
+// Like BFSScratch, visited-ness is epoch-stamped through graph.Stamp: a run
+// bumps an epoch instead of clearing the mask arrays, so starting a batch
+// costs O(sources), not O(N). The same ownership rules apply: a scratch is
+// not safe for concurrent use (give each worker its own), and every result
 // accessor (Dist, LevelCounts, Reached, Eccentricity) reads buffers owned
-// by the scratch that are valid only until the next Run.
+// by the scratch that are valid only until the next run.
 type MSBFSScratch struct {
-	epoch    int32
-	stamp    []int32   // stamp[v] == epoch ⇔ v's masks are live this run
-	seen     []uint64  // bit i set ⇔ sources[i] has reached v
+	live     Stamp
+	words    int       // mask strip width W of the current run
+	seen     []uint64  // strided strips: word w of node v at [v*W+w]
 	frontier []uint64  // bit i set ⇔ v entered i's frontier at the current level
 	next     []uint64  // bits accumulated for the next level's frontier
-	dist     []int32   // per-source distance rows: dist[i*n+v], valid where seen
+	dist     []int32   // per-source distance rows: dist[i*n+v]; empty after RunLevels
 	cur, nxt []int32   // active node lists for the level sweep
 	counts   [][]int32 // counts[i][h] = nodes at distance exactly h from sources[i]
 	nsrc     int
@@ -39,29 +52,28 @@ type MSBFSScratch struct {
 // NewMSBFSScratch returns an empty scratch; buffers grow on first use.
 func NewMSBFSScratch() *MSBFSScratch { return &MSBFSScratch{} }
 
-// begin sizes the buffers for an n-node graph and nsrc sources and opens a
-// new epoch.
-func (s *MSBFSScratch) begin(n, nsrc int) {
-	if len(s.stamp) < n {
-		s.stamp = make([]int32, n)
-		s.seen = make([]uint64, n)
-		s.frontier = make([]uint64, n)
-		s.next = make([]uint64, n)
+// begin sizes the buffers for an n-node graph, nsrc sources (mask width
+// words) and opens a new epoch.
+func (s *MSBFSScratch) begin(n, nsrc int, withDist bool) {
+	words := (nsrc + MSBFSWordBits - 1) / MSBFSWordBits
+	if s.live.Begin(n) {
 		s.cur = make([]int32, 0, n)
 		s.nxt = make([]int32, 0, n)
-		s.epoch = 0
 	}
-	s.epoch++
-	if s.epoch < 0 { // epoch wrapped: clear stamps and restart
-		for i := range s.stamp {
-			s.stamp[i] = 0
+	if need := n * words; len(s.seen) < need {
+		s.seen = make([]uint64, need)
+		s.frontier = make([]uint64, need)
+		s.next = make([]uint64, need)
+	}
+	s.words = words
+	if withDist {
+		if need := nsrc * n; cap(s.dist) < need {
+			s.dist = make([]int32, need)
+		} else {
+			s.dist = s.dist[:need]
 		}
-		s.epoch = 1
-	}
-	if need := nsrc * n; cap(s.dist) < need {
-		s.dist = make([]int32, need)
 	} else {
-		s.dist = s.dist[:need]
+		s.dist = s.dist[:0]
 	}
 	for len(s.counts) < nsrc {
 		s.counts = append(s.counts, nil)
@@ -73,37 +85,73 @@ func (s *MSBFSScratch) begin(n, nsrc int) {
 	s.n, s.nsrc = n, nsrc
 }
 
-// touch opens v's masks for the current epoch.
+// touch opens v's mask strip for the current epoch.
 func (s *MSBFSScratch) touch(v int32) {
-	if s.stamp[v] != s.epoch {
-		s.stamp[v] = s.epoch
-		s.seen[v] = 0
-		s.frontier[v] = 0
-		s.next[v] = 0
+	if s.live.Visit(v) {
+		base := int(v) * s.words
+		for w := 0; w < s.words; w++ {
+			s.seen[base+w] = 0
+			s.frontier[base+w] = 0
+			s.next[base+w] = 0
+		}
 	}
 }
 
-// Run traverses g from all sources at once (1 to MSBFSWidth of them; it
+// Run traverses g from all sources at once (1 to MSBFSMaxWidth of them; it
 // panics otherwise). Afterwards Dist(i, v) is sources[i]'s hop distance to
 // v and LevelCounts(i) its per-level reach counts, both valid until the
-// next Run. Distances are exactly those of a scalar BFS per source.
+// next run. Distances are exactly those of a scalar BFS per source.
 func (s *MSBFSScratch) Run(g *Graph, sources []int32) {
-	if len(sources) == 0 || len(sources) > MSBFSWidth {
-		panic(fmt.Sprintf("graph: MSBFS batch of %d sources, want 1..%d", len(sources), MSBFSWidth))
+	s.run(g, sources, true)
+}
+
+// RunLevels is Run without the per-source distance rows: only the level
+// counts (LevelCounts, Reached, Eccentricity) are filled, so wide batches
+// skip the nsrc×n distance matrix entirely. Dist must not be called after
+// RunLevels. The level counts are identical to Run's.
+func (s *MSBFSScratch) RunLevels(g *Graph, sources []int32) {
+	s.run(g, sources, false)
+}
+
+func (s *MSBFSScratch) run(g *Graph, sources []int32, withDist bool) {
+	if len(sources) == 0 || len(sources) > MSBFSMaxWidth {
+		panic(fmt.Sprintf("graph: MSBFS batch of %d sources, want 1..%d", len(sources), MSBFSMaxWidth))
 	}
 	n := g.NumNodes()
-	s.begin(n, len(sources))
+	s.begin(n, len(sources), withDist)
+	W := s.words
 	for i, src := range sources {
-		bit := uint64(1) << uint(i)
+		word, bit := i/MSBFSWordBits, uint64(1)<<uint(i%MSBFSWordBits)
 		s.touch(src)
-		if s.frontier[src] == 0 {
+		base := int(src) * W
+		queued := false
+		for w := 0; w < W; w++ {
+			if s.frontier[base+w] != 0 {
+				queued = true
+				break
+			}
+		}
+		if !queued {
 			s.cur = append(s.cur, src)
 		}
-		s.seen[src] |= bit
-		s.frontier[src] |= bit
-		s.dist[i*n+int(src)] = 0
+		s.seen[base+word] |= bit
+		s.frontier[base+word] |= bit
+		if withDist {
+			s.dist[i*n+int(src)] = 0
+		}
 		s.counts[i] = append(s.counts[i], 1)
 	}
+	if W == 1 {
+		s.sweepOne(g, withDist)
+	} else {
+		s.sweepWide(g, withDist)
+	}
+}
+
+// sweepOne is the single-word level sweep (batches of up to 64 sources),
+// kept free of the per-word strip loops.
+func (s *MSBFSScratch) sweepOne(g *Graph, withDist bool) {
+	n := s.n
 	for level := int32(1); len(s.cur) > 0; level++ {
 		s.nxt = s.nxt[:0]
 		for _, u := range s.cur {
@@ -131,7 +179,9 @@ func (s *MSBFSScratch) Run(g *Graph, sources []int32) {
 			row := int(v)
 			for m := fresh; m != 0; m &= m - 1 {
 				i := bits.TrailingZeros64(m)
-				s.dist[i*n+row] = level
+				if withDist {
+					s.dist[i*n+row] = level
+				}
 				// A source's frontier drains monotonically, so its count
 				// row is contiguous: level == len(row) on first touch.
 				if len(s.counts[i]) <= int(level) {
@@ -144,13 +194,67 @@ func (s *MSBFSScratch) Run(g *Graph, sources []int32) {
 	}
 }
 
-// NumSources returns the batch width of the last Run.
+// sweepWide is the multi-word level sweep: identical traversal with W-word
+// mask strips per node.
+func (s *MSBFSScratch) sweepWide(g *Graph, withDist bool) {
+	n, W := s.n, s.words
+	for level := int32(1); len(s.cur) > 0; level++ {
+		s.nxt = s.nxt[:0]
+		for _, u := range s.cur {
+			ub := int(u) * W
+			fu := s.frontier[ub : ub+W]
+			for _, v := range g.Neighbors(u) {
+				s.touch(v)
+				vb := int(v) * W
+				var had, added uint64
+				for w := 0; w < W; w++ {
+					had |= s.next[vb+w]
+					add := fu[w] &^ s.seen[vb+w]
+					s.next[vb+w] |= add
+					added |= add
+				}
+				if added != 0 && had == 0 {
+					s.nxt = append(s.nxt, v)
+				}
+			}
+		}
+		for _, v := range s.nxt {
+			vb := int(v) * W
+			row := int(v)
+			for w := 0; w < W; w++ {
+				fresh := s.next[vb+w]
+				s.next[vb+w] = 0
+				s.seen[vb+w] |= fresh
+				s.frontier[vb+w] = fresh
+				hi := w * MSBFSWordBits
+				for m := fresh; m != 0; m &= m - 1 {
+					i := hi + bits.TrailingZeros64(m)
+					if withDist {
+						s.dist[i*n+row] = level
+					}
+					if len(s.counts[i]) <= int(level) {
+						s.counts[i] = append(s.counts[i], 0)
+					}
+					s.counts[i][level]++
+				}
+			}
+		}
+		s.cur, s.nxt = s.nxt, s.cur
+	}
+}
+
+// NumSources returns the batch width of the last run.
 func (s *MSBFSScratch) NumSources() int { return s.nsrc }
 
 // Dist returns v's hop distance from sources[i] in the last Run, or
-// Unreached for nodes in other components.
+// Unreached for nodes in other components. Only valid after Run (not
+// RunLevels, which skips the distance rows).
 func (s *MSBFSScratch) Dist(i int, v int32) int32 {
-	if s.stamp[v] != s.epoch || s.seen[v]&(uint64(1)<<uint(i)) == 0 {
+	if !s.live.Seen(v) {
+		return Unreached
+	}
+	word, bit := i/MSBFSWordBits, uint64(1)<<uint(i%MSBFSWordBits)
+	if s.seen[int(v)*s.words+word]&bit == 0 {
 		return Unreached
 	}
 	return s.dist[i*s.n+int(v)]
@@ -158,7 +262,7 @@ func (s *MSBFSScratch) Dist(i int, v int32) int32 {
 
 // LevelCounts returns sources[i]'s per-level reach counts: counts[h] nodes
 // sit at distance exactly h, and len(counts) is the source's eccentricity
-// plus one. The slice is owned by the scratch and valid until the next Run.
+// plus one. The slice is owned by the scratch and valid until the next run.
 func (s *MSBFSScratch) LevelCounts(i int) []int32 { return s.counts[i] }
 
 // Eccentricity returns sources[i]'s hop radius within its component.
@@ -171,4 +275,21 @@ func (s *MSBFSScratch) Reached(i int) int {
 		total += int(c)
 	}
 	return total
+}
+
+// ApproxDiameter estimates g's diameter with a double BFS sweep (BFS from
+// node 0, then from the farthest node found): a classic lower bound that is
+// exact on trees and within a small factor on the paper's graphs. The
+// batched kernels use it to route high-diameter graphs (lattices) onto the
+// scalar path, where bit-parallel batching loses (mask traffic repeats per
+// level while frontiers stay thin). Deterministic; costs two traversals on
+// s's scratch.
+func ApproxDiameter(g *Graph, s *BFSScratch) int {
+	if g.NumNodes() == 0 {
+		return 0
+	}
+	order := s.BFS(g, 0)
+	far := order[len(order)-1]
+	order = s.BFS(g, far)
+	return int(s.Dist(order[len(order)-1]))
 }

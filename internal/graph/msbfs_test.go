@@ -88,7 +88,7 @@ func TestMSBFSDuplicateSources(t *testing.T) {
 func TestMSBFSBatchWidthPanics(t *testing.T) {
 	g := msbfsTestGraph(4, 80, 160)
 	s := NewMSBFSScratch()
-	for _, sources := range [][]int32{nil, make([]int32, MSBFSWidth+1)} {
+	for _, sources := range [][]int32{nil, make([]int32, MSBFSMaxWidth+1)} {
 		func() {
 			defer func() {
 				if recover() == nil {

@@ -21,9 +21,8 @@ var bfsScratchPool = sync.Pool{New: func() any { return NewBFSScratch() }}
 // results of a traversal (Order, Dist, Sigma) are owned by the scratch and
 // valid only until the next traversal.
 type BFSScratch struct {
-	epoch int32
-	stamp []int32   // stamp[v] == epoch ⇔ v reached in the current traversal
-	dist  []int32   // valid where stamped
+	live  Stamp // v reached in the current traversal
+	dist  []int32
 	sigma []float64 // shortest-path counts, valid where stamped (Counts only)
 	order []int32
 }
@@ -33,21 +32,12 @@ func NewBFSScratch() *BFSScratch { return &BFSScratch{} }
 
 // begin sizes the buffers for an n-node graph and opens a new epoch.
 func (s *BFSScratch) begin(n int) {
-	if len(s.stamp) < n {
-		s.stamp = make([]int32, n)
+	if s.live.Begin(n) {
 		s.dist = make([]int32, n)
 		if s.sigma != nil {
 			s.sigma = make([]float64, n)
 		}
 		s.order = make([]int32, 0, n)
-		s.epoch = 0
-	}
-	s.epoch++
-	if s.epoch < 0 { // epoch wrapped: clear stamps and restart
-		for i := range s.stamp {
-			s.stamp[i] = 0
-		}
-		s.epoch = 1
 	}
 	s.order = s.order[:0]
 }
@@ -57,15 +47,14 @@ func (s *BFSScratch) begin(n int) {
 // traversal.
 func (s *BFSScratch) BFS(g *Graph, src int32) []int32 {
 	s.begin(g.NumNodes())
-	s.stamp[src] = s.epoch
+	s.live.Visit(src)
 	s.dist[src] = 0
 	s.order = append(s.order, src)
 	for head := 0; head < len(s.order); head++ {
 		u := s.order[head]
 		du := s.dist[u]
 		for _, v := range g.Neighbors(u) {
-			if s.stamp[v] != s.epoch {
-				s.stamp[v] = s.epoch
+			if s.live.Visit(v) {
 				s.dist[v] = du + 1
 				s.order = append(s.order, v)
 			}
@@ -79,10 +68,10 @@ func (s *BFSScratch) BFS(g *Graph, src int32) []int32 {
 // Graph.BFSCounts), available through Sigma until the next traversal.
 func (s *BFSScratch) Counts(g *Graph, src int32) []int32 {
 	s.begin(g.NumNodes())
-	if len(s.sigma) < len(s.stamp) {
-		s.sigma = make([]float64, len(s.stamp))
+	if len(s.sigma) < s.live.Len() {
+		s.sigma = make([]float64, s.live.Len())
 	}
-	s.stamp[src] = s.epoch
+	s.live.Visit(src)
 	s.dist[src] = 0
 	s.sigma[src] = 1
 	s.order = append(s.order, src)
@@ -90,8 +79,7 @@ func (s *BFSScratch) Counts(g *Graph, src int32) []int32 {
 		u := s.order[head]
 		du := s.dist[u]
 		for _, v := range g.Neighbors(u) {
-			if s.stamp[v] != s.epoch {
-				s.stamp[v] = s.epoch
+			if s.live.Visit(v) {
 				s.dist[v] = du + 1
 				s.sigma[v] = 0
 				s.order = append(s.order, v)
@@ -110,7 +98,7 @@ func (s *BFSScratch) Counts(g *Graph, src int32) []int32 {
 // distances are available through Dist.
 func (s *BFSScratch) Ball(g *Graph, src int32, h int) []int32 {
 	s.begin(g.NumNodes())
-	s.stamp[src] = s.epoch
+	s.live.Visit(src)
 	s.dist[src] = 0
 	s.order = append(s.order, src)
 	for head := 0; head < len(s.order); head++ {
@@ -120,8 +108,7 @@ func (s *BFSScratch) Ball(g *Graph, src int32, h int) []int32 {
 			continue
 		}
 		for _, v := range g.Neighbors(u) {
-			if s.stamp[v] != s.epoch {
-				s.stamp[v] = s.epoch
+			if s.live.Visit(v) {
 				s.dist[v] = du + 1
 				s.order = append(s.order, v)
 			}
@@ -132,7 +119,7 @@ func (s *BFSScratch) Ball(g *Graph, src int32, h int) []int32 {
 
 // Dist returns v's hop distance in the last traversal, or Unreached.
 func (s *BFSScratch) Dist(v int32) int32 {
-	if s.stamp[v] != s.epoch {
+	if !s.live.Seen(v) {
 		return Unreached
 	}
 	return s.dist[v]
@@ -141,7 +128,7 @@ func (s *BFSScratch) Dist(v int32) int32 {
 // Sigma returns v's shortest-path count in the last Counts traversal, or 0
 // for unreached nodes.
 func (s *BFSScratch) Sigma(v int32) float64 {
-	if s.stamp[v] != s.epoch {
+	if !s.live.Seen(v) {
 		return 0
 	}
 	return s.sigma[v]
@@ -151,26 +138,16 @@ func (s *BFSScratch) Sigma(v int32) float64 {
 // hash maps of Graph.Subgraph. Like BFSScratch it is epoch-stamped and not
 // safe for concurrent use.
 type SubgraphScratch struct {
-	epoch int32
-	stamp []int32
-	idx   []int32 // local id of stamped nodes
+	live Stamp
+	idx  []int32 // local id of stamped nodes
 }
 
 // NewSubgraphScratch returns an empty scratch; buffers grow on first use.
 func NewSubgraphScratch() *SubgraphScratch { return &SubgraphScratch{} }
 
 func (s *SubgraphScratch) begin(n int) {
-	if len(s.stamp) < n {
-		s.stamp = make([]int32, n)
+	if s.live.Begin(n) {
 		s.idx = make([]int32, n)
-		s.epoch = 0
-	}
-	s.epoch++
-	if s.epoch < 0 {
-		for i := range s.stamp {
-			s.stamp[i] = 0
-		}
-		s.epoch = 1
 	}
 }
 
@@ -181,7 +158,7 @@ func (s *SubgraphScratch) begin(n int) {
 func (s *SubgraphScratch) Induced(g *Graph, nodes []int32) *Graph {
 	s.begin(g.NumNodes())
 	for i, v := range nodes {
-		s.stamp[v] = s.epoch
+		s.live.Visit(v)
 		s.idx[v] = int32(i)
 	}
 	k := len(nodes)
@@ -189,7 +166,7 @@ func (s *SubgraphScratch) Induced(g *Graph, nodes []int32) *Graph {
 	for i, v := range nodes {
 		d := int32(0)
 		for _, w := range g.Neighbors(v) {
-			if s.stamp[w] == s.epoch {
+			if s.live.Seen(w) {
 				d++
 			}
 		}
@@ -202,7 +179,7 @@ func (s *SubgraphScratch) Induced(g *Graph, nodes []int32) *Graph {
 	for i, v := range nodes {
 		c := off[i]
 		for _, w := range g.Neighbors(v) {
-			if s.stamp[w] == s.epoch {
+			if s.live.Seen(w) {
 				adj[c] = s.idx[w]
 				c++
 			}

@@ -16,7 +16,7 @@ import (
 // the sweep implementation.
 func bruteLinkValues(g *graph.Graph) *Result {
 	edges := g.Edges()
-	edgeIdx := buildEdgeIndex(edges)
+	ix := graph.NewEdgeIndex(g)
 	n := g.NumNodes()
 	dists := make([][]int32, n)
 	sigmas := make([][]float64, n)
@@ -36,14 +36,17 @@ func bruteLinkValues(g *graph.Graph) *Result {
 						dists[u][a]+1 == dists[u][b] {
 						w := sigmas[u][a] * sigmas[t][b] / sigmas[u][t]
 						entries = append(entries, pairEntry{
-							edge: edgeIdx[ekey(a, b)], u: u, t: t, w: w,
+							edge: uint32(ix.ID(a, b)), u: u, t: t, w: w,
 						})
 					}
 				}
 			}
 		}
 	}
-	values := coverValues(len(edges), entries)
+	// The brute stream is one (u, t)-ascending block, so a single "source"
+	// block satisfies coverValues' input-order contract.
+	values := coverValues(len(edges), n, [][]pairEntry{entries},
+		[][]int{{len(entries)}})
 	return &Result{Edges: edges, Values: values, N: n}
 }
 

@@ -15,9 +15,10 @@ package hierarchy
 import (
 	"math/rand"
 	"runtime"
-	"sort"
+	"slices"
 	"sync"
 
+	"topocmp/internal/ball"
 	"topocmp/internal/graph"
 	"topocmp/internal/obs"
 	"topocmp/internal/stats"
@@ -123,121 +124,163 @@ type pairEntry struct {
 	w    float64
 }
 
+// sweepScratch is one link-value worker's traversal workspace — BFS
+// scratch, the ancestor-sweep g-value accumulators and level buckets, and
+// the policy sweeps' per-edge fraction accumulators — leased through the
+// unified ball.Pool layer, one bundle per worker per call. The float
+// buffers rely on a zero-at-rest invariant (every sweep resets what it
+// touched), so a leased bundle behaves exactly like a fresh one.
+type sweepScratch struct {
+	bfs     *graph.BFSScratch
+	gval    []float64
+	touched []int32
+	buckets [][]int32
+	localW  []float64 // per-edge fraction accumulators (policy sweeps)
+	localE  []uint32  // edge ids touched in localW for the current target
+	// entries persists a worker's pair-entry capacity across leases; growing
+	// it fresh every call made append's doubling copies the single biggest
+	// cost of the link-value stage. A bundle whose entries are still being
+	// read by coverValues must not be returned to the pool until the values
+	// are computed.
+	entries []pairEntry
+	// Product-space traversal buffers for policy sweeps, reused through
+	// policy.ProductCountsInto (reset via porder, so they carry their own
+	// zero-at-rest invariant).
+	pdist  []int32
+	psigma []float64
+	porder []int32
+}
+
+var sweepPool = ball.NewPool(func() *sweepScratch {
+	return &sweepScratch{bfs: graph.NewBFSScratch()}
+})
+
+// The sweep and cover workspaces hold the pair-entry universe — hundreds of
+// megabytes on the bigger networks — so a few survive collections instead of
+// being refaulted in every suite run.
+func init() {
+	sweepPool.Keep(2)
+	coverPool.Keep(1)
+}
+
+// grownZero returns b with length at least n; freshly grown storage is
+// zeroed by make, and surviving storage is zero by the reset invariant.
+func grownZero(b []float64, n int) []float64 {
+	if cap(b) < n {
+		return make([]float64, n)
+	}
+	return b[:n]
+}
+
 // LinkValues computes link values under shortest-path routing. Source
 // sweeps run concurrently (the graph is immutable; each worker owns its
-// scratch buffers), and the canonical entry ordering in coverValues makes
+// leased scratch), and the canonical entry ordering in coverValues makes
 // the result independent of scheduling.
 func LinkValues(g *graph.Graph, opts Options) *Result {
 	opts.defaults()
 	edges := g.Edges()
-	edgeIdx := buildEdgeIndex(edges)
+	ix := graph.NewEdgeIndex(g)
 	sources, inQ := sampleSources(g.NumNodes(), opts)
 	opts.Metrics.Counter("hierarchy.link_value_sweeps").Add(int64(len(sources)))
 
 	workers := opts.workers(len(sources))
 	n := g.NumNodes()
 	perWorker := make([][]pairEntry, workers)
+	perEnds := make([][]int, workers)
+	wss := make([]*sweepScratch, workers)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
-			sc := graph.NewBFSScratch()
-			gval := make([]float64, n)
-			touched := make([]int32, 0, n)
-			var buckets [][]int32
-			var entries []pairEntry
+			ws := sweepPool.Get()
+			wss[w] = ws
+			ws.gval = grownZero(ws.gval, n)
+			entries := ws.entries[:0]
+			var ends []int
 			for i := w; i < len(sources); i += workers {
 				u := sources[i]
-				order := sc.Counts(g, u)
-				// Per-target ancestor sweeps over the pair universe.
-				for _, t := range order {
+				ws.bfs.Counts(g, u)
+				// Per-target ancestor sweeps over the pair universe, in
+				// ascending target order so each source's entry block comes
+				// out (t)-sorted — coverValues' canonical-order contract.
+				for t := int32(0); t < int32(n); t++ {
 					if t == u || !inQ[t] {
 						continue
 					}
-					entries = sweepTarget(g, u, t, sc, edgeIdx, gval, &touched, &buckets, entries)
+					entries = sweepTarget(g, u, t, ix, ws, entries)
 				}
+				ends = append(ends, len(entries))
 			}
+			ws.entries = entries
 			perWorker[w] = entries
+			perEnds[w] = ends
 		}(w)
 	}
 	wg.Wait()
-	var entries []pairEntry
-	for _, e := range perWorker {
-		entries = append(entries, e...)
+	values := coverValues(len(edges), n, perWorker, perEnds)
+	for _, ws := range wss {
+		sweepPool.Put(ws)
 	}
-	values := coverValues(len(edges), entries)
 	return &Result{Edges: edges, Values: values, N: len(sources)}
 }
 
 // sweepTarget walks target t's shortest-path ancestor DAG from source u,
 // computing per-edge path fractions (g values) and appending pair entries.
-// Distances and path counts come from sc's last Counts traversal;
-// gval/touched/buckets are reusable scratch (gval zeroed via touched).
-func sweepTarget(g *graph.Graph, u, t int32, sc *graph.BFSScratch,
-	edgeIdx map[uint64]uint32, gval []float64, touched *[]int32,
-	buckets *[][]int32, entries []pairEntry) []pairEntry {
+// Distances and path counts come from ws.bfs's last Counts traversal;
+// gval/touched/buckets are reused across targets (gval zeroed via touched).
+func sweepTarget(g *graph.Graph, u, t int32, ix *graph.EdgeIndex,
+	ws *sweepScratch, entries []pairEntry) []pairEntry {
 
+	sc := ws.bfs
 	dt := int(sc.Dist(t))
 	if dt <= 0 {
 		return entries
 	}
 	// Ensure bucket capacity.
-	for len(*buckets) <= dt {
-		*buckets = append(*buckets, nil)
+	for len(ws.buckets) <= dt {
+		ws.buckets = append(ws.buckets, nil)
 	}
-	bs := *buckets
+	bs := ws.buckets
 	for d := 0; d <= dt; d++ {
 		bs[d] = bs[d][:0]
 	}
-	gval[t] = 1
-	*touched = append((*touched)[:0], t)
+	ws.gval[t] = 1
+	ws.touched = append(ws.touched[:0], t)
 	bs[dt] = append(bs[dt], t)
 	for d := dt; d >= 1; d-- {
 		for _, b := range bs[d] {
-			gb := gval[b]
+			gb := ws.gval[b]
 			for _, a := range g.Neighbors(b) {
 				if sc.Dist(a) != int32(d-1) {
 					continue
 				}
 				frac := gb * sc.Sigma(a) / sc.Sigma(b)
 				entries = append(entries, pairEntry{
-					edge: edgeIdx[ekey(a, b)], u: u, t: t, w: frac,
+					edge: uint32(ix.ID(a, b)), u: u, t: t, w: frac,
 				})
-				if gval[a] == 0 {
+				if ws.gval[a] == 0 {
 					// First touch: schedule and track for reset.
-					*touched = append(*touched, a)
+					ws.touched = append(ws.touched, a)
 					if d-1 >= 1 {
 						bs[d-1] = append(bs[d-1], a)
 					}
 				}
-				gval[a] += frac
+				ws.gval[a] += frac
 			}
 		}
 	}
-	for _, v := range *touched {
-		gval[v] = 0
+	for _, v := range ws.touched {
+		ws.gval[v] = 0
 	}
 	return entries
 }
 
-func ekey(u, v int32) uint64 {
-	if u > v {
-		u, v = v, u
-	}
-	return uint64(uint32(u))<<32 | uint64(uint32(v))
-}
-
-func buildEdgeIndex(edges []graph.Edge) map[uint64]uint32 {
-	idx := make(map[uint64]uint32, len(edges))
-	for i, e := range edges {
-		idx[ekey(e.U, e.V)] = uint32(i)
-	}
-	return idx
-}
-
 // sampleSources returns the pair-universe node set Q and its membership
-// mask.
+// mask. The set is returned in ascending node order: the sweeps emit entry
+// blocks in source order, and coverValues relies on that order being
+// ascending u to reach the canonical (edge, u, t) grouping without a sort.
+// (Which nodes are sampled depends only on the Rand stream, not the order.)
 func sampleSources(n int, opts Options) ([]int32, []bool) {
 	inQ := make([]bool, n)
 	if opts.MaxSources <= 0 || opts.MaxSources >= n {
@@ -254,110 +297,242 @@ func sampleSources(n int, opts Options) ([]int32, []bool) {
 		out[i] = int32(perm[i])
 		inQ[out[i]] = true
 	}
+	slices.Sort(out)
 	return out, inQ
 }
 
 // coverValues groups the pair entries by edge, computes per-node traversal
 // weights W(x,e) (the average pair fraction over the pairs containing x),
 // and runs the primal-dual weighted vertex cover per edge.
-func coverValues(numEdges int, entries []pairEntry) []float64 {
-	// Canonical (edge, u, t) order makes the order-dependent primal-dual
-	// deterministic and independent of how the entries were produced.
-	sort.Slice(entries, func(i, j int) bool {
-		a, b := entries[i], entries[j]
-		if a.edge != b.edge {
-			return a.edge < b.edge
+//
+// The grouping is a single stable counting sort on the dense edge ids. Its
+// input-order contract makes that sufficient for the canonical (edge, u, t)
+// order the order-dependent primal-dual needs: each worker's entry list is a
+// sequence of per-source blocks, blocks are (t)-ascending inside (the sweeps
+// iterate targets in node order), the global source sequence is
+// (u)-ascending (sampleSources sorts it), and perEnds[w][k] records where
+// worker w's k-th block ends. Replaying the blocks in global source order —
+// source index si lives in worker si%W's block si/W — feeds the scatter an
+// (u, t)-sorted stream, and stability plus unique (edge, u, t) keys land
+// every group fully sorted, with no comparison sort anywhere.
+func coverValues(numEdges, numNodes int, perWorker [][]pairEntry,
+	perEnds [][]int) []float64 {
+
+	total := 0
+	numSources := 0
+	for w, es := range perWorker {
+		total += len(es)
+		numSources += len(perEnds[w])
+	}
+	ws := coverPool.Get()
+	defer coverPool.Put(ws)
+	ws.ensure(numNodes)
+	off := growInt(ws.off, numEdges+1)
+	clear(off)
+	ws.off = off
+	for _, es := range perWorker {
+		for i := range es {
+			off[es[i].edge+1]++
 		}
-		if a.u != b.u {
-			return a.u < b.u
+	}
+	for e := 0; e < numEdges; e++ {
+		off[e+1] += off[e]
+	}
+	cur := growInt(ws.keys, numEdges)
+	ws.keys = cur
+	copy(cur, off[:numEdges])
+	sorted := growPairs(ws.sortA, total)
+	ws.sortA = sorted
+	W := len(perWorker)
+	for si := 0; si < numSources; si++ {
+		w, k := si%W, si/W
+		start := 0
+		if k > 0 {
+			start = perEnds[w][k-1]
 		}
-		return a.t < b.t
-	})
+		for _, p := range perWorker[w][start:perEnds[w][k]] {
+			sorted[cur[p.edge]] = p
+			cur[p.edge]++
+		}
+	}
 	values := make([]float64, numEdges)
-	for lo := 0; lo < len(entries); {
-		hi := lo
-		e := entries[lo].edge
-		for hi < len(entries) && entries[hi].edge == e {
-			hi++
+	for e := 0; e < numEdges; e++ {
+		group := sorted[off[e]:off[e+1]]
+		if len(group) == 0 {
+			continue
 		}
-		values[e] = edgeCover(entries[lo:hi])
-		lo = hi
+		values[e] = edgeCover(group, ws)
 	}
 	return values
 }
 
-// edgeCover computes one edge's link value from its pair entries: the
-// primal-dual (local-ratio) weighted vertex cover of the traversal-set
-// bipartite graph, followed by a reverse-order redundancy prune that
-// removes cover nodes whose pairs are all covered by other cover nodes
-// (without the prune, ties double access-link values).
-func edgeCover(pairs []pairEntry) float64 {
-	sum := map[int32]float64{}
-	cnt := map[int32]int{}
+// coverScratch is the vertex-cover workspace: node-indexed accumulators
+// reset through the group's node list, so one edge's cover costs O(pairs)
+// with no hashing. Leased through the unified ball.Pool layer.
+type coverScratch struct {
+	sum      []float64
+	weight   []float64
+	residual []float64
+	cnt      []int32
+	localIdx []int32
+	inCover  []bool
+
+	nodes      []int32 // distinct nodes of the current group, first-touch order
+	coverOrder []int32
+	pcnt       []int32 // partner-list CSR offsets (per local node)
+	pcur       []int32
+	partners   []int32
+
+	// coverValues' counting-sort buffers, pooled (and kept, via Keep) so the
+	// per-suite-run transient allocations — the sorted entry universe is the
+	// largest single buffer in the pipeline — and their kernel page-fault
+	// cost happen once instead of every call.
+	sortA []pairEntry
+	keys  []int
+	off   []int
+}
+
+var coverPool = ball.NewPool(func() *coverScratch { return &coverScratch{} })
+
+func (ws *coverScratch) ensure(n int) {
+	if len(ws.sum) < n {
+		ws.sum = make([]float64, n)
+		ws.weight = make([]float64, n)
+		ws.residual = make([]float64, n)
+		ws.cnt = make([]int32, n)
+		ws.localIdx = make([]int32, n)
+		ws.inCover = make([]bool, n)
+	}
+}
+
+func growI32(b []int32, n int) []int32 {
+	if cap(b) < n {
+		return make([]int32, n)
+	}
+	return b[:n]
+}
+
+func growInt(b []int, n int) []int {
+	if cap(b) < n {
+		return make([]int, n)
+	}
+	return b[:n]
+}
+
+func growPairs(b []pairEntry, n int) []pairEntry {
+	if cap(b) < n {
+		return make([]pairEntry, n)
+	}
+	return b[:n]
+}
+
+// edgeCover computes one edge's link value from its canonically ordered
+// pair entries: the primal-dual (local-ratio) weighted vertex cover of the
+// traversal-set bipartite graph, followed by a reverse-order redundancy
+// prune that removes cover nodes whose pairs are all covered by other cover
+// nodes (without the prune, ties double access-link values). Every float
+// accumulation runs in the entries' canonical order, so the value is
+// bit-deterministic across runs and worker counts.
+func edgeCover(pairs []pairEntry, ws *coverScratch) float64 {
+	nodes := ws.nodes[:0]
 	for _, p := range pairs {
-		sum[p.u] += p.w
-		cnt[p.u]++
-		sum[p.t] += p.w
-		cnt[p.t]++
+		if ws.cnt[p.u] == 0 {
+			nodes = append(nodes, p.u)
+		}
+		ws.sum[p.u] += p.w
+		ws.cnt[p.u]++
+		if ws.cnt[p.t] == 0 {
+			nodes = append(nodes, p.t)
+		}
+		ws.sum[p.t] += p.w
+		ws.cnt[p.t]++
 	}
-	weight := make(map[int32]float64, len(sum))
-	for v, s := range sum {
-		weight[v] = s / float64(cnt[v])
+	for _, v := range nodes {
+		w := ws.sum[v] / float64(ws.cnt[v])
+		ws.weight[v] = w
+		ws.residual[v] = w
 	}
-	residual := make(map[int32]float64, len(weight))
-	for v, w := range weight {
-		residual[v] = w
-	}
-	inCover := map[int32]bool{}
-	var coverOrder []int32
+	coverOrder := ws.coverOrder[:0]
 	for _, p := range pairs {
 		u, t := p.u, p.t
-		if inCover[u] || inCover[t] {
+		if ws.inCover[u] || ws.inCover[t] {
 			continue
 		}
-		ru, rt := residual[u], residual[t]
+		ru, rt := ws.residual[u], ws.residual[t]
 		m := ru
 		if rt < m {
 			m = rt
 		}
-		residual[u] = ru - m
-		residual[t] = rt - m
-		if residual[u] <= 1e-12 {
-			inCover[u] = true
+		ws.residual[u] = ru - m
+		ws.residual[t] = rt - m
+		if ws.residual[u] <= 1e-12 {
+			ws.inCover[u] = true
 			coverOrder = append(coverOrder, u)
 		}
-		if t != u && residual[t] <= 1e-12 {
-			inCover[t] = true
+		if t != u && ws.residual[t] <= 1e-12 {
+			ws.inCover[t] = true
 			coverOrder = append(coverOrder, t)
 		}
 	}
-	// Redundancy prune, most recent additions first. Partner lists let each
-	// check run in O(pairs containing v).
-	partners := map[int32][]int32{}
+	// Partner lists as a CSR over the group's local node ids, filled in
+	// pair order; each redundancy check runs in O(pairs containing v).
+	k := len(nodes)
+	for i, v := range nodes {
+		ws.localIdx[v] = int32(i)
+	}
+	pcnt := growI32(ws.pcnt, k+1)
+	for i := 0; i <= k; i++ {
+		pcnt[i] = 0
+	}
 	for _, p := range pairs {
-		partners[p.u] = append(partners[p.u], p.t)
-		partners[p.t] = append(partners[p.t], p.u)
+		pcnt[ws.localIdx[p.u]+1]++
+		pcnt[ws.localIdx[p.t]+1]++
+	}
+	for i := 0; i < k; i++ {
+		pcnt[i+1] += pcnt[i]
+	}
+	pcur := growI32(ws.pcur, k)
+	copy(pcur, pcnt[:k])
+	partners := growI32(ws.partners, 2*len(pairs))
+	for _, p := range pairs {
+		lu, lt := ws.localIdx[p.u], ws.localIdx[p.t]
+		partners[pcur[lu]] = p.t
+		pcur[lu]++
+		partners[pcur[lt]] = p.u
+		pcur[lt]++
 	}
 	for i := len(coverOrder) - 1; i >= 0; i-- {
 		v := coverOrder[i]
+		li := ws.localIdx[v]
 		removable := true
-		for _, w := range partners[v] {
-			if !inCover[w] {
+		for _, w := range partners[pcnt[li]:pcnt[li+1]] {
+			if !ws.inCover[w] {
 				removable = false
 				break
 			}
 		}
 		if removable {
-			inCover[v] = false
+			ws.inCover[v] = false
 		}
 	}
-	// Sum in coverOrder (not map order) so the float accumulation is
-	// bit-deterministic across runs and worker counts.
+	// Sum in coverOrder (not node order) so the float accumulation matches
+	// the cover construction exactly.
 	value := 0.0
 	for _, v := range coverOrder {
-		if inCover[v] {
-			value += weight[v]
+		if ws.inCover[v] {
+			value += ws.weight[v]
 		}
 	}
+	// Restore the zero-at-rest invariant for the next group.
+	for _, v := range nodes {
+		ws.sum[v] = 0
+		ws.cnt[v] = 0
+		ws.inCover[v] = false
+	}
+	ws.nodes = nodes
+	ws.coverOrder = coverOrder
+	ws.pcnt = pcnt
+	ws.pcur = pcur
+	ws.partners = partners
 	return value
 }

@@ -15,7 +15,7 @@ func PolicyLinkValues(a *policy.Annotated, opts Options) *Result {
 	opts.defaults()
 	g := a.G
 	edges := g.Edges()
-	edgeIdx := buildEdgeIndex(edges)
+	ix := graph.NewEdgeIndex(g)
 	sources, inQ := sampleSources(g.NumNodes(), opts)
 	opts.Metrics.Counter("hierarchy.policy_sweeps").Add(int64(len(sources)))
 
@@ -23,20 +23,27 @@ func PolicyLinkValues(a *policy.Annotated, opts Options) *Result {
 	ns := policy.NumStates
 	workers := opts.workers(len(sources))
 	perWorker := make([][]pairEntry, workers)
+	perEnds := make([][]int, workers)
+	wss := make([]*sweepScratch, workers)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
-			gval := make([]float64, n*ns)
-			touched := make([]int32, 0, n)
-			var buckets [][]int32
-			local := map[uint32]float64{} // per-target per-edge fractions
-			var entries []pairEntry
+			ws := sweepPool.Get()
+			wss[w] = ws
+			ws.gval = grownZero(ws.gval, n*ns)
+			ws.localW = grownZero(ws.localW, len(edges))
+			entries := ws.entries[:0]
+			var ends []int
 			for i := w; i < len(sources); i += workers {
 				u := sources[i]
-				dist, sigma, _ := a.ProductCounts(u)
-				// Per-node policy distance = min over states.
+				dist, sigma, order := a.ProductCountsInto(
+					ws.pdist, ws.psigma, ws.porder, u)
+				ws.pdist, ws.psigma, ws.porder = dist, sigma, order
+				// Per-node policy distance = min over states; ascending
+				// target order keeps each source block (t)-sorted for
+				// coverValues.
 				for t := int32(0); t < int32(n); t++ {
 					if t == u || !inQ[t] {
 						continue
@@ -51,40 +58,44 @@ func PolicyLinkValues(a *policy.Annotated, opts Options) *Result {
 						continue
 					}
 					entries = sweepPolicyTarget(a, u, t, int(pdist), dist, sigma,
-						edgeIdx, gval, &touched, &buckets, local, entries)
+						ix, ws, entries)
 				}
+				ends = append(ends, len(entries))
 			}
+			ws.entries = entries
 			perWorker[w] = entries
+			perEnds[w] = ends
 		}(w)
 	}
 	wg.Wait()
-	var entries []pairEntry
-	for _, e := range perWorker {
-		entries = append(entries, e...)
+	values := coverValues(len(edges), n, perWorker, perEnds)
+	for _, ws := range wss {
+		sweepPool.Put(ws)
 	}
-	values := coverValues(len(edges), entries)
 	return &Result{Edges: edges, Values: values, N: len(sources)}
 }
 
 // sweepPolicyTarget walks the product-space shortest-path ancestor DAG of
 // target t, distributing path fractions over the optimal arrival states and
 // aggregating per underlying edge (a product sweep can cross the same graph
-// edge in several states).
+// edge in several states). The per-edge aggregation runs on the leased
+// scratch's dense accumulators (localW, reset through localE) instead of a
+// per-target map.
 func sweepPolicyTarget(a *policy.Annotated, u, t int32, pdist int,
-	dist []int32, sigma []float64, edgeIdx map[uint64]uint32,
-	gval []float64, touched *[]int32, buckets *[][]int32,
-	local map[uint32]float64, entries []pairEntry) []pairEntry {
+	dist []int32, sigma []float64, ix *graph.EdgeIndex,
+	ws *sweepScratch, entries []pairEntry) []pairEntry {
 
 	g := a.G
 	ns := policy.NumStates
-	for len(*buckets) <= pdist {
-		*buckets = append(*buckets, nil)
+	for len(ws.buckets) <= pdist {
+		ws.buckets = append(ws.buckets, nil)
 	}
-	bs := *buckets
+	bs := ws.buckets
 	for d := 0; d <= pdist; d++ {
 		bs[d] = bs[d][:0]
 	}
-	*touched = (*touched)[:0]
+	ws.touched = ws.touched[:0]
+	ws.localE = ws.localE[:0]
 	// Seed the optimal arrival states proportionally to their path counts.
 	totalSigma := 0.0
 	for s := 0; s < ns; s++ {
@@ -99,8 +110,8 @@ func sweepPolicyTarget(a *policy.Annotated, u, t int32, pdist int,
 	for s := 0; s < ns; s++ {
 		st := int(t)*ns + s
 		if int(dist[st]) == pdist && sigma[st] > 0 {
-			gval[st] = sigma[st] / totalSigma
-			*touched = append(*touched, int32(st))
+			ws.gval[st] = sigma[st] / totalSigma
+			ws.touched = append(ws.touched, int32(st))
 			bs[pdist] = append(bs[pdist], int32(st))
 		}
 	}
@@ -109,7 +120,7 @@ func sweepPolicyTarget(a *policy.Annotated, u, t int32, pdist int,
 			st := int(stRaw)
 			b := int32(st / ns)
 			sb := st % ns
-			gb := gval[st]
+			gb := ws.gval[st]
 			for _, av := range g.Neighbors(b) {
 				// Predecessor states (av, sa) with a valid transition into sb.
 				for sa := 0; sa < ns; sa++ {
@@ -121,24 +132,28 @@ func sweepPolicyTarget(a *policy.Annotated, u, t int32, pdist int,
 						continue
 					}
 					frac := gb * sigma[sat] / sigma[st]
-					local[edgeIdx[ekey(av, b)]] += frac
-					if gval[sat] == 0 {
-						*touched = append(*touched, int32(sat))
+					id := uint32(ix.ID(av, b))
+					if ws.localW[id] == 0 {
+						ws.localE = append(ws.localE, id)
+					}
+					ws.localW[id] += frac
+					if ws.gval[sat] == 0 {
+						ws.touched = append(ws.touched, int32(sat))
 						if d-1 >= 1 {
 							bs[d-1] = append(bs[d-1], int32(sat))
 						}
 					}
-					gval[sat] += frac
+					ws.gval[sat] += frac
 				}
 			}
 		}
 	}
-	for _, st := range *touched {
-		gval[st] = 0
+	for _, st := range ws.touched {
+		ws.gval[st] = 0
 	}
-	for e, w := range local {
-		entries = append(entries, pairEntry{edge: e, u: u, t: t, w: w})
-		delete(local, e)
+	for _, e := range ws.localE {
+		entries = append(entries, pairEntry{edge: e, u: u, t: t, w: ws.localW[e]})
+		ws.localW[e] = 0
 	}
 	return entries
 }

@@ -14,23 +14,22 @@ import (
 func TraversalSetSizes(g *graph.Graph, opts Options) []int {
 	opts.defaults()
 	edges := g.Edges()
-	edgeIdx := buildEdgeIndex(edges)
+	ix := graph.NewEdgeIndex(g)
 	sources, inQ := sampleSources(g.NumNodes(), opts)
 
 	counts := make([]int, len(edges))
 	n := g.NumNodes()
-	sc := graph.NewBFSScratch()
-	gval := make([]float64, n)
-	touched := make([]int32, 0, n)
-	var buckets [][]int32
+	ws := sweepPool.Get()
+	defer sweepPool.Put(ws)
+	ws.gval = grownZero(ws.gval, n)
 	var entries []pairEntry
 	for _, u := range sources {
-		order := sc.Counts(g, u)
+		order := ws.bfs.Counts(g, u)
 		for _, t := range order {
 			if t == u || !inQ[t] {
 				continue
 			}
-			entries = sweepTarget(g, u, t, sc, edgeIdx, gval, &touched, &buckets, entries[:0])
+			entries = sweepTarget(g, u, t, ix, ws, entries[:0])
 			seen := map[uint32]bool{}
 			for _, e := range entries {
 				if !seen[e.edge] {

@@ -22,7 +22,8 @@ func Distortion(g *graph.Graph, cfg ball.Config, roots int) stats.Series {
 }
 
 // DistortionWith is Distortion over an engine: balls grow on the worker
-// pool and their subgraphs come from the shared ball cache.
+// pool, their subgraphs come from the shared ball cache, and the center
+// election runs on the engine's leased kernel bundles.
 func DistortionWith(e *ball.Engine, cfg ball.Config, roots int) stats.Series {
 	if roots <= 0 {
 		roots = 3
@@ -30,8 +31,8 @@ func DistortionWith(e *ball.Engine, cfg ball.Config, roots int) stats.Series {
 	if cfg.MinBallSize == 0 {
 		cfg.MinBallSize = 3
 	}
-	raw := e.BallPoints(cfg, 0, func(sub *graph.Graph, _ *rand.Rand) (float64, bool) {
-		d := SubgraphDistortion(sub, roots)
+	raw := e.BallPointsKernels(cfg, 0, func(sub *graph.Graph, _ int, _ *rand.Rand, k *ball.Kernels) (float64, bool) {
+		d := SubgraphDistortionKernels(sub, roots, BetweennessAuto, k)
 		return d, d > 0
 	})
 	s := stats.Bucketize(raw, bucketRatio)
@@ -39,25 +40,77 @@ func DistortionWith(e *ball.Engine, cfg ball.Config, roots int) stats.Series {
 	return s
 }
 
+// BetweennessMode selects the Brandes accumulation path for the center
+// election in SubgraphDistortion.
+type BetweennessMode int
+
+const (
+	// BetweennessAuto probes the subgraph's diameter (cheap double BFS
+	// sweep) and routes: past the cutoff the frontiers are thin and the
+	// scalar path wins; otherwise the bit-parallel kernel batches every
+	// sampled source through one shared level sweep.
+	BetweennessAuto BetweennessMode = iota
+	// BetweennessScalar forces the per-source scalar accumulation.
+	BetweennessScalar
+	// BetweennessBitParallel forces the batched kernel.
+	BetweennessBitParallel
+)
+
+// brandesDiameterCutoff is BetweennessAuto's routing threshold, matching
+// the distance sweeps' cutoff in internal/ball: high-diameter subgraphs
+// (lattice balls) keep the scalar path.
+const brandesDiameterCutoff = 32
+
+// distScratch is the distortion workspace family — the spanning-tree arrays
+// and the betweenness accumulators — leased per subgraph through the
+// unified ball.Pool layer. Traversal scratch (BFS, Brandes strips) comes
+// from the ball.Kernels bundle instead, so engine-driven calls share the
+// per-worker kernels every other ball metric uses.
+type distScratch struct {
+	parent, depth, queue []int32
+	sources              []int32
+	bc, delta            []float64
+}
+
+var distPool = ball.NewPool(func() *distScratch { return &distScratch{} })
+
+// standaloneKernels serves the entry points that run without an engine
+// lease (direct SubgraphDistortion calls): the same bundle shape, pooled
+// through the same layer, minus the engine's counters.
+var standaloneKernels = ball.NewPool(func() *ball.Kernels {
+	return &ball.Kernels{BFS: graph.NewBFSScratch(), Brandes: graph.NewBrandesScratch()}
+})
+
 // SubgraphDistortion returns the distortion estimate for one connected
 // graph: the minimum, over BFS trees rooted at the top `roots` betweenness
 // candidates, of the average tree distance between edge endpoints. Returns
 // 0 for graphs with no edges.
 func SubgraphDistortion(sub *graph.Graph, roots int) float64 {
+	k := standaloneKernels.Get()
+	defer standaloneKernels.Put(k)
+	return SubgraphDistortionKernels(sub, roots, BetweennessAuto, k)
+}
+
+// SubgraphDistortionKernels is SubgraphDistortion on a leased kernel
+// bundle: the betweenness election runs on k's BFS scratch or bit-parallel
+// Brandes strips per mode, and the tree arrays come from the pooled
+// distortion workspace, so the per-ball hot path is allocation-free.
+func SubgraphDistortionKernels(sub *graph.Graph, roots int, mode BetweennessMode, k *ball.Kernels) float64 {
 	n := sub.NumNodes()
 	if n < 2 || sub.NumEdges() == 0 {
 		return 0
 	}
-	centers := topBetweenness(sub, roots)
+	ws := distPool.Get()
+	defer distPool.Put(ws)
+	centers := topBetweenness(sub, roots, mode, k, ws)
 	// One scratch set serves every candidate root: each BFS rewrites the
-	// tree arrays in full, and the edge list is the same for all roots.
-	parent := make([]int32, n)
-	depth := make([]int32, n)
-	queue := make([]int32, 0, n)
-	edges := sub.Edges()
+	// tree arrays in full, and the edge sweep order is fixed by the CSR.
+	ws.parent = growInts(ws.parent, n)
+	ws.depth = growInts(ws.depth, n)
+	ws.queue = growInts(ws.queue, n)[:0]
 	best := -1.0
 	for _, c := range centers {
-		d := bfsTreeDistortion(sub, c, parent, depth, queue, edges)
+		d := bfsTreeDistortion(sub, c, ws.parent, ws.depth, ws.queue)
 		if best < 0 || d < best {
 			best = d
 		}
@@ -66,33 +119,69 @@ func SubgraphDistortion(sub *graph.Graph, roots int) float64 {
 }
 
 // topBetweenness returns up to k nodes with the highest approximate
-// betweenness, computed by Brandes' accumulation from a sample of sources.
-func topBetweenness(g *graph.Graph, k int) []int32 {
+// betweenness, computed by Brandes' accumulation from a sample of sources —
+// scalar per source or bit-parallel per batch, per mode.
+func topBetweenness(g *graph.Graph, k int, mode BetweennessMode, kn *ball.Kernels, ws *distScratch) []int32 {
 	n := g.NumNodes()
 	sources := n
 	const maxSources = 24
 	if sources > maxSources {
 		sources = maxSources
 	}
-	bc := make([]float64, n)
+	ws.bc = growFloats(ws.bc, n)
+	bc := ws.bc
+	for i := range bc {
+		bc[i] = 0
+	}
 	r := rand.New(rand.NewSource(int64(n)*7919 + 17))
 	perm := r.Perm(n)
-	delta := make([]float64, n)
-	for si := 0; si < sources; si++ {
-		s := int32(perm[si])
-		dist, sigma, order := g.BFSCounts(s)
-		for i := range delta {
-			delta[i] = 0
+	if mode == BetweennessAuto {
+		if graph.ApproxDiameter(g, kn.BFS) > brandesDiameterCutoff {
+			mode = BetweennessScalar
+		} else {
+			mode = BetweennessBitParallel
 		}
-		for i := len(order) - 1; i >= 0; i-- {
-			w := order[i]
-			for _, v := range g.Neighbors(w) {
-				if dist[v] == dist[w]-1 {
-					delta[v] += sigma[v] / sigma[w] * (1 + delta[w])
-				}
+	}
+	if mode == BetweennessBitParallel {
+		ws.sources = ws.sources[:0]
+		for si := 0; si < sources; si++ {
+			ws.sources = append(ws.sources, int32(perm[si]))
+		}
+		batches := int64(0)
+		for lo := 0; lo < len(ws.sources); lo += graph.BrandesWidth {
+			hi := lo + graph.BrandesWidth
+			if hi > len(ws.sources) {
+				hi = len(ws.sources)
 			}
-			if w != s {
-				bc[w] += delta[w]
+			kn.Brandes.Accumulate(g, ws.sources[lo:hi], bc)
+			batches++
+		}
+		kn.CountBrandes(batches, 0)
+	} else {
+		kn.CountBrandes(0, 1)
+		// The scalar fallback runs the exact accumulation (and float
+		// ordering) of the original per-source loop, on pooled epoch-
+		// stamped scratch instead of three fresh arrays per source.
+		ws.delta = growFloats(ws.delta, n)
+		delta := ws.delta
+		s := kn.BFS
+		for si := 0; si < sources; si++ {
+			src := int32(perm[si])
+			order := s.Counts(g, src)
+			for i := range delta {
+				delta[i] = 0
+			}
+			for i := len(order) - 1; i >= 0; i-- {
+				w := order[i]
+				dw := s.Dist(w)
+				for _, v := range g.Neighbors(w) {
+					if s.Dist(v) == dw-1 {
+						delta[v] += s.Sigma(v) / s.Sigma(w) * (1 + delta[w])
+					}
+				}
+				if w != src {
+					bc[w] += delta[w]
+				}
 			}
 		}
 	}
@@ -120,14 +209,29 @@ func topBetweenness(g *graph.Graph, k int) []int32 {
 	return top
 }
 
+// growInts returns b resized to n, reallocating only on growth.
+func growInts(b []int32, n int) []int32 {
+	if cap(b) < n {
+		return make([]int32, n)
+	}
+	return b[:n]
+}
+
+// growFloats returns b resized to n, reallocating only on growth.
+func growFloats(b []float64, n int) []float64 {
+	if cap(b) < n {
+		return make([]float64, n)
+	}
+	return b[:n]
+}
+
 // bfsTreeDistortion builds the BFS tree rooted at root and returns the
 // average tree distance between the endpoints of every graph edge. Tree
-// distances use parent walks (depth-bounded, cheap on BFS trees). The
-// parent/depth/queue scratch and the edge list are caller-owned so they can
-// be reused across roots.
-func bfsTreeDistortion(g *graph.Graph, root int32,
-	parent, depth, queue []int32, edges []graph.Edge) float64 {
-
+// distances use parent walks (depth-bounded, cheap on BFS trees); edges are
+// swept straight off the CSR in (U, V) order, so no edge list is ever
+// materialized. The parent/depth/queue scratch is caller-owned so it can be
+// reused across roots.
+func bfsTreeDistortion(g *graph.Graph, root int32, parent, depth, queue []int32) float64 {
 	for i := range parent {
 		parent[i] = -1
 	}
@@ -145,9 +249,13 @@ func bfsTreeDistortion(g *graph.Graph, root int32,
 		}
 	}
 	total, count := 0.0, 0
-	for _, e := range edges {
-		total += float64(treeDist(parent, depth, e.U, e.V))
-		count++
+	for u := int32(0); u < int32(g.NumNodes()); u++ {
+		for _, v := range g.Neighbors(u) {
+			if u < v {
+				total += float64(treeDist(parent, depth, u, v))
+				count++
+			}
+		}
 	}
 	if count == 0 {
 		return 0

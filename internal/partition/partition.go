@@ -97,14 +97,12 @@ type Workspace struct {
 	memberA []int32 // finest member of each coarse node
 	memberB []int32 // second member, -1 for unmatched singletons
 
-	accStamp []int32 // coarse-adjacency merge stamps, epoch-keyed
-	accPos   []int32 // position of a stamped target in the open adjacency run
-	accEpoch int32
+	acc    graph.Stamp // coarse-adjacency merge liveness, one epoch per coarse node
+	accPos []int32     // position of a stamped target in the open adjacency run
 
-	visitStamp []int32 // region-growing visited marks, epoch-keyed
-	visitEpoch int32
-	queue      []int32
-	cand       []bool // candidate side assignment per region-growing seed
+	visit graph.Stamp // region-growing visited marks, one epoch per seed
+	queue []int32
+	cand  []bool // candidate side assignment per region-growing seed
 
 	gain    []int // FM gains
 	moved   []bool
@@ -304,17 +302,9 @@ func (ws *Workspace) coarsen(fine, coarse *level, r *rand.Rand) {
 	}
 	coarse.off = growInt32(coarse.off, nc+1)
 	coarse.adj = coarse.adj[:0]
-	ws.accStamp = growInt32(ws.accStamp, nc)
 	ws.accPos = growInt32(ws.accPos, nc)
-	if ws.accEpoch > 1<<30 {
-		for i := range ws.accStamp {
-			ws.accStamp[i] = 0
-		}
-		ws.accEpoch = 0
-	}
 	for cu := int32(0); cu < next; cu++ {
-		ws.accEpoch++
-		epoch := ws.accEpoch
+		ws.acc.Begin(nc)
 		start := len(coarse.adj)
 		coarse.off[cu] = int32(start)
 		for _, u := range [2]int32{ws.memberA[cu], ws.memberB[cu]} {
@@ -327,8 +317,7 @@ func (ws *Workspace) coarsen(fine, coarse *level, r *rand.Rand) {
 				if cv == cu {
 					continue
 				}
-				if ws.accStamp[cv] != epoch {
-					ws.accStamp[cv] = epoch
+				if ws.acc.Visit(cv) {
 					ws.accPos[cv] = int32(len(coarse.adj) - start)
 					coarse.adj = append(coarse.adj, wedge{cv, e.w})
 				} else {
@@ -348,33 +337,24 @@ func (ws *Workspace) coarsen(fine, coarse *level, r *rand.Rand) {
 func (ws *Workspace) initialBisection(l *level, best []bool, opts *Options) {
 	n := l.numNodes()
 	total := l.totalNodeW()
-	ws.visitStamp = growInt32(ws.visitStamp, n)
 	ws.cand = growBool(ws.cand, n)
-	if ws.visitEpoch > 1<<30 {
-		for i := range ws.visitStamp {
-			ws.visitStamp[i] = 0
-		}
-		ws.visitEpoch = 0
-	}
 	bestCut := -1
 	for s := 0; s < opts.Seeds; s++ {
 		seed := int32(opts.Rand.Intn(n))
-		ws.visitEpoch++
-		epoch := ws.visitEpoch
+		ws.visit.Begin(n)
 		cand := ws.cand
 		for i := range cand {
 			cand[i] = false
 		}
 		ws.queue = append(ws.queue[:0], seed)
-		ws.visitStamp[seed] = epoch
+		ws.visit.Visit(seed)
 		grown := 0
 		for head := 0; head < len(ws.queue) && grown*2 < total; head++ {
 			u := ws.queue[head]
 			cand[u] = true
 			grown += int(l.nodeW[u])
 			for _, e := range l.edgesOf(u) {
-				if ws.visitStamp[e.to] != epoch {
-					ws.visitStamp[e.to] = epoch
+				if ws.visit.Visit(e.to) {
 					ws.queue = append(ws.queue, e.to)
 				}
 			}

@@ -119,11 +119,18 @@ func (t *PathTree) Dist(dst int32) int32 {
 // Path returns the node sequence of the selected policy path from the
 // source to dst (inclusive on both ends), or nil if unreachable.
 func (t *PathTree) Path(dst int32) []int32 {
+	return t.PathInto(nil, dst)
+}
+
+// PathInto is Path reusing buf's storage: sweeps that walk many
+// destinations pass the previous return value back in and allocate only on
+// growth. Returns nil if dst is unreachable.
+func (t *PathTree) PathInto(buf []int32, dst int32) []int32 {
 	st := t.best[dst]
 	if st < 0 {
 		return nil
 	}
-	var rev []int32
+	rev := buf[:0]
 	for st >= 0 {
 		rev = append(rev, st/numStates)
 		st = t.parent[st]
@@ -133,4 +140,35 @@ func (t *PathTree) Path(dst int32) []int32 {
 		rev[i], rev[j] = rev[j], rev[i]
 	}
 	return rev
+}
+
+// NumProductStates returns the product-space size a VisitPathEdges stamp
+// must cover (pass it to Stamp.Begin once per tree).
+func (t *PathTree) NumProductStates() int { return len(t.dist) }
+
+// VisitPathEdges enumerates the node-level hops (u, v) of the selected path
+// to dst, walking the product parent chain from the destination toward the
+// source. With a stamp (Begin'd to NumProductStates once per tree), the
+// walk stops at the first product state a previous destination already
+// covered — selected paths form a tree in product space, so sweeping every
+// destination costs one visit per tree state instead of one per path hop,
+// which is what makes whole-graph coverage unions cheap. The emitted edge
+// set is exactly the union of the Path slices' hops; only the order (and
+// the suffix deduplication) differs. A nil stamp walks the full path.
+func (t *PathTree) VisitPathEdges(stamp *graph.Stamp, dst int32, visit func(u, v int32)) {
+	st := t.best[dst]
+	if st < 0 {
+		return
+	}
+	for {
+		if stamp != nil && !stamp.Visit(st) {
+			return
+		}
+		p := t.parent[st]
+		if p < 0 {
+			return
+		}
+		visit(p/numStates, st/numStates)
+		st = p
+	}
 }

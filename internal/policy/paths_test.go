@@ -157,3 +157,84 @@ func TestPathsIntoMatchesPaths(t *testing.T) {
 		}
 	}
 }
+
+// TestVisitPathEdgesMatchesPath checks the parent-chain edge walk against
+// the Path slices it replaces: unstamped, each destination yields exactly
+// the reversed hop sequence of its path; stamped, the union over all
+// destinations equals the union of every path's hops (the suffix
+// deduplication may only change order and multiplicity, never the set).
+func TestVisitPathEdgesMatchesPath(t *testing.T) {
+	a := randomAnnotated(rand.New(rand.NewSource(11)), 50, 90)
+	n := int32(a.G.NumNodes())
+	for src := int32(0); src < n; src += 7 {
+		pt := a.Paths(src)
+		var stamp graph.Stamp
+		stamp.Begin(pt.NumProductStates())
+		stamped := map[[2]int32]bool{}
+		want := map[[2]int32]bool{}
+		for dst := int32(0); dst < n; dst++ {
+			var got [][2]int32
+			pt.VisitPathEdges(nil, dst, func(u, v int32) {
+				got = append(got, [2]int32{u, v})
+			})
+			pt.VisitPathEdges(&stamp, dst, func(u, v int32) {
+				stamped[[2]int32{u, v}] = true
+			})
+			path := pt.Path(dst)
+			if len(path) == 0 {
+				if len(got) != 0 {
+					t.Fatalf("src %d dst %d: unreachable but %d edges visited",
+						src, dst, len(got))
+				}
+				continue
+			}
+			if len(got) != len(path)-1 {
+				t.Fatalf("src %d dst %d: %d edges for a %d-hop path",
+					src, dst, len(got), len(path)-1)
+			}
+			for i, e := range got {
+				k := len(path) - 1 - i
+				if e != [2]int32{path[k-1], path[k]} {
+					t.Fatalf("src %d dst %d: edge %d is %v, path hop %v",
+						src, dst, i, e, [2]int32{path[k-1], path[k]})
+				}
+				want[e] = true
+			}
+		}
+		if len(stamped) != len(want) {
+			t.Fatalf("src %d: stamped union has %d edges, path union %d",
+				src, len(stamped), len(want))
+		}
+		for e := range want {
+			if !stamped[e] {
+				t.Fatalf("src %d: stamped union missing edge %v", src, e)
+			}
+		}
+	}
+}
+
+// TestPathIntoReuse walks every destination through one recycled buffer and
+// cross-checks against fresh Path calls — stale buffer contents must never
+// leak into a later path.
+func TestPathIntoReuse(t *testing.T) {
+	a := randomAnnotated(rand.New(rand.NewSource(13)), 40, 70)
+	n := int32(a.G.NumNodes())
+	pt := a.Paths(3)
+	var buf []int32
+	for dst := int32(0); dst < n; dst++ {
+		got := pt.PathInto(buf, dst)
+		if got != nil {
+			buf = got
+		}
+		fresh := pt.Path(dst)
+		if len(got) != len(fresh) {
+			t.Fatalf("dst %d: reused path has %d nodes, fresh %d",
+				dst, len(got), len(fresh))
+		}
+		for i := range got {
+			if got[i] != fresh[i] {
+				t.Fatalf("dst %d: reused path differs at %d", dst, i)
+			}
+		}
+	}
+}

@@ -170,13 +170,39 @@ func (a *Annotated) Transition(u, v int32, state int) int {
 // BFS distances, the number of distinct shortest product paths sigma, and
 // the BFS visit order. Indices are node*NumStates+state.
 func (a *Annotated) ProductCounts(src int32) (dist []int32, sigma []float64, order []int32) {
+	return a.ProductCountsInto(nil, nil, nil, src)
+}
+
+// ProductCountsInto is ProductCounts into caller-owned buffers, for sweeps
+// that run one product traversal per source: dist and sigma are reset
+// through the previous call's order (every touched state appears there), so
+// a reused buffer behaves exactly like a fresh one without the per-source
+// allocation. Pass nil slices (or slices from a previous call on a
+// same-sized graph) and keep all three returned slices together for the
+// next call.
+func (a *Annotated) ProductCountsInto(dist []int32, sigma []float64,
+	order []int32, src int32) ([]int32, []float64, []int32) {
+
 	n := a.G.NumNodes()
-	dist = make([]int32, n*numStates)
-	sigma = make([]float64, n*numStates)
-	for i := range dist {
-		dist[i] = graph.Unreached
+	sz := n * int(numStates)
+	if cap(dist) < sz || cap(sigma) < sz {
+		dist = make([]int32, sz)
+		sigma = make([]float64, sz)
+		for i := range dist {
+			dist[i] = graph.Unreached
+		}
+	} else {
+		// Reset at the incoming length before reslicing: a previous traversal
+		// on a larger graph may have touched states beyond sz, and they must
+		// read Unreached/0 if a later call grows back.
+		for _, st := range order {
+			dist[st] = graph.Unreached
+			sigma[st] = 0
+		}
+		dist = dist[:sz]
+		sigma = sigma[:sz]
 	}
-	order = make([]int32, 0, n)
+	order = order[:0]
 	start := src*numStates + stateUp
 	dist[start] = 0
 	sigma[start] = 1

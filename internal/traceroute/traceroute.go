@@ -114,6 +114,7 @@ func Sweep(overlay *policy.RouterOverlay, backbone []bool, opts Options) (*graph
 		}
 	}
 	var pt *policy.PathTree
+	var path []int32 // reused hop buffer; pseudo-node ids depend on walk order, so paths stay forward
 	for _, si := range srcIdx {
 		src := backboneIDs[si]
 		pt = overlay.PathsInto(pt, src)
@@ -122,7 +123,11 @@ func Sweep(overlay *policy.RouterOverlay, backbone []bool, opts Options) (*graph
 			if dst == src {
 				continue
 			}
-			path := pt.Path(dst)
+			if p := pt.PathInto(path, dst); p != nil {
+				path = p
+			} else {
+				continue
+			}
 			if len(path) < 2 {
 				continue
 			}

@@ -8,11 +8,13 @@
 #
 # Tier 2 runs the packages with real concurrency under the race
 # detector: the ball engine's shared caches and batched distance path
-# (ball.TestMSBFSRaceShort), the suite fan-out, the pipeline's DAG
-# scheduler, the result store, the observability layer's concurrent
-# span/counter attachment (obs.TestConcurrentSpansAndCounters), and the
-# pooled per-worker cut/flow kernels
-# (partition.TestResilienceRaceShort, flow.TestSurfaceMaxFlowRaceShort).
+# (ball.TestMSBFSRaceShort, ball.TestWideMSBFSRaceShort for multi-word
+# strips), the suite fan-out, the pipeline's DAG scheduler, the result
+# store, the observability layer's concurrent span/counter attachment
+# (obs.TestConcurrentSpansAndCounters), the pooled per-worker cut/flow
+# kernels (partition.TestResilienceRaceShort,
+# flow.TestSurfaceMaxFlowRaceShort), and the pooled Brandes/distortion
+# workspaces (metrics.TestBrandesRaceShort).
 set -eu
 
 echo "== tier 0: gofmt cleanliness =="
@@ -35,11 +37,13 @@ echo "== tier 2: race detector on concurrent packages =="
 # (full metric suites per figure) well past go test's default 10m
 # per-package timeout; give the tier an explicit ceiling instead.
 go test -race -timeout 45m ./internal/core ./internal/ball ./internal/experiments \
-    ./internal/cache ./internal/obs ./internal/partition ./internal/flow
+    ./internal/cache ./internal/obs ./internal/partition ./internal/flow \
+    ./internal/metrics
 
 echo "== bench smoke: kernel benchmarks compile and run =="
 go test -run '^$' -bench 'CutSize|SurfaceMaxFlow|ResilienceMesh' \
     -benchtime 1x ./internal/partition ./internal/metrics
-go test -run '^$' -bench 'BenchmarkMSBFS' -benchtime 1x .
+go test -run '^$' -bench 'BenchmarkMSBFS|BenchmarkWideMSBFS|BenchmarkBrandes' \
+    -benchtime 1x .
 
 echo "verify.sh: all tiers passed"

@@ -28,10 +28,14 @@ package main
 import (
 	"flag"
 	"fmt"
+	"math"
 	"os"
 	"path/filepath"
 	"runtime"
 	"runtime/pprof"
+	"sort"
+	"strconv"
+	"strings"
 	"text/tabwriter"
 
 	"topocmp/internal/cache"
@@ -45,7 +49,9 @@ import (
 func main() {
 	out := flag.String("out", "results", "output directory")
 	seed := flag.Int64("seed", 1, "experiment seed")
-	scale := flag.Float64("scale", 0, "network scale override (0 = per-mode default)")
+	scale := flag.String("scale", "", "network scale override: a multiplier > 0, "+
+		"or a preset (\"full-rl\" = the real RL map's 170k nodes, \"1m\" = million-node generators); "+
+		"empty = per-mode default")
 	full := flag.Bool("full", false, "paper-scale run (tens of minutes)")
 	quick := flag.Bool("quick", false, "CI-scale run (a few minutes)")
 	workers := flag.Int("j", 0, "pipeline worker budget (0 = all cores, 1 = sequential)")
@@ -56,6 +62,10 @@ func main() {
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file")
 	flag.Parse()
 
+	if *quick && *full {
+		fmt.Fprintln(os.Stderr, "reproduce: -quick and -full are mutually exclusive; pick one")
+		os.Exit(2)
+	}
 	cfg := experiments.Config{
 		Set:   core.PaperSetOptions{Seed: *seed, Scale: 0.25},
 		Suite: core.SuiteOptions{Sources: 16, MaxBallSize: 2000, EigenRank: 40, LinkSources: 448, Seed: *seed},
@@ -66,13 +76,49 @@ func main() {
 	if *full {
 		cfg = experiments.FullConfig(*seed)
 	}
-	if *scale > 0 {
-		cfg.Set.Scale = *scale
+	if *scale != "" {
+		s, err := parseScale(*scale)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "reproduce:", err)
+			os.Exit(2)
+		}
+		cfg.Set.Scale = s
 	}
 	cfg.Suite.Parallelism = *workers
 	os.Exit(realMain(cfg, *workers, *cacheDir, *out,
 		obsOptions{Trace: *traceFile != "", Metrics: *metrics},
 		*traceFile, *cpuprofile, *memprofile))
+}
+
+// maxScale bounds the accepted -scale multiplier. The largest useful preset
+// ("1m") is 100; anything far beyond it indicates a typo (a stray exponent
+// would otherwise attempt a build with quadrillions of nodes).
+const maxScale = 1000
+
+// parseScale resolves a -scale argument: a named preset from
+// core.ScalePresets or a positive finite multiplier within sanity bounds.
+func parseScale(arg string) (float64, error) {
+	if s, ok := core.ScalePresets[arg]; ok {
+		return s, nil
+	}
+	s, err := strconv.ParseFloat(arg, 64)
+	if err != nil {
+		names := make([]string, 0, len(core.ScalePresets))
+		for name := range core.ScalePresets {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		return 0, fmt.Errorf("invalid -scale %q: want a number > 0 or a preset (%s)",
+			arg, strings.Join(names, ", "))
+	}
+	if math.IsNaN(s) || math.IsInf(s, 0) || s <= 0 {
+		return 0, fmt.Errorf("invalid -scale %v: must be a finite value > 0", s)
+	}
+	if s > maxScale {
+		return 0, fmt.Errorf("invalid -scale %v: exceeds the sanity bound %d "+
+			"(the largest preset, 1m, is 100)", s, maxScale)
+	}
+	return s, nil
 }
 
 // realMain wraps run with the profiling and trace-export plumbing; it
@@ -176,7 +222,12 @@ func run(cfg experiments.Config, workers int, cacheDir, out string, o obsOptions
 	stage := func(title string, f func(sp *obs.Span) error) error {
 		sp := root.Start(title)
 		defer sp.End()
-		return f(sp)
+		err := f(sp)
+		// Post-stage heap/RSS gauges: with -metrics on, the registry table
+		// becomes a per-stage memory trajectory of the run. A no-op (nil
+		// registry internals aside, gauges never alter results or outputs).
+		r.Metrics().CaptureMem("mem." + stageSlug(title))
+		return err
 	}
 
 	if err := stage("Pipeline: networks and suites", func(sp *obs.Span) error {
@@ -446,6 +497,27 @@ func writeExtras(e experiments.ExtrasData, out string) error {
 		return err
 	}
 	return f.Close()
+}
+
+// stageSlug compresses a stage banner title into a metric-name segment:
+// lowercase alphanumerics with runs of everything else collapsed to one
+// underscore ("Figure 2: expansion/..." -> "figure_2_expansion_...").
+func stageSlug(title string) string {
+	var b strings.Builder
+	pendingSep := false
+	for _, r := range strings.ToLower(title) {
+		switch {
+		case r >= 'a' && r <= 'z', r >= '0' && r <= '9':
+			if pendingSep && b.Len() > 0 {
+				b.WriteByte('_')
+			}
+			pendingSep = false
+			b.WriteRune(r)
+		default:
+			pendingSep = true
+		}
+	}
+	return b.String()
 }
 
 func writePanel(out, prefix string, exp, res, dist []stats.Series) error {

@@ -216,6 +216,49 @@ func TestObsDisabledByteIdentical(t *testing.T) {
 	}
 }
 
+// TestParseScale pins the -scale argument contract: presets resolve to
+// their multipliers, positive finite numbers pass through, and everything
+// else — zero, negatives, NaN/Inf, absurd magnitudes, unknown words — is
+// rejected with a clear error instead of launching a doomed build.
+func TestParseScale(t *testing.T) {
+	for arg, want := range core.ScalePresets {
+		got, err := parseScale(arg)
+		if err != nil || got != want {
+			t.Errorf("parseScale(%q) = %v, %v; want %v, nil", arg, got, err, want)
+		}
+	}
+	for _, tc := range []struct {
+		arg  string
+		want float64
+	}{{"0.25", 0.25}, {"1", 1}, {"3.81", 3.81}, {"100", 100}, {"1000", 1000}} {
+		got, err := parseScale(tc.arg)
+		if err != nil || got != tc.want {
+			t.Errorf("parseScale(%q) = %v, %v; want %v, nil", tc.arg, got, err, tc.want)
+		}
+	}
+	for _, arg := range []string{
+		"0", "-1", "-0.5", "NaN", "+Inf", "-Inf", "1001", "1e9",
+		"", "huge", "1m?", "0x10", "25%",
+	} {
+		if got, err := parseScale(arg); err == nil {
+			t.Errorf("parseScale(%q) = %v, want error", arg, got)
+		}
+	}
+}
+
+func TestStageSlug(t *testing.T) {
+	for in, want := range map[string]string{
+		"Pipeline: networks and suites":             "pipeline_networks_and_suites",
+		"Figure 2: expansion/resilience/distortion": "figure_2_expansion_resilience_distortion",
+		"Figure 2 (degree-based variants, j-l)":     "figure_2_degree_based_variants_j_l",
+		"Summary vs. paper":                         "summary_vs_paper",
+	} {
+		if got := stageSlug(in); got != want {
+			t.Errorf("stageSlug(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
 // TestSpanTreeDeterministicShape checks the trace determinism contract: the
 // same configuration yields the same span names and hierarchy whatever the
 // worker budget — only the timings may differ.

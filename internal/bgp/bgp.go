@@ -87,26 +87,21 @@ func (t *Table) ExtractGraph() (*graph.Graph, []int32) {
 		orig = append(orig, as)
 		return i
 	}
-	type pair struct{ u, v int32 }
-	seen := map[pair]bool{}
-	var edges []graph.Edge
+	// Path-adjacent pairs stream into the builder as ids are minted; the
+	// freeze dedups, so no seen-set or edge list is held alongside the CSR.
+	sb := graph.NewStreamBuilder(0)
 	for _, p := range t.Paths {
 		for i := 0; i+1 < len(p); i++ {
 			u, v := id(p[i]), id(p[i+1])
 			if u == v {
 				continue
 			}
-			a, b := u, v
-			if a > b {
-				a, b = b, a
-			}
-			if !seen[pair{a, b}] {
-				seen[pair{a, b}] = true
-				edges = append(edges, graph.Edge{U: a, V: b})
-			}
+			sb.EnsureNodes(len(orig))
+			sb.AddEdge(u, v)
 		}
 	}
-	return graph.FromEdges(len(orig), edges), orig
+	sb.EnsureNodes(len(orig))
+	return sb.Graph(), orig
 }
 
 // Write serializes the table, one path per line: space-separated AS ids,

@@ -29,7 +29,9 @@ import (
 // SchemaVersion is folded into every key. Bump it whenever the meaning or
 // encoding of stored results changes (new suite fields, altered metric
 // algorithms), so stale entries miss instead of decoding into wrong shapes.
-const SchemaVersion = 1
+// Version 2: stats.Series gained per-point StdErr bounds,
+// hierarchy.Result gained Nodes, and SuiteOptions gained SampleBudget.
+const SchemaVersion = 2
 
 // Key derives the content address for a result produced under the given
 // canonical description parts (e.g. the paper-set key, the suite key and a

@@ -1,0 +1,59 @@
+package core
+
+import (
+	"testing"
+)
+
+// TestSampleBudgetWiring checks the SuiteOptions.SampleBudget contract end
+// to end: an explicit budget overrides the legacy Sources-derived sampling
+// counts, a node-count budget turns the sampled estimators into full
+// enumerations with zero-width bounds, and the budget is part of the cache
+// key so budgeted and legacy runs never collide.
+func TestSampleBudgetWiring(t *testing.T) {
+	net := BuildNetwork("TS", PaperSetOptions{Seed: 1, Scale: 0.06})
+	n := net.Graph.NumNodes()
+
+	base := SuiteOptions{Sources: 4, MaxBallSize: 200, EigenRank: 6, Seed: 1,
+		SkipHierarchy: true, Parallelism: 2}
+
+	budgeted := base
+	budgeted.SampleBudget = 48
+	sampled := RunSuite(net, budgeted)
+	if len(sampled.Expansion.StdErr) != len(sampled.Expansion.Points) {
+		t.Fatal("expansion series missing bounds")
+	}
+	nonzero := false
+	for _, se := range sampled.Expansion.StdErr {
+		if se > 0 {
+			nonzero = true
+			break
+		}
+	}
+	if !nonzero {
+		t.Error("budget 48 expansion reported all-zero bounds")
+	}
+
+	exhaustive := base
+	exhaustive.SampleBudget = n
+	full := RunSuite(net, exhaustive)
+	for _, s := range []struct {
+		name string
+		se   []float64
+	}{
+		{"expansion", full.Expansion.StdErr},
+		{"eccentricity", full.Eccentricity.StdErr},
+		{"attack", full.Attack.StdErr},
+		{"error", full.Error.StdErr},
+	} {
+		for i, se := range s.se {
+			if se != 0 {
+				t.Errorf("full-budget %s: StdErr[%d] = %v, want exactly 0", s.name, i, se)
+				break
+			}
+		}
+	}
+
+	if base.CacheKey() == budgeted.CacheKey() {
+		t.Error("SampleBudget missing from the suite cache key")
+	}
+}

@@ -141,13 +141,22 @@ func TestMSBFSGoldenSeriesScalarVsBatched(t *testing.T) {
 		wantAPL := scalarAveragePathLength(g, 24)
 		for _, parallel := range []int{1, 4} {
 			eng := ball.NewEngine(g, parallel)
+			// The kernel path now also attaches sampling standard errors
+			// (absent from the historical scalar references), so the golden
+			// comparison is over Name and Points — the plotted values.
 			gotExp := metrics.ExpansionWith(eng, expCfg())
-			if !reflect.DeepEqual(gotExp, wantExp) || !bytes.Equal(seriesBytes(gotExp), seriesBytes(wantExp)) {
+			if !reflect.DeepEqual(gotExp.Points, wantExp.Points) || !bytes.Equal(seriesBytes(gotExp), seriesBytes(wantExp)) {
 				t.Errorf("%s P=%d: batched expansion differs from scalar", n.Name, parallel)
 			}
+			if len(gotExp.StdErr) != len(gotExp.Points) {
+				t.Errorf("%s P=%d: expansion StdErr length %d, want %d", n.Name, parallel, len(gotExp.StdErr), len(gotExp.Points))
+			}
 			gotEcc := metrics.EccentricityDistributionWith(eng, 48, 0.1, rand.New(rand.NewSource(1)))
-			if !reflect.DeepEqual(gotEcc, wantEcc) || !bytes.Equal(seriesBytes(gotEcc), seriesBytes(wantEcc)) {
+			if !reflect.DeepEqual(gotEcc.Points, wantEcc.Points) || !bytes.Equal(seriesBytes(gotEcc), seriesBytes(wantEcc)) {
 				t.Errorf("%s P=%d: batched eccentricity differs from scalar", n.Name, parallel)
+			}
+			if len(gotEcc.StdErr) != len(gotEcc.Points) {
+				t.Errorf("%s P=%d: eccentricity StdErr length %d, want %d", n.Name, parallel, len(gotEcc.StdErr), len(gotEcc.Points))
 			}
 		}
 		if got := metrics.AveragePathLength(g, 24); got != wantAPL {

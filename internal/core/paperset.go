@@ -46,6 +46,18 @@ func (o *PaperSetOptions) defaults() {
 	}
 }
 
+// ScalePresets maps the named -scale modes to their multipliers. "full-rl"
+// is calibrated empirically so the measurement pipeline's traceroute sweep
+// discovers the real SCAN/Mercator map's node count (at seed 1 it yields a
+// 170,555-node RL graph against the map's 170,589 — within 0.02%); "1m"
+// drives the degree-based generators to million-node instances (PLRG's base
+// of 10,000 × 100). Both lean on the streamed CSR build path: at these
+// sizes the map-backed builder's memory overhead is the binding constraint.
+var ScalePresets = map[string]float64{
+	"full-rl": 3.81,
+	"1m":      100,
+}
+
 func scaled(n int, scale float64, min int) int {
 	v := int(float64(n) * scale)
 	if v < min {

@@ -27,6 +27,16 @@ type SuiteOptions struct {
 	// link-value sweeps: 0 uses runtime.NumCPU, 1 runs the legacy
 	// sequential path. Results are bit-identical at every width.
 	Parallelism int
+	// SampleBudget, when positive, is an explicit per-metric sampling
+	// budget: the number of ball centers / BFS sources the sampled
+	// estimators (expansion, eccentricity, attack/error path lengths) may
+	// spend, overriding the legacy defaults derived from Sources
+	// (expansion and eccentricity use 4*Sources, the tolerance curves
+	// 2*Sources). Every sampled series carries a per-point standard error
+	// either way; a budget at or above the node count turns the estimators
+	// into full enumerations with zero-width bounds. Zero keeps the legacy
+	// derivation, which is what the default experiment scales run.
+	SampleBudget int
 	// SkipHierarchy disables the link-value computation (the costliest
 	// stage) when only Figure 2 style metrics are needed.
 	SkipHierarchy bool
@@ -74,9 +84,9 @@ func (o *SuiteOptions) defaults() {
 // string (or bump cache.SchemaVersion) so stale entries are invalidated.
 func (o SuiteOptions) CacheKey() string {
 	o.defaults()
-	return fmt.Sprintf("suite:src=%d,ball=%d,eig=%d,link=%d,seed=%d,skiphier=%t,tol=%v",
+	return fmt.Sprintf("suite:src=%d,ball=%d,eig=%d,link=%d,seed=%d,skiphier=%t,tol=%v,budget=%d",
 		o.Sources, o.MaxBallSize, o.EigenRank, o.LinkSources, o.Seed,
-		o.SkipHierarchy, o.ToleranceFractions)
+		o.SkipHierarchy, o.ToleranceFractions, o.SampleBudget)
 }
 
 // SuiteResult holds every metric curve for one network.
@@ -123,6 +133,15 @@ func RunSuite(n *Network, opts SuiteOptions) *SuiteResult {
 	eng := ball.NewEngine(g, opts.Parallelism)
 	eng.Instrument(opts.Metrics)
 
+	// Sampling budgets for the estimator metrics: the explicit SampleBudget
+	// when set, otherwise the legacy Sources-derived counts.
+	srcBudget := 4 * opts.Sources
+	pathBudget := 2 * opts.Sources
+	if opts.SampleBudget > 0 {
+		srcBudget = opts.SampleBudget
+		pathBudget = opts.SampleBudget
+	}
+
 	// One center set (seed+1) for every ball-curve metric: resilience,
 	// distortion, vertex cover, biconnectivity and clustering then share the
 	// engine's cached profiles and ball subgraphs instead of growing five
@@ -153,7 +172,7 @@ func RunSuite(n *Network, opts SuiteOptions) *SuiteResult {
 	}
 	stage("expansion", func() {
 		res.Expansion = metrics.ExpansionWith(eng, ball.Config{
-			MaxSources: 4 * opts.Sources,
+			MaxSources: srcBudget,
 			Rand:       rand.New(rand.NewSource(opts.Seed)),
 		})
 	})
@@ -166,16 +185,16 @@ func RunSuite(n *Network, opts SuiteOptions) *SuiteResult {
 	stage("eccentricity", func() {
 		// Same sampling stream as expansion, so the eccentricities read
 		// straight off the profiles the expansion metric already grew.
-		res.Eccentricity = metrics.EccentricityDistributionWith(eng, 4*opts.Sources, 0.1,
+		res.Eccentricity = metrics.EccentricityDistributionWith(eng, srcBudget, 0.1,
 			rand.New(rand.NewSource(opts.Seed)))
 	})
 	stage("vertex_cover", func() { res.VertexCover = metrics.VertexCoverCurveWith(eng, curveCfg()) })
 	stage("biconnectivity", func() { res.Biconnectivity = metrics.BiconnectivityCurveWith(eng, curveCfg()) })
 	stage("attack_tolerance", func() {
-		res.Attack = metrics.AttackTolerance(g, opts.ToleranceFractions, 2*opts.Sources)
+		res.Attack = metrics.AttackTolerance(g, opts.ToleranceFractions, pathBudget)
 	})
 	stage("error_tolerance", func() {
-		res.Error = metrics.ErrorTolerance(g, opts.ToleranceFractions, 2*opts.Sources,
+		res.Error = metrics.ErrorTolerance(g, opts.ToleranceFractions, pathBudget,
 			rand.New(rand.NewSource(opts.Seed+200)))
 	})
 	stage("clustering", func() {
@@ -218,7 +237,7 @@ func RunSuite(n *Network, opts SuiteOptions) *SuiteResult {
 			// Fresh Rand with the same seed so the policy variant samples
 			// the same ball centers as the plain expansion.
 			res.PolicyExpansion = policyExpansion(n, ball.Config{
-				MaxSources: 4 * opts.Sources,
+				MaxSources: srcBudget,
 				Rand:       rand.New(rand.NewSource(opts.Seed)),
 			})
 		})

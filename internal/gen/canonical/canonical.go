@@ -29,7 +29,8 @@ func Tree(k, depth int) *graph.Graph {
 		n += pow
 		pow *= k
 	}
-	b := graph.NewBuilder(n)
+	b := graph.NewStreamBuilder(n)
+	b.Reserve(n - 1)
 	// Children of node i are k*i+1 .. k*i+k (standard heap layout).
 	for i := 0; i < n; i++ {
 		for c := 1; c <= k; c++ {
@@ -48,7 +49,8 @@ func Mesh(rows, cols int) *graph.Graph {
 	if rows < 1 || cols < 1 {
 		panic("canonical: mesh dimensions must be positive")
 	}
-	b := graph.NewBuilder(rows * cols)
+	b := graph.NewStreamBuilder(rows * cols)
+	b.Reserve(2 * rows * cols)
 	id := func(r, c int) int32 { return int32(r*cols + c) }
 	for r := 0; r < rows; r++ {
 		for c := 0; c < cols; c++ {
@@ -70,9 +72,10 @@ func Random(r *rand.Rand, n int, p float64) *graph.Graph {
 	if p < 0 || p > 1 {
 		panic(fmt.Sprintf("canonical: edge probability %v outside [0,1]", p))
 	}
-	b := graph.NewBuilder(n)
+	b := graph.NewStreamBuilder(n)
 	// Geometric skipping: enumerate present edges directly so sparse graphs
-	// cost O(E) instead of O(n^2).
+	// cost O(E) instead of O(n^2). The skip indices are strictly increasing,
+	// so every streamed edge is already distinct.
 	if p > 0 {
 		total := int64(n) * int64(n-1) / 2
 		idx := int64(-1)
@@ -97,7 +100,8 @@ func Random(r *rand.Rand, n int, p float64) *graph.Graph {
 
 // Complete returns the complete graph on n nodes.
 func Complete(n int) *graph.Graph {
-	b := graph.NewBuilder(n)
+	b := graph.NewStreamBuilder(n)
+	b.Reserve(n * (n - 1) / 2)
 	for i := 0; i < n; i++ {
 		for j := i + 1; j < n; j++ {
 			b.AddEdge(int32(i), int32(j))
@@ -108,7 +112,10 @@ func Complete(n int) *graph.Graph {
 
 // Linear returns the n-node chain.
 func Linear(n int) *graph.Graph {
-	b := graph.NewBuilder(n)
+	b := graph.NewStreamBuilder(n)
+	if n > 1 {
+		b.Reserve(n - 1)
+	}
 	for i := 0; i+1 < n; i++ {
 		b.AddEdge(int32(i), int32(i+1))
 	}

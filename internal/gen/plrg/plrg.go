@@ -105,22 +105,40 @@ func MustGenerate(r *rand.Rand, p Params) *graph.Graph {
 // FromDegrees connects a fixed degree sequence with the given method and
 // returns the largest connected component. This is also the primitive behind
 // Reconnect (Appendix D.1's "modified B-A/Brite" experiment).
+//
+// Every method except UniformRandom streams its edges into a
+// graph.StreamBuilder — they never query membership mid-build, and the
+// streamed freeze produces the identical CSR at a fraction of the map
+// builder's memory, which is what makes the million-node instances of the
+// scale axis buildable. UniformRandom rejects already-present links, so it
+// keeps the map-backed Builder for its HasEdge.
 func FromDegrees(r *rand.Rand, degrees []int, method Connectivity) *graph.Graph {
 	n := len(degrees)
-	b := graph.NewBuilder(n)
-	switch method {
-	case CloneMatching:
-		cloneMatch(r, b, degrees)
-	case UniformRandom:
+	var g *graph.Graph
+	if method == UniformRandom {
+		b := graph.NewBuilder(n)
 		uniformConnect(r, b, degrees)
-	case ProportionalUnsatisfied:
-		proportionalConnect(r, b, degrees)
-	case Deterministic:
-		deterministicConnect(b, degrees)
-	default:
-		panic(fmt.Sprintf("plrg: unknown connectivity %d", method))
+		g = b.Graph()
+	} else {
+		total := 0
+		for _, d := range degrees {
+			total += d
+		}
+		b := graph.NewStreamBuilder(n)
+		b.Reserve(total / 2) // clone matching adds exactly one edge per stub pair
+		switch method {
+		case CloneMatching:
+			cloneMatch(r, b, degrees)
+		case ProportionalUnsatisfied:
+			proportionalConnect(r, b, degrees)
+		case Deterministic:
+			deterministicConnect(b, degrees)
+		default:
+			panic(fmt.Sprintf("plrg: unknown connectivity %d", method))
+		}
+		g = b.Graph()
 	}
-	lc, _ := b.Graph().LargestComponent()
+	lc, _ := g.LargestComponent()
 	return lc
 }
 
@@ -131,7 +149,7 @@ func Reconnect(r *rand.Rand, g *graph.Graph) *graph.Graph {
 	return FromDegrees(r, g.Degrees(), CloneMatching)
 }
 
-func cloneMatch(r *rand.Rand, b *graph.Builder, degrees []int) {
+func cloneMatch(r *rand.Rand, b graph.EdgeAdder, degrees []int) {
 	total := 0
 	for _, d := range degrees {
 		total += d
@@ -193,7 +211,7 @@ func uniformConnect(r *rand.Rand, b *graph.Builder, degrees []int) {
 	}
 }
 
-func proportionalConnect(r *rand.Rand, b *graph.Builder, degrees []int) {
+func proportionalConnect(r *rand.Rand, b graph.EdgeAdder, degrees []int) {
 	// Sampling proportional to unsatisfied degree is exactly what clone
 	// matching does; implement via the copy multiset but resample the
 	// second endpoint if it equals the first, which slightly reduces
@@ -231,7 +249,7 @@ func proportionalConnect(r *rand.Rand, b *graph.Builder, degrees []int) {
 	}
 }
 
-func deterministicConnect(b *graph.Builder, degrees []int) {
+func deterministicConnect(b graph.EdgeAdder, degrees []int) {
 	type nd struct {
 		id  int32
 		rem int

@@ -89,7 +89,7 @@ func Generate(r *rand.Rand, p Params) (*graph.Graph, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
-	b := graph.NewBuilder(p.NumNodes())
+	b := graph.NewStreamBuilder(p.NumNodes())
 	next := 0
 	alloc := func(k int) []int32 {
 		ids := make([]int32, k)
@@ -169,12 +169,25 @@ func MustGenerate(r *rand.Rand, p Params) *graph.Graph {
 // redundancy-1 extra links in order of increasing inter-node distance,
 // skipping pairs already linked and capping any node at a fair share of the
 // extras so they spread across the network.
-func meshTier(b *graph.Builder, ids []int32, pts []geo.Point, redundancy int) {
+//
+// Every edge among this tier's ids is added by this call (homing links
+// always cross tiers), so the already-linked test is answered by a local
+// seen-set over tier-local indices rather than the builder — which lets the
+// whole generator stream into a graph.StreamBuilder.
+func meshTier(b graph.EdgeAdder, ids []int32, pts []geo.Point, redundancy int) {
 	if len(ids) < 2 {
 		return
 	}
+	localKey := func(u, v int) uint64 {
+		if u > v {
+			u, v = v, u
+		}
+		return uint64(u)<<32 | uint64(uint32(v))
+	}
+	seen := make(map[uint64]bool)
 	for _, e := range geo.MST(pts) {
 		b.AddEdge(ids[e.U], ids[e.V])
+		seen[localKey(e.U, e.V)] = true
 	}
 	extra := redundancy - 1
 	if extra <= 0 {
@@ -189,9 +202,10 @@ func meshTier(b *graph.Builder, ids []int32, pts []geo.Point, redundancy int) {
 		if degree[pr.U] >= perNode || degree[pr.V] >= perNode {
 			continue
 		}
-		if b.HasEdge(ids[pr.U], ids[pr.V]) {
+		if seen[localKey(pr.U, pr.V)] {
 			continue
 		}
+		seen[localKey(pr.U, pr.V)] = true
 		b.AddEdge(ids[pr.U], ids[pr.V])
 		degree[pr.U]++
 		degree[pr.V]++

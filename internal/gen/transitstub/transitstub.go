@@ -80,7 +80,7 @@ func Generate(r *rand.Rand, p Params) (*graph.Graph, error) {
 		return nil, err
 	}
 	n := p.NumNodes()
-	b := graph.NewBuilder(n)
+	b := graph.NewStreamBuilder(n)
 
 	numTransit := p.Domains * p.TransitNodes
 	transitOf := func(domain, node int) int32 { return int32(domain*p.TransitNodes + node) }

@@ -1,0 +1,142 @@
+package graph
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// requireSameGraph asserts two graphs have byte-identical CSR arrays.
+func requireSameGraph(t *testing.T, want, got *Graph) {
+	t.Helper()
+	if want.NumNodes() != got.NumNodes() {
+		t.Fatalf("node count: want %d, got %d", want.NumNodes(), got.NumNodes())
+	}
+	if want.NumEdges() != got.NumEdges() {
+		t.Fatalf("edge count: want %d, got %d", want.NumEdges(), got.NumEdges())
+	}
+	if !reflect.DeepEqual(want.off, got.off) {
+		t.Fatalf("offset arrays differ")
+	}
+	if !reflect.DeepEqual(want.adj, got.adj) {
+		t.Fatalf("adjacency arrays differ")
+	}
+	if want.Fingerprint() != got.Fingerprint() {
+		t.Fatalf("fingerprints differ on identical CSR")
+	}
+}
+
+// TestStreamBuilderMatchesMapBuilder pushes randomized edge multisets —
+// duplicates, self-loops, isolated nodes — through both builders and
+// requires identical CSR output.
+func TestStreamBuilderMatchesMapBuilder(t *testing.T) {
+	r := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + r.Intn(200)
+		edges := r.Intn(4 * n)
+		mb := NewBuilder(n)
+		sb := NewStreamBuilder(n)
+		for i := 0; i < edges; i++ {
+			u := int32(r.Intn(n))
+			v := int32(r.Intn(n)) // may equal u: self-loop dropped by both
+			mb.AddEdge(u, v)
+			sb.AddEdge(u, v)
+			if r.Intn(3) == 0 { // duplicate, possibly flipped
+				mb.AddEdge(v, u)
+				sb.AddEdge(v, u)
+			}
+		}
+		requireSameGraph(t, mb.Graph(), sb.Graph())
+	}
+}
+
+func TestStreamBuilderEmptyAndTiny(t *testing.T) {
+	requireSameGraph(t, NewBuilder(0).Graph(), NewStreamBuilder(0).Graph())
+	requireSameGraph(t, NewBuilder(5).Graph(), NewStreamBuilder(5).Graph())
+
+	mb, sb := NewBuilder(2), NewStreamBuilder(2)
+	for i := 0; i < 3; i++ {
+		mb.AddEdge(0, 1)
+		sb.AddEdge(1, 0)
+	}
+	g := sb.Graph()
+	if g.NumEdges() != 1 {
+		t.Fatalf("dedup: want 1 edge, got %d", g.NumEdges())
+	}
+	requireSameGraph(t, mb.Graph(), g)
+}
+
+func TestStreamBuilderNeighborsSorted(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	n := 500
+	b := NewStreamBuilder(n)
+	b.Reserve(3 * n)
+	for i := 0; i < 3*n; i++ {
+		b.AddEdge(int32(r.Intn(n)), int32(r.Intn(n)))
+	}
+	g := b.Graph()
+	for v := int32(0); v < int32(n); v++ {
+		nb := g.Neighbors(v)
+		for i := 1; i < len(nb); i++ {
+			if nb[i-1] >= nb[i] {
+				t.Fatalf("node %d: neighbors not strictly sorted: %v", v, nb)
+			}
+		}
+	}
+}
+
+// TestStreamBuilderReusableAfterFreeze freezes, adds more edges, freezes
+// again — mirroring the map builder's freeze-then-continue contract.
+func TestStreamBuilderReusableAfterFreeze(t *testing.T) {
+	b := NewStreamBuilder(4)
+	b.AddEdge(0, 1)
+	b.AddEdge(1, 2)
+	g1 := b.Graph()
+	if g1.NumEdges() != 2 {
+		t.Fatalf("first freeze: want 2 edges, got %d", g1.NumEdges())
+	}
+	b.AddEdge(2, 3)
+	b.AddEdge(0, 1) // duplicate of an already-frozen edge
+	g2 := b.Graph()
+	if g2.NumEdges() != 3 {
+		t.Fatalf("second freeze: want 3 edges, got %d", g2.NumEdges())
+	}
+	if !g2.HasEdge(2, 3) || !g2.HasEdge(0, 1) {
+		t.Fatalf("second freeze lost edges")
+	}
+}
+
+func TestStreamBuilderEnsureNodes(t *testing.T) {
+	b := NewStreamBuilder(0)
+	b.EnsureNodes(2)
+	b.AddEdge(0, 1)
+	b.EnsureNodes(5) // trailing isolated nodes survive
+	g := b.Graph()
+	if g.NumNodes() != 5 || g.NumEdges() != 1 {
+		t.Fatalf("want 5 nodes / 1 edge, got %d / %d", g.NumNodes(), g.NumEdges())
+	}
+	if g.Degree(4) != 0 {
+		t.Fatalf("node 4 should be isolated")
+	}
+}
+
+func TestStreamBuilderRangePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("out-of-range AddEdge did not panic")
+		}
+	}()
+	NewStreamBuilder(3).AddEdge(0, 3)
+}
+
+func TestFingerprintDistinguishes(t *testing.T) {
+	a := FromEdges(3, []Edge{{0, 1}, {1, 2}})
+	b := FromEdges(3, []Edge{{0, 1}, {0, 2}})
+	c := FromEdges(3, []Edge{{0, 1}, {1, 2}})
+	if a.Fingerprint() == b.Fingerprint() {
+		t.Fatalf("different graphs share a fingerprint")
+	}
+	if a.Fingerprint() != c.Fingerprint() {
+		t.Fatalf("identical graphs disagree")
+	}
+}

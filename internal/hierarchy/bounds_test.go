@@ -1,0 +1,42 @@
+package hierarchy
+
+import (
+	"math/rand"
+	"testing"
+
+	"topocmp/internal/gen/plrg"
+)
+
+// TestRankDistributionBounds checks the link-value sampling bound: full
+// enumeration yields zero-width bounds, sampling yields nonzero bounds that
+// tighten as the pair-universe budget grows.
+func TestRankDistributionBounds(t *testing.T) {
+	g := plrg.MustGenerate(rand.New(rand.NewSource(3)), plrg.Params{N: 400, Beta: 2.246})
+	run := func(budget int) float64 {
+		res := LinkValues(g, Options{MaxSources: budget, Rand: rand.New(rand.NewSource(5))})
+		if res.Nodes != g.NumNodes() {
+			t.Fatalf("Nodes = %d, want %d", res.Nodes, g.NumNodes())
+		}
+		s := res.RankDistribution()
+		if len(s.StdErr) != len(s.Points) {
+			t.Fatalf("budget %d: %d bounds for %d points", budget, len(s.StdErr), len(s.Points))
+		}
+		max := 0.0
+		for _, se := range s.StdErr {
+			if se > max {
+				max = se
+			}
+		}
+		return max
+	}
+	if m := run(0); m != 0 {
+		t.Errorf("full enumeration: want zero-width bounds, got max stderr %v", m)
+	}
+	small, large := run(24), run(g.NumNodes()*3/4)
+	if small == 0 {
+		t.Error("sampled run reported zero-width bounds")
+	}
+	if large >= small {
+		t.Errorf("bounds did not shrink: budget 24 max %v, 3/4-graph max %v", small, large)
+	}
+}

@@ -13,6 +13,7 @@
 package hierarchy
 
 import (
+	"math"
 	"math/rand"
 	"runtime"
 	"slices"
@@ -73,6 +74,11 @@ type Result struct {
 	// N is the normalization base: the node count, or the pair-universe
 	// size |Q| when sampling was used.
 	N int
+	// Nodes is the graph's node count — the population the pair universe
+	// was drawn from. Zero in results predating the field (old cache
+	// entries are invalidated by the schema bump, but defensive callers
+	// treat Nodes == 0 as "no bound available").
+	Nodes int
 }
 
 // Normalized returns the link values divided by the node count, the
@@ -87,9 +93,26 @@ func (r *Result) Normalized() []float64 {
 
 // RankDistribution returns the normalized link-value rank distribution:
 // X = rank/|E|, Y = value/N, sorted by decreasing value.
+//
+// When the result records the source population (Nodes > 0), each point
+// carries a coarse relative sampling bound: the per-edge value is a sum
+// over the N sampled sources, so its relative standard error scales like
+// the finite-population-corrected 1/sqrt(N) of a mean over sources —
+// StdErr[i] = Y[i]·sqrt((Nodes−N)/((Nodes−1)·N)). Exactly zero for full
+// enumeration (N == Nodes), i.e. zero-width bounds.
 func (r *Result) RankDistribution() stats.Series {
 	s := stats.RankDistribution(r.Normalized())
 	s.Name = "linkvalues"
+	if r.Nodes > 1 && r.N > 0 {
+		fpc := 0.0
+		if r.N < r.Nodes {
+			fpc = math.Sqrt(float64(r.Nodes-r.N) / (float64(r.Nodes-1) * float64(r.N)))
+		}
+		s.StdErr = make([]float64, len(s.Points))
+		for i, p := range s.Points {
+			s.StdErr[i] = p.Y * fpc
+		}
+	}
 	return s
 }
 
@@ -222,7 +245,7 @@ func LinkValues(g *graph.Graph, opts Options) *Result {
 	for _, ws := range wss {
 		sweepPool.Put(ws)
 	}
-	return &Result{Edges: edges, Values: values, N: len(sources)}
+	return &Result{Edges: edges, Values: values, N: len(sources), Nodes: n}
 }
 
 // sweepTarget walks target t's shortest-path ancestor DAG from source u,

@@ -72,7 +72,7 @@ func PolicyLinkValues(a *policy.Annotated, opts Options) *Result {
 	for _, ws := range wss {
 		sweepPool.Put(ws)
 	}
-	return &Result{Edges: edges, Values: values, N: len(sources)}
+	return &Result{Edges: edges, Values: values, N: len(sources), Nodes: g.NumNodes()}
 }
 
 // sweepPolicyTarget walks the product-space shortest-path ancestor DAG of

@@ -70,7 +70,7 @@ func GenerateRouters(r *rand.Rand, as *ASLevel, p RouterParams) (*RouterLevel, e
 	}
 	start[nAS] = int32(total)
 
-	b := graph.NewBuilder(total)
+	b := graph.NewStreamBuilder(total)
 	asOf := make([]int32, total)
 	backbone := make([]bool, total)
 
@@ -114,11 +114,18 @@ func GenerateRouters(r *rand.Rand, as *ASLevel, p RouterParams) (*RouterLevel, e
 		}
 		return base + int32(r.Intn(nb))
 	}
-	for _, e := range as.Graph.Edges() {
-		b.AddEdge(pickRouter(e.U), pickRouter(e.V))
-		// Multihomed-style second border link for a fraction of adjacencies.
-		if r.Float64() < 0.2 {
-			b.AddEdge(pickRouter(e.U), pickRouter(e.V))
+	// Iterate AS adjacencies directly (u ascending, sorted v > u — the same
+	// order Edges() returns) instead of materializing the edge list.
+	for u := int32(0); u < int32(nAS); u++ {
+		for _, v := range as.Graph.Neighbors(u) {
+			if u >= v {
+				continue
+			}
+			b.AddEdge(pickRouter(u), pickRouter(v))
+			// Multihomed-style second border link for a fraction of adjacencies.
+			if r.Float64() < 0.2 {
+				b.AddEdge(pickRouter(u), pickRouter(v))
+			}
 		}
 	}
 	g := b.Graph()

@@ -48,8 +48,13 @@ func EccentricityDistributionWith(e *ball.Engine, maxSamples int, binWidth float
 	for _, p := range profiles {
 		bins[int(float64(p.Eccentricity())/mean/binWidth)]++
 	}
+	// Each bin height is a sample proportion over the sampled centers, so it
+	// carries a finite-population-corrected proportion standard error —
+	// exactly zero when every node was sampled.
 	for b, cnt := range bins {
-		out.Add(float64(b)*binWidth+binWidth/2, float64(cnt)/float64(len(profiles)))
+		p := float64(cnt) / float64(len(profiles))
+		out.AddWithErr(float64(b)*binWidth+binWidth/2, p,
+			stats.PropStdErrFPC(p, len(profiles), n))
 	}
 	out.SortByX()
 	return out

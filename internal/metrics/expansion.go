@@ -43,14 +43,21 @@ func ExpansionWith(e *ball.Engine, cfg ball.Config) stats.Series {
 	}
 	// Sum |ball(center, h)| over centers (in center order, so the float
 	// accumulation is deterministic), saturating centers of smaller
-	// eccentricity.
+	// eccentricity. Each E(h) is the mean over sampled centers of the
+	// per-center reach fraction, so it carries a finite-population-corrected
+	// standard error over those per-center fractions: zero when every node
+	// served as a center, shrinking as the sample budget grows.
 	total := float64(n)
+	fracs := make([]float64, len(profiles))
 	for h := 0; h <= maxEcc; h++ {
 		sum := 0.0
-		for _, p := range profiles {
-			sum += float64(p.Size(h))
+		for i, p := range profiles {
+			f := float64(p.Size(h))
+			sum += f
+			fracs[i] = f / total
 		}
-		out.Add(float64(h), sum/float64(len(profiles))/total)
+		out.AddWithErr(float64(h), sum/float64(len(profiles))/total,
+			stats.MeanStdErrFPC(fracs, n))
 	}
 	return out
 }

@@ -58,8 +58,8 @@ func removalCurve(g *graph.Graph, order []int32, fractions []float64, pathSample
 		k := int(f * float64(n))
 		sub, _ := g.RemoveNodes(order[:k])
 		lc, _ := sub.LargestComponent()
-		apl := AveragePathLength(lc, pathSamples)
-		s.Add(f, apl)
+		apl, se := AveragePathLengthBounds(lc, pathSamples)
+		s.AddWithErr(f, apl, se)
 	}
 	return s
 }
@@ -71,9 +71,21 @@ func removalCurve(g *graph.Graph, order []int32, fractions []float64, pathSample
 // integer in float64, so the result is identical to the scalar per-source
 // BFS it replaced.
 func AveragePathLength(g *graph.Graph, maxSources int) float64 {
+	apl, _ := AveragePathLengthBounds(g, maxSources)
+	return apl
+}
+
+// AveragePathLengthBounds is AveragePathLength plus a standard-error bound
+// on the estimate: the finite-population-corrected standard error of the
+// per-source mean path lengths, treating the sampled sources as a draw
+// without replacement from the n nodes. When every node serves as a source
+// the bound is exactly zero. The point estimate itself is byte-identical to
+// the historic AveragePathLength (total distance over total pairs, not the
+// mean of per-source means).
+func AveragePathLengthBounds(g *graph.Graph, maxSources int) (apl, stderr float64) {
 	n := g.NumNodes()
 	if n < 2 {
-		return 0
+		return 0, 0
 	}
 	sources := n
 	if maxSources > 0 && maxSources < n {
@@ -83,6 +95,7 @@ func AveragePathLength(g *graph.Graph, maxSources int) float64 {
 	perm := r.Perm(n)
 	ms := graph.NewMSBFSScratch()
 	totalDist, totalPairs := 0.0, 0.0
+	perSource := make([]float64, 0, sources)
 	for lo := 0; lo < sources; lo += graph.MSBFSWidth {
 		hi := lo + graph.MSBFSWidth
 		if hi > sources {
@@ -94,15 +107,20 @@ func AveragePathLength(g *graph.Graph, maxSources int) float64 {
 		}
 		ms.Run(g, batch)
 		for i := range batch {
+			srcDist, srcPairs := 0.0, -1.0 // the source itself is not a pair
 			for h, cnt := range ms.LevelCounts(i) {
-				totalDist += float64(h) * float64(cnt)
-				totalPairs += float64(cnt)
+				srcDist += float64(h) * float64(cnt)
+				srcPairs += float64(cnt)
 			}
-			totalPairs-- // the source itself is not a pair
+			totalDist += srcDist
+			totalPairs += srcPairs
+			if srcPairs > 0 {
+				perSource = append(perSource, srcDist/srcPairs)
+			}
 		}
 	}
 	if totalPairs == 0 {
-		return 0
+		return 0, 0
 	}
-	return totalDist / totalPairs
+	return totalDist / totalPairs, stats.MeanStdErrFPC(perSource, n)
 }

@@ -1,0 +1,46 @@
+package obs
+
+import (
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+)
+
+// CaptureMem records the process's current memory posture into gauges under
+// the given prefix: <prefix>.heap_bytes (Go heap in use), <prefix>.sys_bytes
+// (total bytes obtained from the OS by the runtime) and <prefix>.rss_bytes
+// (resident set size, when the platform exposes it). The pipeline calls this
+// after each stage so a -metrics run yields a per-stage memory trajectory
+// alongside the operation counters. Safe on a nil registry.
+func (r *Registry) CaptureMem(prefix string) {
+	if r == nil {
+		return
+	}
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	r.Gauge(prefix + ".heap_bytes").Set(int64(ms.HeapInuse))
+	r.Gauge(prefix + ".sys_bytes").Set(int64(ms.Sys))
+	if rss, ok := ReadRSS(); ok {
+		r.Gauge(prefix + ".rss_bytes").Set(rss)
+	}
+}
+
+// ReadRSS returns the process resident set size in bytes, read from
+// /proc/self/statm. The second result is false on platforms without procfs
+// or on any parse failure — callers degrade to heap-only gauges.
+func ReadRSS() (int64, bool) {
+	data, err := os.ReadFile("/proc/self/statm")
+	if err != nil {
+		return 0, false
+	}
+	fields := strings.Fields(string(data))
+	if len(fields) < 2 {
+		return 0, false
+	}
+	pages, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return 0, false
+	}
+	return pages * int64(os.Getpagesize()), true
+}

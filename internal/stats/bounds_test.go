@@ -1,0 +1,85 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func TestMeanStdErrFPC(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	// Exhaustive sample: exactly zero, not merely tiny.
+	if se := MeanStdErrFPC(xs, 5); se != 0 {
+		t.Errorf("k == pop: want 0, got %v", se)
+	}
+	// Degenerate inputs never produce NaN.
+	for _, se := range []float64{
+		MeanStdErrFPC(nil, 100),
+		MeanStdErrFPC([]float64{3}, 100),
+		MeanStdErrFPC(xs, 1),
+	} {
+		if se != 0 {
+			t.Errorf("degenerate input: want 0, got %v", se)
+		}
+	}
+	// Hand-check against the formula: sd/sqrt(k) * sqrt((N-k)/(N-1)).
+	pop := 100
+	sd := math.Sqrt(2.5) // sample sd of 1..5
+	want := sd / math.Sqrt(5) * math.Sqrt(95.0/99.0)
+	if got := MeanStdErrFPC(xs, pop); math.Abs(got-want) > 1e-12 {
+		t.Errorf("got %v, want %v", got, want)
+	}
+	// Larger samples from the same population tighten the bound.
+	big := make([]float64, 50)
+	for i := range big {
+		big[i] = xs[i%5]
+	}
+	if MeanStdErrFPC(big, pop) >= MeanStdErrFPC(xs, pop) {
+		t.Error("stderr did not shrink with sample size")
+	}
+}
+
+func TestPropStdErrFPC(t *testing.T) {
+	if se := PropStdErrFPC(0.3, 50, 50); se != 0 {
+		t.Errorf("exhaustive: want 0, got %v", se)
+	}
+	if se := PropStdErrFPC(0.3, 1, 100); se != 0 {
+		t.Errorf("k=1: want 0, got %v", se)
+	}
+	want := math.Sqrt(0.3*0.7/50) * math.Sqrt(50.0/99.0)
+	if got := PropStdErrFPC(0.3, 50, 100); math.Abs(got-want) > 1e-12 {
+		t.Errorf("got %v, want %v", got, want)
+	}
+	if PropStdErrFPC(0.3, 80, 100) >= PropStdErrFPC(0.3, 20, 100) {
+		t.Error("stderr did not shrink with sample size")
+	}
+}
+
+// TestSortByXPairsStdErr pins the pairing contract: sorting by X must carry
+// each point's bound with it.
+func TestSortByXPairsStdErr(t *testing.T) {
+	var s Series
+	s.AddWithErr(3, 30, 0.3)
+	s.AddWithErr(1, 10, 0.1)
+	s.AddWithErr(2, 20, 0.2)
+	s.SortByX()
+	for i, want := range []float64{0.1, 0.2, 0.3} {
+		if s.StdErr[i] != want {
+			t.Errorf("StdErr[%d] = %v, want %v (points %v)", i, s.StdErr[i], want, s.Points)
+		}
+		if s.Points[i].X != float64(i+1) {
+			t.Errorf("Points[%d].X = %v, want %v", i, s.Points[i].X, i+1)
+		}
+	}
+}
+
+// TestAddWithErrPadsEarlierPoints: mixing Add and AddWithErr zero-pads the
+// bound slice so it stays parallel to Points.
+func TestAddWithErrPadsEarlierPoints(t *testing.T) {
+	var s Series
+	s.Add(1, 10)
+	s.Add(2, 20)
+	s.AddWithErr(3, 30, 0.5)
+	if len(s.StdErr) != 3 || s.StdErr[0] != 0 || s.StdErr[1] != 0 || s.StdErr[2] != 0.5 {
+		t.Errorf("StdErr = %v, want [0 0 0.5]", s.StdErr)
+	}
+}

@@ -14,20 +14,56 @@ import (
 type Point struct{ X, Y float64 }
 
 // Series is one named curve of a figure, e.g. the expansion of one topology.
+//
+// StdErr, when non-nil, parallels Points with a per-point standard error of
+// the Y estimate: the sampled-estimator contract. nil means "no bound
+// attached" (exhaustive legacy metrics); an all-zero slice means the series
+// was fully enumerated, so the sampling error is exactly zero. Code that
+// appends to Points via Add keeps StdErr nil; use AddWithErr to grow both.
 type Series struct {
 	Name   string
 	Points []Point
+	StdErr []float64
 }
 
 // Add appends a sample.
 func (s *Series) Add(x, y float64) { s.Points = append(s.Points, Point{x, y}) }
 
+// AddWithErr appends a sample with its standard error, padding StdErr with
+// zeros if earlier samples were added without one.
+func (s *Series) AddWithErr(x, y, se float64) {
+	for len(s.StdErr) < len(s.Points) {
+		s.StdErr = append(s.StdErr, 0)
+	}
+	s.Points = append(s.Points, Point{x, y})
+	s.StdErr = append(s.StdErr, se)
+}
+
 // Len returns the number of samples.
 func (s *Series) Len() int { return len(s.Points) }
 
-// SortByX orders the samples by increasing X.
+// SortByX orders the samples by increasing X, carrying any per-point
+// standard errors along with their points.
 func (s *Series) SortByX() {
-	sort.Slice(s.Points, func(i, j int) bool { return s.Points[i].X < s.Points[j].X })
+	if s.StdErr == nil {
+		sort.Slice(s.Points, func(i, j int) bool { return s.Points[i].X < s.Points[j].X })
+		return
+	}
+	for len(s.StdErr) < len(s.Points) {
+		s.StdErr = append(s.StdErr, 0)
+	}
+	idx := make([]int, len(s.Points))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return s.Points[idx[a]].X < s.Points[idx[b]].X })
+	pts := make([]Point, len(idx))
+	ses := make([]float64, len(idx))
+	for i, j := range idx {
+		pts[i] = s.Points[j]
+		ses[i] = s.StdErr[j]
+	}
+	s.Points, s.StdErr = pts, ses
 }
 
 // YAt returns the Y value at the sample with the largest X <= x, or the
@@ -104,6 +140,42 @@ func Mean(xs []float64) float64 {
 		sum += x
 	}
 	return sum / float64(len(xs))
+}
+
+// MeanStdErrFPC returns the standard error of the sample mean of xs drawn
+// without replacement from a population of size pop, with the finite
+// population correction sqrt((N-k)/(N-1)) applied. It is exactly zero when
+// the sample covers the whole population — which is how full-enumeration
+// runs report zero-width bounds — and shrinks as the sample grows. Returns
+// 0 for samples of size < 2 or nonsensical pop.
+func MeanStdErrFPC(xs []float64, pop int) float64 {
+	k := len(xs)
+	if k < 2 || pop < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	var ss float64
+	for _, x := range xs {
+		d := x - m
+		ss += d * d
+	}
+	sd := math.Sqrt(ss / float64(k-1))
+	se := sd / math.Sqrt(float64(k))
+	if k >= pop {
+		return 0
+	}
+	return se * math.Sqrt(float64(pop-k)/float64(pop-1))
+}
+
+// PropStdErrFPC returns the standard error of a sample proportion p
+// estimated from k draws without replacement out of a population of pop,
+// finite-population corrected. Zero when the sample is exhaustive.
+func PropStdErrFPC(p float64, k, pop int) float64 {
+	if k < 2 || pop < 2 || k >= pop {
+		return 0
+	}
+	se := math.Sqrt(p * (1 - p) / float64(k))
+	return se * math.Sqrt(float64(pop-k)/float64(pop-1))
 }
 
 // Pearson returns the Pearson correlation coefficient between xs and ys.

@@ -98,20 +98,13 @@ func Sweep(overlay *policy.RouterOverlay, backbone []bool, opts Options) (*graph
 		return i
 	}
 
-	type pair struct{ u, v int32 }
-	seen := map[pair]bool{}
-	var edges []graph.Edge
+	// Observed adjacencies stream straight into the builder; duplicates from
+	// overlapping paths are dropped at freeze, so no seen-set or edge list is
+	// held alongside the CSR.
+	b := graph.NewStreamBuilder(0)
 	addEdge := func(u, v int32) {
-		if u == v {
-			return
-		}
-		if u > v {
-			u, v = v, u
-		}
-		if !seen[pair{u, v}] {
-			seen[pair{u, v}] = true
-			edges = append(edges, graph.Edge{U: u, V: v})
-		}
+		b.EnsureNodes(len(orig))
+		b.AddEdge(u, v)
 	}
 	var pt *policy.PathTree
 	var path []int32 // reused hop buffer; pseudo-node ids depend on walk order, so paths stay forward
@@ -141,5 +134,6 @@ func Sweep(overlay *policy.RouterOverlay, backbone []bool, opts Options) (*graph
 			}
 		}
 	}
-	return graph.FromEdges(len(orig), edges), orig
+	b.EnsureNodes(len(orig))
+	return b.Graph(), orig
 }

@@ -40,10 +40,21 @@ go test -race -timeout 45m ./internal/core ./internal/ball ./internal/experiment
     ./internal/cache ./internal/obs ./internal/partition ./internal/flow \
     ./internal/metrics
 
+echo "== scale smoke: 1M-node streamed build + sampled expansion =="
+# Builds a million-node PLRG through the streamed CSR path, checks the
+# >= 4x build-overhead advantage over the map builder, and runs a sampled
+# expansion with confidence bounds inside an explicit time/heap budget.
+TOPOCMP_SCALE_SMOKE=1 go test -run '^TestScaleSmoke$' -timeout 10m .
+
 echo "== bench smoke: kernel benchmarks compile and run =="
 go test -run '^$' -bench 'CutSize|SurfaceMaxFlow|ResilienceMesh' \
     -benchtime 1x ./internal/partition ./internal/metrics
 go test -run '^$' -bench 'BenchmarkMSBFS|BenchmarkWideMSBFS|BenchmarkBrandes' \
+    -benchtime 1x .
+# Scale benchmarks refresh BENCH_scale.json (map-vs-streamed peak memory
+# and the size-vs-time/RSS trajectory; the full-RL pipeline row is skipped
+# here to keep the smoke fast — run the full Scale suite to update it).
+go test -run '^$' -bench 'BenchmarkScaleBuild|BenchmarkScaleTrajectory' \
     -benchtime 1x .
 
 echo "verify.sh: all tiers passed"

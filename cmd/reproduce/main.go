@@ -7,6 +7,7 @@
 //
 //	reproduce [-out results] [-seed 1] [-scale 0.3] [-full] [-quick]
 //	          [-j N] [-cache dir] [-trace file] [-metrics]
+//	          [-http addr] [-progress]
 //	          [-cpuprofile file] [-memprofile file]
 //
 // -j sets the pipeline's worker budget (0 = all cores, 1 = sequential);
@@ -18,16 +19,28 @@
 //
 // -trace exports the run's span tree as Chrome trace-event JSON (open it at
 // ui.perfetto.dev) and prints it as an indented tree; -metrics prints the
-// final metrics registry. Either flag also writes <out>/run.json, a manifest
-// recording the configuration, seeds, cache schema, per-stage timings and
-// the final metric snapshot. With both flags off the output directory is
-// byte-identical to a run without them. -cpuprofile/-memprofile write pprof
-// profiles of the whole run.
+// final metrics registry. -cpuprofile/-memprofile write pprof profiles of
+// the whole run.
+//
+// -http addr serves the live observability plane while the run executes:
+// /metrics (Prometheus text exposition with histogram buckets),
+// /debug/progress (JSON stage DAG with completion fractions and ETA),
+// /debug/trace (live span-tree snapshot; ?format=chrome for trace-event
+// JSON) and /debug/pprof/*. Port 0 picks a free port; the chosen address
+// is printed on startup. -progress renders a live one-line progress
+// summary on stderr.
+//
+// -metrics or -http also run the background time-series sampler (one
+// registry + heap/RSS/GC snapshot per 250ms into a bounded ring) and
+// write <out>/run_timeseries.json plus <out>/run.json, the run manifest.
+// With every observability flag off the output directory is byte-identical
+// to an instrumented run — observability never changes results.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"math"
 	"os"
 	"path/filepath"
@@ -36,7 +49,9 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"sync"
 	"text/tabwriter"
+	"time"
 
 	"topocmp/internal/cache"
 	"topocmp/internal/core"
@@ -58,6 +73,9 @@ func main() {
 	cacheDir := flag.String("cache", "", "result cache directory (empty = no caching)")
 	traceFile := flag.String("trace", "", "write a Chrome trace-event JSON of the run to this file")
 	metrics := flag.Bool("metrics", false, "print the final metrics table and write <out>/run.json")
+	httpAddr := flag.String("http", "", "serve /metrics, /debug/progress, /debug/trace and /debug/pprof/ "+
+		"on this address while the run executes (e.g. 127.0.0.1:6060; port 0 picks a free port)")
+	progressLine := flag.Bool("progress", false, "render a live one-line progress summary on stderr")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file")
 	flag.Parse()
@@ -86,7 +104,13 @@ func main() {
 	}
 	cfg.Suite.Parallelism = *workers
 	os.Exit(realMain(cfg, *workers, *cacheDir, *out,
-		obsOptions{Trace: *traceFile != "", Metrics: *metrics},
+		obsOptions{
+			Trace:    *traceFile != "",
+			Metrics:  *metrics,
+			Progress: *progressLine,
+			HTTPAddr: *httpAddr,
+			Sample:   *metrics || *httpAddr != "",
+		},
 		*traceFile, *cpuprofile, *memprofile))
 }
 
@@ -175,11 +199,14 @@ func realMain(cfg experiments.Config, workers int, cacheDir, out string,
 // obsOptions selects the run's observability outputs. The zero value — the
 // default — changes nothing observable: stage banners and the final pipeline
 // line are rendered from the same span tree and metrics registry either way,
-// and the output directory stays byte-identical (run.json only appears when
-// an option is on).
+// and the output directory stays byte-identical (run.json and
+// run_timeseries.json only appear when an option is on).
 type obsOptions struct {
-	Trace   bool // render the span tree to stdout (main also exports Chrome JSON)
-	Metrics bool // print the metrics table to stdout
+	Trace    bool   // render the span tree to stdout (main also exports Chrome JSON)
+	Metrics  bool   // print the metrics table to stdout
+	Progress bool   // render a live one-line progress summary on stderr
+	HTTPAddr string // serve the live debug endpoints on this address ("" = off)
+	Sample   bool   // run the time-series sampler; writes <out>/run_timeseries.json
 }
 
 // run renders every artifact into out and returns the runner (for its
@@ -219,31 +246,7 @@ func run(cfg experiments.Config, workers int, cacheDir, out string, o obsOptions
 			fmt.Printf("   %-28s %8.1fs\n", s.Name(), s.Duration().Seconds())
 		}
 	}
-	stage := func(title string, f func(sp *obs.Span) error) error {
-		sp := root.Start(title)
-		defer sp.End()
-		err := f(sp)
-		// Post-stage heap/RSS gauges: with -metrics on, the registry table
-		// becomes a per-stage memory trajectory of the run. A no-op (nil
-		// registry internals aside, gauges never alter results or outputs).
-		r.Metrics().CaptureMem("mem." + stageSlug(title))
-		return err
-	}
-
-	if err := stage("Pipeline: networks and suites", func(sp *obs.Span) error {
-		r.Trace = sp
-		r.Prefetch()
-		return nil
-	}); err != nil {
-		return r, tr, err
-	}
-
-	if err := stage("Table 1: network inventory", func(sp *obs.Span) error {
-		return writeTable1(r, out)
-	}); err != nil {
-		return r, tr, err
-	}
-
+	// The figure renderers group networks three ways; several stages share it.
 	groups := []struct {
 		key   string
 		names []string
@@ -252,176 +255,212 @@ func run(cfg experiments.Config, workers int, cacheDir, out string, o obsOptions
 		{"measured", experiments.MeasuredNames},
 		{"generated", experiments.GeneratedNames},
 	}
-	if err := stage("Figure 2: expansion/resilience/distortion", func(sp *obs.Span) error {
-		for _, g := range groups {
-			p := r.Figure2(g.key, g.names)
-			if err := writePanel(out, "fig2_"+g.key, p.Expansion, p.Resilience, p.Distortion); err != nil {
+
+	// Every artifact stage, declared up front in display order. Declaring
+	// the table (rather than running each call site inline) lets the
+	// progress DAG register every stage before the first one runs, so
+	// /debug/progress shows the whole pipeline — pending, running, cached,
+	// done — from the first request.
+	prog := obs.NewProgress()
+	r.Progress = prog
+	stages := []struct {
+		title string
+		f     func(sp *obs.Span) error
+	}{
+
+		{"Pipeline: networks and suites", func(sp *obs.Span) error {
+			r.Trace = sp
+			r.Prefetch()
+			return nil
+		}},
+
+		{"Table 1: network inventory", func(sp *obs.Span) error {
+			return writeTable1(r, out)
+		}},
+
+		{"Figure 2: expansion/resilience/distortion", func(sp *obs.Span) error {
+			for _, g := range groups {
+				p := r.Figure2(g.key, g.names)
+				if err := writePanel(out, "fig2_"+g.key, p.Expansion, p.Resilience, p.Distortion); err != nil {
+					return err
+				}
+				preview(p.Expansion, "expansion "+g.key, plot.Options{YScale: plot.Log})
+			}
+			return nil
+		}},
+		{"Figure 2 (degree-based variants, j-l)", func(sp *obs.Span) error {
+			vp := r.Figure12()
+			if err := writePanel(out, "fig2_variants", vp.Expansion, vp.Resilience, vp.Distortion); err != nil {
 				return err
 			}
-			preview(p.Expansion, "expansion "+g.key, plot.Options{YScale: plot.Log})
-		}
-		return nil
-	}); err != nil {
-		return r, tr, err
-	}
-	if err := stage("Figure 2 (degree-based variants, j-l)", func(sp *obs.Span) error {
-		vp := r.Figure12()
-		if err := writePanel(out, "fig2_variants", vp.Expansion, vp.Resilience, vp.Distortion); err != nil {
+			_, err := plot.WriteDat(out, "fig12_ccdf", vp.CCDF)
 			return err
-		}
-		_, err := plot.WriteDat(out, "fig12_ccdf", vp.CCDF)
-		return err
-	}); err != nil {
-		return r, tr, err
-	}
+		}},
 
-	if err := stage("Tables 2 and 3: signatures", func(sp *obs.Span) error {
-		if err := writeRows(filepath.Join(out, "table2_canonical.txt"), r.Table2()); err != nil {
+		{"Tables 2 and 3: signatures", func(sp *obs.Span) error {
+			if err := writeRows(filepath.Join(out, "table2_canonical.txt"), r.Table2()); err != nil {
+				return err
+			}
+			rows := r.Table3()
+			if err := writeRows(filepath.Join(out, "table3_classification.txt"), rows); err != nil {
+				return err
+			}
+			return core.WriteTable(os.Stdout, rows)
+		}},
+
+		{"Figures 3/4: link value distributions", func(sp *obs.Span) error {
+			lv := r.Figure3([]string{"Tree", "Mesh", "Random", "RL", "AS", "TS", "Tiers", "Waxman", "PLRG"})
+			_, err := plot.WriteDat(out, "fig3_linkvalues", lv)
 			return err
-		}
-		rows := r.Table3()
-		if err := writeRows(filepath.Join(out, "table3_classification.txt"), rows); err != nil {
+		}},
+
+		{"Table 4: hierarchy groups", func(sp *obs.Span) error {
+			return writeTable4(r, out)
+		}},
+
+		{"Figure 5: link value / degree correlation", func(sp *obs.Span) error {
+			return writeFigure5(r, out)
+		}},
+
+		{"Figure 6: degree distributions", func(sp *obs.Span) error {
+			for _, g := range groups {
+				if _, err := plot.WriteDat(out, "fig6_"+g.key, r.Figure6(g.names)); err != nil {
+					return err
+				}
+			}
+			return nil
+		}},
+
+		{"Figure 7: eigenvalues and eccentricity", func(sp *obs.Span) error {
+			for _, g := range groups {
+				names := g.names
+				if g.key == "measured" {
+					names = append([]string{"PLRG"}, names...)
+				}
+				if _, err := plot.WriteDat(out, "fig7_eigen_"+g.key, r.Figure7Eigen(names)); err != nil {
+					return err
+				}
+				if _, err := plot.WriteDat(out, "fig7_ecc_"+g.key, r.Figure7Ecc(names)); err != nil {
+					return err
+				}
+			}
+			return nil
+		}},
+
+		{"Figure 8: vertex cover and biconnectivity", func(sp *obs.Span) error {
+			for _, g := range groups {
+				if _, err := plot.WriteDat(out, "fig8_cover_"+g.key, r.Figure8Cover(g.names)); err != nil {
+					return err
+				}
+				if _, err := plot.WriteDat(out, "fig8_bicon_"+g.key, r.Figure8Bicon(g.names)); err != nil {
+					return err
+				}
+			}
+			return nil
+		}},
+
+		{"Figure 9: attack and error tolerance", func(sp *obs.Span) error {
+			for _, g := range groups {
+				att, errTol := r.Figure9(g.names)
+				if _, err := plot.WriteDat(out, "fig9_attack_"+g.key, att); err != nil {
+					return err
+				}
+				if _, err := plot.WriteDat(out, "fig9_error_"+g.key, errTol); err != nil {
+					return err
+				}
+			}
+			return nil
+		}},
+
+		{"Figure 10: clustering", func(sp *obs.Span) error {
+			for _, g := range groups {
+				if _, err := plot.WriteDat(out, "fig10_"+g.key, r.Figure10(g.names)); err != nil {
+					return err
+				}
+			}
+			return nil
+		}},
+
+		{"Figure 11: parameter space", func(sp *obs.Span) error {
+			return writeFigure11(r, out)
+		}},
+
+		{"Figure 13: PLRG reconnection", func(sp *obs.Span) error {
+			rp := r.Figure13()
+			return writePanel(out, "fig13", rp.Expansion, rp.Resilience, rp.Distortion)
+		}},
+
+		{"Figure 14: variant link values", func(sp *obs.Span) error {
+			_, err := plot.WriteDat(out, "fig14_linkvalues", r.Figure14())
 			return err
+		}},
+
+		{"Appendix D.1: connectivity methods", func(sp *obs.Span) error {
+			cp := r.ConnectivityVariants()
+			return writePanel(out, "appD_connectivity", cp.Expansion, cp.Resilience, cp.Distortion)
+		}},
+
+		{"Null model: degree-preserving rewiring", func(sp *obs.Span) error {
+			rwp := r.RewiringPanel()
+			return writePanel(out, "nullmodel_rewire", rwp.Expansion, rwp.Resilience, rwp.Distortion)
+		}},
+
+		{"Extras (beyond the paper)", func(sp *obs.Span) error {
+			return writeExtras(r.Extras(), out)
+		}},
+
+		{"Summary vs. paper", func(sp *obs.Span) error {
+			return writeSummary(r, out)
+		}},
+	}
+	for _, sd := range stages {
+		prog.Register(sd.title)
+	}
+
+	// The live plane starts before the first stage so a mid-run scrape sees
+	// the real state of the pipeline, and stops (idempotently, including the
+	// error paths) once the last stage ends.
+	if o.HTTPAddr != "" {
+		ds, err := obs.StartDebugServer(o.HTTPAddr, r.Metrics(), prog, tr)
+		if err != nil {
+			return r, tr, err
 		}
-		return core.WriteTable(os.Stdout, rows)
-	}); err != nil {
-		return r, tr, err
+		defer ds.Close()
+		fmt.Printf("debug server listening on http://%s (/metrics /debug/progress /debug/trace /debug/pprof/)\n", ds.Addr())
+	}
+	var smp *obs.Sampler
+	stopSampler := func() {}
+	if o.Sample {
+		smp = obs.NewSampler(r.Metrics(), 0, 0)
+		smp.Start()
+		var once sync.Once
+		stopSampler = func() { once.Do(smp.Stop) }
+		defer stopSampler()
+	}
+	stopTTY := func() {}
+	if o.Progress {
+		stop := startProgressLine(prog, os.Stderr)
+		var once sync.Once
+		stopTTY = func() { once.Do(stop) }
+		defer stopTTY()
 	}
 
-	if err := stage("Figures 3/4: link value distributions", func(sp *obs.Span) error {
-		lv := r.Figure3([]string{"Tree", "Mesh", "Random", "RL", "AS", "TS", "Tiers", "Waxman", "PLRG"})
-		_, err := plot.WriteDat(out, "fig3_linkvalues", lv)
-		return err
-	}); err != nil {
-		return r, tr, err
-	}
-
-	if err := stage("Table 4: hierarchy groups", func(sp *obs.Span) error {
-		return writeTable4(r, out)
-	}); err != nil {
-		return r, tr, err
-	}
-
-	if err := stage("Figure 5: link value / degree correlation", func(sp *obs.Span) error {
-		return writeFigure5(r, out)
-	}); err != nil {
-		return r, tr, err
-	}
-
-	if err := stage("Figure 6: degree distributions", func(sp *obs.Span) error {
-		for _, g := range groups {
-			if _, err := plot.WriteDat(out, "fig6_"+g.key, r.Figure6(g.names)); err != nil {
-				return err
-			}
+	for _, sd := range stages {
+		st := prog.Register(sd.title)
+		st.Run()
+		sp := root.Start(sd.title)
+		err := sd.f(sp)
+		sp.End()
+		// Post-stage heap/RSS gauges: with -metrics on, the registry table
+		// becomes a per-stage memory trajectory of the run. A no-op (nil
+		// registry internals aside, gauges never alter results or outputs).
+		r.Metrics().CaptureMem("mem." + stageSlug(sd.title))
+		if err != nil {
+			return r, tr, err
 		}
-		return nil
-	}); err != nil {
-		return r, tr, err
+		st.Done()
 	}
-
-	if err := stage("Figure 7: eigenvalues and eccentricity", func(sp *obs.Span) error {
-		for _, g := range groups {
-			names := g.names
-			if g.key == "measured" {
-				names = append([]string{"PLRG"}, names...)
-			}
-			if _, err := plot.WriteDat(out, "fig7_eigen_"+g.key, r.Figure7Eigen(names)); err != nil {
-				return err
-			}
-			if _, err := plot.WriteDat(out, "fig7_ecc_"+g.key, r.Figure7Ecc(names)); err != nil {
-				return err
-			}
-		}
-		return nil
-	}); err != nil {
-		return r, tr, err
-	}
-
-	if err := stage("Figure 8: vertex cover and biconnectivity", func(sp *obs.Span) error {
-		for _, g := range groups {
-			if _, err := plot.WriteDat(out, "fig8_cover_"+g.key, r.Figure8Cover(g.names)); err != nil {
-				return err
-			}
-			if _, err := plot.WriteDat(out, "fig8_bicon_"+g.key, r.Figure8Bicon(g.names)); err != nil {
-				return err
-			}
-		}
-		return nil
-	}); err != nil {
-		return r, tr, err
-	}
-
-	if err := stage("Figure 9: attack and error tolerance", func(sp *obs.Span) error {
-		for _, g := range groups {
-			att, errTol := r.Figure9(g.names)
-			if _, err := plot.WriteDat(out, "fig9_attack_"+g.key, att); err != nil {
-				return err
-			}
-			if _, err := plot.WriteDat(out, "fig9_error_"+g.key, errTol); err != nil {
-				return err
-			}
-		}
-		return nil
-	}); err != nil {
-		return r, tr, err
-	}
-
-	if err := stage("Figure 10: clustering", func(sp *obs.Span) error {
-		for _, g := range groups {
-			if _, err := plot.WriteDat(out, "fig10_"+g.key, r.Figure10(g.names)); err != nil {
-				return err
-			}
-		}
-		return nil
-	}); err != nil {
-		return r, tr, err
-	}
-
-	if err := stage("Figure 11: parameter space", func(sp *obs.Span) error {
-		return writeFigure11(r, out)
-	}); err != nil {
-		return r, tr, err
-	}
-
-	if err := stage("Figure 13: PLRG reconnection", func(sp *obs.Span) error {
-		rp := r.Figure13()
-		return writePanel(out, "fig13", rp.Expansion, rp.Resilience, rp.Distortion)
-	}); err != nil {
-		return r, tr, err
-	}
-
-	if err := stage("Figure 14: variant link values", func(sp *obs.Span) error {
-		_, err := plot.WriteDat(out, "fig14_linkvalues", r.Figure14())
-		return err
-	}); err != nil {
-		return r, tr, err
-	}
-
-	if err := stage("Appendix D.1: connectivity methods", func(sp *obs.Span) error {
-		cp := r.ConnectivityVariants()
-		return writePanel(out, "appD_connectivity", cp.Expansion, cp.Resilience, cp.Distortion)
-	}); err != nil {
-		return r, tr, err
-	}
-
-	if err := stage("Null model: degree-preserving rewiring", func(sp *obs.Span) error {
-		rwp := r.RewiringPanel()
-		return writePanel(out, "nullmodel_rewire", rwp.Expansion, rwp.Resilience, rwp.Distortion)
-	}); err != nil {
-		return r, tr, err
-	}
-
-	if err := stage("Extras (beyond the paper)", func(sp *obs.Span) error {
-		return writeExtras(r.Extras(), out)
-	}); err != nil {
-		return r, tr, err
-	}
-
-	if err := stage("Summary vs. paper", func(sp *obs.Span) error {
-		return writeSummary(r, out)
-	}); err != nil {
-		return r, tr, err
-	}
+	stopTTY()
 
 	root.End()
 	st := r.Stats()
@@ -442,7 +481,13 @@ func run(cfg experiments.Config, workers int, cacheDir, out string, o obsOptions
 		fmt.Println("-- trace --")
 		tr.WriteTree(os.Stdout) //nolint:errcheck // stdout rendering is best-effort
 	}
-	if o.Metrics || o.Trace {
+	if smp != nil {
+		stopSampler() // records the final sample before the ring is exported
+		if err := smp.WriteFile(filepath.Join(out, "run_timeseries.json")); err != nil {
+			return r, tr, err
+		}
+	}
+	if o.Metrics || o.Trace || o.Sample {
 		man := &obs.Manifest{
 			Tool:               "reproduce",
 			GoVersion:          runtime.Version(),
@@ -516,6 +561,57 @@ func stageSlug(title string) string {
 		default:
 			pendingSep = true
 		}
+	}
+	return b.String()
+}
+
+// startProgressLine launches a goroutine repainting one status line on w
+// (an ANSI terminal — \r plus erase-to-end) every 200ms and returns a stop
+// function that erases the line and waits for the goroutine to exit.
+func startProgressLine(p *obs.Progress, w io.Writer) func() {
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		t := time.NewTicker(200 * time.Millisecond)
+		defer t.Stop()
+		for {
+			select {
+			case <-t.C:
+				fmt.Fprintf(w, "\r\x1b[K%s", progressLine(p.Snapshot()))
+			case <-stop:
+				fmt.Fprint(w, "\r\x1b[K")
+				return
+			}
+		}
+	}()
+	return func() { close(stop); <-done }
+}
+
+// progressLine renders one snapshot as a single status line: overall
+// percentage, stage tally, the currently running stage (with its work
+// counter when the stage reports units) and the ETA.
+func progressLine(s obs.ProgressSnapshot) string {
+	finished := 0
+	var running *obs.StageStatus
+	for i := range s.Stages {
+		switch s.Stages[i].State {
+		case obs.StageDone, obs.StageCached:
+			finished++
+		case obs.StageRunning:
+			running = &s.Stages[i]
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%3.0f%% | %d/%d stages", 100*s.Fraction, finished, len(s.Stages))
+	if running != nil {
+		fmt.Fprintf(&b, " | %s", running.Name)
+		if running.TotalUnits > 0 {
+			fmt.Fprintf(&b, " %d/%d", running.DoneUnits, running.TotalUnits)
+		}
+	}
+	if s.ETASeconds > 0 {
+		fmt.Fprintf(&b, " | eta %ds", int(s.ETASeconds+0.5))
 	}
 	return b.String()
 }

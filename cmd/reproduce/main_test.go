@@ -135,7 +135,7 @@ func TestObsDisabledByteIdentical(t *testing.T) {
 	}
 
 	coldOut := filepath.Join(base, "cold")
-	_, tr, err := run(cfg, 2, cacheDir, coldOut, obsOptions{Trace: true, Metrics: true})
+	_, tr, err := run(cfg, 2, cacheDir, coldOut, obsOptions{Trace: true, Metrics: true, Sample: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -145,7 +145,23 @@ func TestObsDisabledByteIdentical(t *testing.T) {
 	if _, ok := cold["run.json"]; !ok {
 		t.Error("instrumented run did not write run.json")
 	}
+	tsData, ok := cold["run_timeseries.json"]
+	if !ok {
+		t.Error("sampling run did not write run_timeseries.json")
+	}
+	var ts obs.TimeSeries
+	if err := json.Unmarshal(tsData, &ts); err != nil {
+		t.Fatalf("run_timeseries.json is not valid JSON: %v", err)
+	}
+	if len(ts.Samples) == 0 {
+		t.Error("run_timeseries.json holds no samples")
+	}
+	last := ts.Samples[len(ts.Samples)-1]
+	if last.HeapBytes == 0 || last.Counters["pipeline.suite_runs"] == 0 {
+		t.Errorf("final sample incomplete: %+v", last)
+	}
 	delete(cold, "run.json")
+	delete(cold, "run_timeseries.json")
 	sameTree(t, "obs on vs off", plain, cold)
 
 	// The Chrome export of the instrumented run must be valid trace-event
@@ -191,11 +207,12 @@ func TestObsDisabledByteIdentical(t *testing.T) {
 
 	// Warm rerun: the manifest must record a zero-compute, all-hit run.
 	warmOut := filepath.Join(base, "warm")
-	if _, _, err := run(cfg, 2, cacheDir, warmOut, obsOptions{Metrics: true}); err != nil {
+	if _, _, err := run(cfg, 2, cacheDir, warmOut, obsOptions{Metrics: true, Sample: true}); err != nil {
 		t.Fatal(err)
 	}
 	warm := readTree(t, warmOut)
 	delete(warm, "run.json")
+	delete(warm, "run_timeseries.json")
 	sameTree(t, "warm obs vs plain", plain, warm)
 	man, err := obs.ReadManifest(filepath.Join(warmOut, "run.json"))
 	if err != nil {

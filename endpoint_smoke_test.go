@@ -1,0 +1,130 @@
+package topocmp
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestEndpointSmoke is the verify.sh live-plane gate (run with
+// TOPOCMP_ENDPOINT_SMOKE=1): build the real reproduce binary, launch a
+// -quick run serving -http on a kernel-chosen port, and assert — while the
+// pipeline is still executing — that /metrics serves Prometheus text with
+// histogram buckets, /debug/progress serves the stage DAG with a running
+// stage, and /debug/pprof/ responds. The run is then killed; the smoke
+// checks the live plane, not the artifacts (cmd/reproduce's own tests pin
+// those).
+func TestEndpointSmoke(t *testing.T) {
+	if os.Getenv("TOPOCMP_ENDPOINT_SMOKE") == "" {
+		t.Skip("set TOPOCMP_ENDPOINT_SMOKE=1 to run the live-endpoint smoke")
+	}
+	dir := t.TempDir()
+	bin := filepath.Join(dir, "reproduce")
+	build := exec.Command("go", "build", "-o", bin, "./cmd/reproduce")
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("go build ./cmd/reproduce: %v\n%s", err, out)
+	}
+
+	cmd := exec.Command(bin, "-quick", "-j", "2",
+		"-http", "127.0.0.1:0", "-out", filepath.Join(dir, "results"))
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd.Stderr = io.Discard
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		cmd.Process.Kill() //nolint:errcheck // best-effort teardown
+		cmd.Wait()         //nolint:errcheck // exit status is the kill
+	}()
+
+	// The binary prints its bound address before the first stage runs.
+	addrCh := make(chan string, 1)
+	go func() {
+		sc := bufio.NewScanner(stdout)
+		for sc.Scan() {
+			line := sc.Text()
+			if strings.HasPrefix(line, "debug server listening on http://") {
+				addrCh <- strings.Fields(strings.TrimPrefix(line, "debug server listening on "))[0]
+				break
+			}
+		}
+		close(addrCh)
+		io.Copy(io.Discard, stdout) //nolint:errcheck // keep the pipe drained
+	}()
+	var base string
+	select {
+	case a, ok := <-addrCh:
+		if !ok || a == "" {
+			t.Fatal("reproduce exited without printing the debug server address")
+		}
+		base = a
+	case <-time.After(30 * time.Second):
+		t.Fatal("timed out waiting for the debug server address")
+	}
+
+	get := func(path string) (int, string) {
+		resp, err := http.Get(base + path)
+		if err != nil {
+			return 0, err.Error()
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, string(body)
+	}
+
+	// Poll until the pipeline is demonstrably mid-run: a running stage in
+	// the progress DAG and histogram buckets in the exposition. The -quick
+	// run takes minutes, so well before it finishes both must appear.
+	deadline := time.Now().Add(2 * time.Minute)
+	var sawRunning, sawBuckets bool
+	for time.Now().Before(deadline) && !(sawRunning && sawBuckets) {
+		if code, body := get("/debug/progress"); code == http.StatusOK {
+			var snap struct {
+				Fraction float64 `json:"fraction"`
+				Stages   []struct {
+					State string `json:"state"`
+				} `json:"stages"`
+			}
+			if err := json.Unmarshal([]byte(body), &snap); err != nil {
+				t.Fatalf("/debug/progress is not JSON: %v\n%s", err, body)
+			}
+			if snap.Fraction >= 1 {
+				t.Fatal("run finished before the smoke sampled it mid-flight")
+			}
+			for _, st := range snap.Stages {
+				if st.State == "running" {
+					sawRunning = true
+				}
+			}
+		}
+		if code, body := get("/metrics"); code == http.StatusOK {
+			if strings.Contains(body, "_bucket{le=") && strings.Contains(body, "# TYPE") {
+				sawBuckets = true
+			}
+		}
+		time.Sleep(250 * time.Millisecond)
+	}
+	if !sawRunning {
+		t.Error("/debug/progress never reported a running stage mid-run")
+	}
+	if !sawBuckets {
+		t.Error("/metrics never served histogram buckets mid-run")
+	}
+	if code, _ := get("/debug/pprof/"); code != http.StatusOK {
+		t.Errorf("/debug/pprof/ = %d, want 200", code)
+	}
+	if code, body := get("/metrics"); code != http.StatusOK ||
+		!strings.Contains(body, "pipeline_workers 2") {
+		t.Errorf("/metrics = %d, want 200 with pipeline_workers gauge:\n%s", code, body)
+	}
+}

@@ -54,6 +54,11 @@ type Engine struct {
 	mDistScalar     *obs.Counter // centers the diameter probe routed to scalar BFS
 	mBrandesBatches *obs.Counter // bit-parallel Brandes batches run by kernel consumers
 	mBrandesScalar  *obs.Counter // subgraphs the probe kept on scalar Brandes
+
+	// prog, when set, receives balls-done/total work counters so a live
+	// /debug/progress can turn the suite's ball traffic into a completion
+	// fraction. Nil (the default) costs one nil check per profile.
+	prog *obs.ProgressStage
 }
 
 // Kernels bundles one worker's reusable solver scratch: a multilevel-
@@ -159,6 +164,15 @@ func (e *Engine) Instrument(reg *obs.Registry) {
 	e.mBrandesScalar = reg.Counter("ball.brandes_scalar")
 }
 
+// SetProgress attaches a live progress stage: every Profiles/CumProfiles
+// request adds its center count to the stage's work total and one done
+// unit per center completed, so the stage's fraction tracks the suite's
+// ball traffic in flight. Cache hits count as completed work too — each
+// call contributes matching total and done units, so the fraction is
+// monotone and ends at 1. A nil stage (the default) disables the counters.
+// Progress never influences results.
+func (e *Engine) SetProgress(st *obs.ProgressStage) { e.prog = st }
+
 // Graph returns the graph the engine grows balls on.
 func (e *Engine) Graph() *graph.Graph { return e.g }
 
@@ -252,7 +266,11 @@ func computeProfile(g *graph.Graph, s *graph.BFSScratch, center int32) *Profile 
 // missing ones out over the worker pool.
 func (e *Engine) Profiles(centers []int32) []*Profile {
 	out := make([]*Profile, len(centers))
-	e.forEach(len(centers), func(i int) { out[i] = e.Profile(centers[i]) })
+	e.prog.AddTotal(int64(len(centers)))
+	e.forEach(len(centers), func(i int) {
+		out[i] = e.Profile(centers[i])
+		e.prog.Add(1)
+	})
 	return out
 }
 
@@ -322,6 +340,10 @@ func (e *Engine) CumProfiles(centers []int32) []*CumProfile {
 		ents[i] = ent
 	}
 	e.mu.Unlock()
+	// Work units for the live progress fraction: satisfied-from-cache
+	// centers complete instantly; "mine" completes as the kernels run.
+	e.prog.AddTotal(int64(len(centers)))
+	e.prog.Add(int64(len(centers) - len(mine)))
 	if len(mine) > 0 && e.ApproxDiameter() > msbfsDiameterCutoff {
 		e.forEach(len(mine), func(j int) {
 			idx := mine[j]
@@ -332,6 +354,7 @@ func (e *Engine) CumProfiles(centers []int32) []*CumProfile {
 			ent.c = &CumProfile{Center: centers[idx], Cum: cum}
 			out[idx] = ent.c
 			close(ent.done)
+			e.prog.Add(1)
 		})
 		e.mDistScalar.Add(int64(len(mine)))
 	} else if len(mine) > 0 {
@@ -367,6 +390,7 @@ func (e *Engine) CumProfiles(centers []int32) []*CumProfile {
 			e.msbfs.Put(ms)
 			e.mMSBFSBatches.Add(1)
 			e.mMSBFSSources.Add(int64(len(batch)))
+			e.prog.Add(int64(len(batch)))
 		})
 	}
 	// Entries claimed by a concurrent call: their owner always completes

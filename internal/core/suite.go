@@ -47,10 +47,13 @@ type SuiteOptions struct {
 	// Metrics, when non-nil, receives the suite's operation counters (the
 	// ball engine's ball.* namespace and the hierarchy sweeps). Span, when
 	// non-nil, becomes the parent of one child span per metric stage.
-	// Neither influences results, so both are excluded from CacheKey and
-	// from the manifest's config JSON.
-	Metrics *obs.Registry `json:"-"`
-	Span    *obs.Span     `json:"-"`
+	// Progress, when non-nil, receives the ball engine's balls-done/total
+	// work counters so a live /debug/progress turns this suite into a
+	// completion fraction. None of the three influences results, so all
+	// are excluded from CacheKey and from the manifest's config JSON.
+	Metrics  *obs.Registry      `json:"-"`
+	Span     *obs.Span          `json:"-"`
+	Progress *obs.ProgressStage `json:"-"`
 }
 
 func (o *SuiteOptions) defaults() {
@@ -78,8 +81,9 @@ func (o *SuiteOptions) defaults() {
 // cache. Parallelism is deliberately excluded: suite results are
 // bit-identical at every worker-pool width (the PR-1 contract, enforced by
 // TestRunSuiteParallelMatchesSequential), so a `-j N` run must hit entries
-// written by a `-j 1` run and vice versa. Metrics and Span are excluded for
-// the same reason — observability never changes results. Every other field
+// written by a `-j 1` run and vice versa. Metrics, Span and Progress are
+// excluded for the same reason — observability never changes results. Every
+// other field
 // appears; adding a result-affecting field to SuiteOptions must extend this
 // string (or bump cache.SchemaVersion) so stale entries are invalidated.
 func (o SuiteOptions) CacheKey() string {
@@ -132,6 +136,7 @@ func RunSuite(n *Network, opts SuiteOptions) *SuiteResult {
 	g := n.Graph
 	eng := ball.NewEngine(g, opts.Parallelism)
 	eng.Instrument(opts.Metrics)
+	eng.SetProgress(opts.Progress)
 
 	// Sampling budgets for the estimator metrics: the explicit SampleBudget
 	// when set, otherwise the legacy Sources-derived counts.

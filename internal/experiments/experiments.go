@@ -67,6 +67,12 @@ type Runner struct {
 	// suite:<name> children, the suite span fanning into per-metric stage
 	// spans. Nil (the default) disables tracing at zero cost.
 	Trace *obs.Span
+	// Progress, when non-nil, receives one live stage per network
+	// (net:<name>): pending when registered, cached when the result store
+	// satisfied it, running/done around a real build+suite, with the ball
+	// engine's balls-done/total counters feeding the stage's completion
+	// fraction. Nil (the default) disables progress tracking at zero cost.
+	Progress *obs.Progress
 
 	mu        sync.Mutex
 	onces     map[string]*sync.Once
@@ -115,6 +121,13 @@ func (r *Runner) onceFor(name string) *sync.Once {
 		r.onces[name] = o
 	}
 	return o
+}
+
+// progressStage returns the network's live progress stage, registering it
+// on first use. A nil Progress hands out a nil stage whose methods no-op,
+// so untracked runners pay one nil check here.
+func (r *Runner) progressStage(name string) *obs.ProgressStage {
+	return r.Progress.Register("net:" + name)
 }
 
 // Measured returns (building on first use) the simulated measurement
@@ -180,12 +193,17 @@ func (r *Runner) Suite(name string) *core.SuiteResult {
 // runSuite is Suite with an explicit engine width (Prefetch divides its
 // worker budget across pending suites; the width never changes the result)
 // and an explicit trace parent. Cache restores never open a span — the
-// suite:<name> span exists exactly when the suite was actually computed.
+// suite:<name> span exists exactly when the suite was actually computed —
+// and the network's progress stage transitions the same way: cached on a
+// restore, running→done around a real computation.
 func (r *Runner) runSuite(name string, par int, parent *obs.Span) *core.SuiteResult {
 	r.onceFor("suite:" + name).Do(func() {
+		st := r.progressStage(name)
 		if r.tryRestore(name) {
+			st.Cached()
 			return
 		}
+		st.Run()
 		n := r.Network(name)
 		if n == nil {
 			return // leave the memo empty; the caller panics below
@@ -193,6 +211,7 @@ func (r *Runner) runSuite(name string, par int, parent *obs.Span) *core.SuiteRes
 		opts := r.Cfg.Suite
 		opts.Parallelism = par
 		opts.Metrics = r.metrics
+		opts.Progress = st
 		sp := parent.Start("suite:" + name)
 		sp.SetAttr("network", name)
 		defer sp.End()
@@ -204,6 +223,7 @@ func (r *Runner) runSuite(name string, par int, parent *obs.Span) *core.SuiteRes
 		r.suites[name] = res
 		r.summaries[name] = sum
 		r.mu.Unlock()
+		st.Done()
 		// Best-effort persist: a failed write only costs a recompute later.
 		r.Cache.Put(r.suiteKey(name), makeSuiteEntry(res, sum)) //nolint:errcheck
 	})

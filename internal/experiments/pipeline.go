@@ -100,7 +100,13 @@ func (s *sem) release(k int) {
 func (r *Runner) Prefetch() {
 	var misses []string
 	for _, name := range AllTableNames {
-		if !r.tryRestore(name) {
+		// Registration order is /debug/progress display order; restored
+		// entries surface as cached, scheduled ones as pending until their
+		// goroutine claims them.
+		st := r.progressStage(name)
+		if r.tryRestore(name) {
+			st.Cached()
+		} else {
 			misses = append(misses, name)
 		}
 	}
@@ -126,6 +132,7 @@ func (r *Runner) Prefetch() {
 			defer wg.Done()
 			sp := r.Trace.Start("net:" + name)
 			defer sp.End()
+			r.progressStage(name).Run()
 			acquire(1)
 			bsp := sp.Start("build:" + name)
 			r.Network(name) // AS and RL share one measurement-pipeline build

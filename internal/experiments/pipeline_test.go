@@ -7,6 +7,7 @@ import (
 
 	"topocmp/internal/cache"
 	"topocmp/internal/core"
+	"topocmp/internal/obs"
 )
 
 // miniCfg is small enough to run the full 11-network pipeline in a test.
@@ -204,5 +205,52 @@ func TestPipelineRaceShort(t *testing.T) {
 	wg.Wait()
 	if st := r.Stats(); st.SuiteRuns != 11 {
 		t.Fatalf("suite runs = %d, want 11", st.SuiteRuns)
+	}
+}
+
+// TestPrefetchProgressStates checks the live-progress contract of the DAG
+// scheduler: a cold Prefetch drives every network stage pending → running →
+// done with a complete work counter, and a warm rerun over the same cache
+// reports every stage cached without ever running it.
+func TestPrefetchProgressStates(t *testing.T) {
+	store, err := cache.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cold := NewRunner(miniCfg(1, true))
+	cold.Workers = 3
+	cold.Cache = store
+	cold.Progress = obs.NewProgress()
+	cold.Prefetch()
+	snap := cold.Progress.Snapshot()
+	if len(snap.Stages) != len(AllTableNames) {
+		t.Fatalf("cold progress tracked %d stages, want %d", len(snap.Stages), len(AllTableNames))
+	}
+	if snap.Fraction != 1 {
+		t.Errorf("cold overall fraction = %v, want 1", snap.Fraction)
+	}
+	for _, st := range snap.Stages {
+		if st.State != obs.StageDone {
+			t.Errorf("cold stage %s state = %s, want done", st.Name, st.State)
+		}
+		if st.TotalUnits == 0 || st.DoneUnits != st.TotalUnits {
+			t.Errorf("cold stage %s units = %d/%d, want complete and nonzero",
+				st.Name, st.DoneUnits, st.TotalUnits)
+		}
+	}
+
+	warm := NewRunner(miniCfg(1, true))
+	warm.Workers = 3
+	warm.Cache = store
+	warm.Progress = obs.NewProgress()
+	warm.Prefetch()
+	for _, st := range warm.Progress.Snapshot().Stages {
+		if st.State != obs.StageCached {
+			t.Errorf("warm stage %s state = %s, want cached", st.Name, st.State)
+		}
+	}
+	if st := warm.Stats(); st.SuiteRuns != 0 {
+		t.Errorf("warm rerun ran %d suites, want 0", st.SuiteRuns)
 	}
 }

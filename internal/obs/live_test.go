@@ -1,0 +1,408 @@
+package obs
+
+// Golden and behavioral tests for the live observability plane: exact-byte
+// pins for the Chrome trace export, the Prometheus exposition and the
+// /debug/progress JSON (all through injected clocks, so the bytes are
+// stable on any machine), plus sampler ring/race coverage and an
+// in-process debug-server round trip.
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// fakeClock is a hand-advanced clock for deterministic span/progress times.
+type fakeClock struct {
+	mu  sync.Mutex
+	now time.Time
+}
+
+func newFakeClock() *fakeClock { return &fakeClock{now: time.Unix(1_000_000, 0)} }
+
+func (c *fakeClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+func (c *fakeClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	c.now = c.now.Add(d)
+	c.mu.Unlock()
+}
+
+func TestGoldenChromeTrace(t *testing.T) {
+	clk := newFakeClock()
+	tr := NewTracerClock("root", clk.Now)
+	root := tr.Root()
+
+	clk.Advance(1 * time.Millisecond)
+	alpha := root.Start("alpha")
+	clk.Advance(2 * time.Millisecond)
+	beta := alpha.Start("beta")
+	clk.Advance(5 * time.Millisecond)
+	beta.End()
+	clk.Advance(1 * time.Millisecond)
+	alpha.End()
+	clk.Advance(1 * time.Millisecond)
+	gamma := root.Start("gamma")
+	gamma.SetAttr("width", 2)
+	clk.Advance(5 * time.Millisecond)
+	gamma.End()
+	clk.Advance(1 * time.Millisecond)
+	root.End()
+
+	var buf strings.Builder
+	if err := tr.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	want := `{"traceEvents":[` +
+		`{"name":"root","cat":"span","ph":"X","ts":0,"dur":16000,"pid":1,"tid":0},` +
+		`{"name":"alpha","cat":"span","ph":"X","ts":1000,"dur":8000,"pid":1,"tid":0},` +
+		`{"name":"beta","cat":"span","ph":"X","ts":3000,"dur":5000,"pid":1,"tid":0},` +
+		`{"name":"gamma","cat":"span","ph":"X","ts":10000,"dur":5000,"pid":1,"tid":0,"args":{"width":2}}` +
+		`],"displayTimeUnit":"ms"}` + "\n"
+	if got := buf.String(); got != want {
+		t.Errorf("chrome trace mismatch:\ngot:  %s\nwant: %s", got, want)
+	}
+}
+
+func TestGoldenPrometheus(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("pipeline.builds").Add(3)
+	r.Gauge("mem.heap").Set(42)
+	h := r.Histogram("ball.bfs")
+	h.Observe(500 * time.Nanosecond) // bucket 0: [0, 1µs)
+	h.Observe(1 * time.Microsecond)  // bucket 1: [1µs, 2µs)
+	h.Observe(3 * time.Microsecond)  // bucket 2: [2µs, 4µs)
+	h.Observe(3 * time.Microsecond)
+
+	var buf strings.Builder
+	if err := r.Snapshot().WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	want := strings.Join([]string{
+		"# TYPE pipeline_builds_total counter",
+		"pipeline_builds_total 3",
+		"# TYPE mem_heap gauge",
+		"mem_heap 42",
+		"# TYPE ball_bfs_seconds histogram",
+		`ball_bfs_seconds_bucket{le="1e-06"} 1`,
+		`ball_bfs_seconds_bucket{le="2e-06"} 2`,
+		`ball_bfs_seconds_bucket{le="4e-06"} 4`,
+		`ball_bfs_seconds_bucket{le="+Inf"} 4`,
+		"ball_bfs_seconds_sum 7.5e-06",
+		"ball_bfs_seconds_count 4",
+		"",
+	}, "\n")
+	if got := buf.String(); got != want {
+		t.Errorf("prometheus exposition mismatch:\ngot:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+func TestPrometheusName(t *testing.T) {
+	for in, want := range map[string]string{
+		"ball.msbfs_batches": "ball_msbfs_batches",
+		"mem.pipeline//rss":  "mem_pipeline_rss",
+		"9lives":             "_9lives",
+		"already_fine:x":     "already_fine:x",
+	} {
+		if got := PrometheusName(in); got != want {
+			t.Errorf("PrometheusName(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+// progressFixture drives a four-stage DAG to a mid-run state on a fake
+// clock: one stage done, one cached, one running with declared work units,
+// one still pending. Overall fraction is exactly 0.5, so the golden ETA
+// equals the elapsed time.
+func progressFixture(clk *fakeClock) *Progress {
+	p := NewProgressClock(clk.Now)
+	a, b := p.Register("a"), p.Register("b")
+	c, _ := p.Register("c"), p.Register("d")
+	clk.Advance(1 * time.Second)
+	a.Run()
+	clk.Advance(1 * time.Second)
+	a.Done()
+	b.Cached()
+	c.Run()
+	c.AddTotal(8)
+	clk.Advance(2 * time.Second)
+	return p
+}
+
+const goldenProgressJSON = `{
+  "elapsed_seconds": 4,
+  "fraction": 0.5,
+  "eta_seconds": 4,
+  "stages": [
+    {
+      "name": "a",
+      "state": "done",
+      "fraction": 1,
+      "elapsed_seconds": 1
+    },
+    {
+      "name": "b",
+      "state": "cached",
+      "fraction": 1
+    },
+    {
+      "name": "c",
+      "state": "running",
+      "total_units": 8,
+      "fraction": 0,
+      "elapsed_seconds": 2
+    },
+    {
+      "name": "d",
+      "state": "pending",
+      "fraction": 0
+    }
+  ]
+}
+`
+
+func TestGoldenProgressJSON(t *testing.T) {
+	p := progressFixture(newFakeClock())
+	var buf strings.Builder
+	if err := p.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if got := buf.String(); got != goldenProgressJSON {
+		t.Errorf("progress JSON mismatch:\ngot:\n%s\nwant:\n%s", got, goldenProgressJSON)
+	}
+}
+
+func TestProgressTransitions(t *testing.T) {
+	clk := newFakeClock()
+	p := NewProgressClock(clk.Now)
+	st := p.Register("x")
+	if again := p.Register("x"); again != st {
+		t.Error("Register is not idempotent")
+	}
+
+	// Done without Run: the stage still terminates, with zero elapsed.
+	st.Done()
+	st.Run()    // too late — terminal states are sticky
+	st.Cached() // likewise
+	snap := p.Snapshot()
+	if snap.Stages[0].State != StageDone || snap.Stages[0].Fraction != 1 {
+		t.Errorf("stage after Done = %+v", snap.Stages[0])
+	}
+
+	// Work counters clamp: more done than total never exceeds fraction 1.
+	over := p.Register("over")
+	over.Run()
+	over.AddTotal(2)
+	over.Add(5)
+	if f := p.Snapshot().Stages[1].Fraction; f != 1 {
+		t.Errorf("overfull running stage fraction = %v, want 1", f)
+	}
+}
+
+// TestDebugMuxEndpoints pins the handlers' status codes, content types and
+// bodies over the same fixtures as the golden tests — this is the
+// /debug/progress golden through the actual HTTP surface.
+func TestDebugMuxEndpoints(t *testing.T) {
+	clk := newFakeClock()
+	prog := progressFixture(clk)
+	reg := NewRegistry()
+	reg.Counter("pipeline.builds").Add(3)
+	tr := NewTracerClock("root", clk.Now)
+	mux := NewDebugMux(reg, prog, tr)
+
+	get := func(path string) *httptest.ResponseRecorder {
+		rec := httptest.NewRecorder()
+		mux.ServeHTTP(rec, httptest.NewRequest("GET", path, nil))
+		return rec
+	}
+
+	rec := get("/debug/progress")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("/debug/progress status = %d", rec.Code)
+	}
+	if ct := rec.Header().Get("Content-Type"); ct != "application/json; charset=utf-8" {
+		t.Errorf("/debug/progress content-type = %q", ct)
+	}
+	if rec.Body.String() != goldenProgressJSON {
+		t.Errorf("/debug/progress body mismatch:\n%s", rec.Body.String())
+	}
+
+	rec = get("/metrics")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("/metrics status = %d", rec.Code)
+	}
+	if ct := rec.Header().Get("Content-Type"); ct != "text/plain; version=0.0.4; charset=utf-8" {
+		t.Errorf("/metrics content-type = %q", ct)
+	}
+	if want := "pipeline_builds_total 3\n"; !strings.Contains(rec.Body.String(), want) {
+		t.Errorf("/metrics body lacks %q:\n%s", want, rec.Body.String())
+	}
+
+	rec = get("/debug/trace")
+	if rec.Code != http.StatusOK || !strings.Contains(rec.Body.String(), "root") {
+		t.Errorf("/debug/trace = %d %q", rec.Code, rec.Body.String())
+	}
+	rec = get("/debug/trace?format=chrome")
+	var chrome map[string]any
+	if err := json.Unmarshal(rec.Body.Bytes(), &chrome); err != nil {
+		t.Errorf("/debug/trace?format=chrome is not JSON: %v", err)
+	}
+
+	if rec = get("/"); rec.Code != http.StatusOK || !strings.Contains(rec.Body.String(), "/metrics") {
+		t.Errorf("index = %d %q", rec.Code, rec.Body.String())
+	}
+	if rec = get("/nope"); rec.Code != http.StatusNotFound {
+		t.Errorf("unknown path status = %d, want 404", rec.Code)
+	}
+	if rec = get("/debug/pprof/"); rec.Code != http.StatusOK {
+		t.Errorf("/debug/pprof/ status = %d", rec.Code)
+	}
+}
+
+// TestDebugServerRoundTrip starts the real listener on a kernel-chosen port
+// and fetches the endpoints over TCP.
+func TestDebugServerRoundTrip(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("x").Add(1)
+	ds, err := StartDebugServer("127.0.0.1:0", reg, NewProgress(), NewTracer("root"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ds.Close()
+	for _, path := range []string{"/metrics", "/debug/progress", "/debug/trace"} {
+		resp, err := http.Get("http://" + ds.Addr() + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Errorf("GET %s = %d %q", path, resp.StatusCode, body)
+		}
+	}
+	if err := ds.Close(); err != nil {
+		t.Errorf("Close: %v", err)
+	}
+}
+
+func TestSamplerRingAndFile(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("work").Add(7)
+	reg.Gauge("level").Set(3)
+
+	// Capacity 4 with 6 manual records: the ring keeps the latest 4.
+	s := NewSampler(reg, time.Hour, 4)
+	s.start = time.Now()
+	for i := 0; i < 6; i++ {
+		reg.Counter("work").Add(1)
+		s.record()
+	}
+	samples := s.Samples()
+	if len(samples) != 4 {
+		t.Fatalf("ring holds %d samples, want 4", len(samples))
+	}
+	for i, smp := range samples {
+		if smp.HeapBytes <= 0 || smp.SysBytes <= 0 {
+			t.Errorf("sample %d lacks memory stats: %+v", i, smp)
+		}
+		if i > 0 && smp.ElapsedMs < samples[i-1].ElapsedMs {
+			t.Errorf("samples out of order at %d: %d < %d", i, smp.ElapsedMs, samples[i-1].ElapsedMs)
+		}
+		if want := int64(8 + 2 + i); smp.Counters["work"] != want {
+			t.Errorf("sample %d work counter = %d, want %d", i, smp.Counters["work"], want)
+		}
+	}
+
+	path := filepath.Join(t.TempDir(), "ts.json")
+	if err := s.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ts TimeSeries
+	if err := json.Unmarshal(data, &ts); err != nil {
+		t.Fatal(err)
+	}
+	if ts.IntervalMs != time.Hour.Milliseconds() || len(ts.Samples) != 4 {
+		t.Errorf("file round trip: interval %d, %d samples", ts.IntervalMs, len(ts.Samples))
+	}
+}
+
+// TestSamplerRaceShort runs the sampler at a tight interval while writers
+// hammer the registry — the tier-2 race-detector coverage for the live
+// plane's only always-on background goroutine.
+func TestSamplerRaceShort(t *testing.T) {
+	reg := NewRegistry()
+	s := NewSampler(reg, time.Millisecond, 64)
+	s.Start()
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 2000; i++ {
+				reg.Counter(fmt.Sprintf("c%d", w)).Add(1)
+				reg.Gauge("g").Set(int64(i))
+				reg.Histogram("h").Observe(time.Duration(i) * time.Microsecond)
+			}
+		}(w)
+	}
+	wg.Wait()
+	s.Stop()
+	samples := s.Samples()
+	if len(samples) < 2 {
+		t.Fatalf("sampler recorded %d samples, want >= 2 (start + final)", len(samples))
+	}
+	final := samples[len(samples)-1]
+	var sum int64
+	for w := 0; w < 4; w++ {
+		sum += final.Counters[fmt.Sprintf("c%d", w)]
+	}
+	if sum != 8000 {
+		t.Errorf("final sample counters sum = %d, want 8000", sum)
+	}
+}
+
+func TestHistogramQuantiles(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("q")
+	// 100 observations at 1ms and 100 at 16ms: p50 falls in the 1ms
+	// bucket's range and p95/p99 in the 16ms bucket's.
+	for i := 0; i < 100; i++ {
+		h.Observe(time.Millisecond)
+		h.Observe(16 * time.Millisecond)
+	}
+	st := h.Stats()
+	if st.Count != 200 {
+		t.Fatalf("count = %d", st.Count)
+	}
+	if st.P50Ns < int64(time.Millisecond) || st.P50Ns > int64(2*time.Millisecond) {
+		t.Errorf("p50 = %s, want within [1ms, 2ms]", time.Duration(st.P50Ns))
+	}
+	for _, q := range []int64{st.P95Ns, st.P99Ns} {
+		if q < int64(8*time.Millisecond) || q > int64(16*time.Millisecond) {
+			t.Errorf("tail quantile = %s, want within [8ms, 16ms]", time.Duration(q))
+		}
+	}
+	if st.P50Ns > st.P95Ns || st.P95Ns > st.P99Ns {
+		t.Errorf("quantiles not monotone: %d %d %d", st.P50Ns, st.P95Ns, st.P99Ns)
+	}
+	// Quantiles clamp to the observed extremes, not bucket edges.
+	if st.P99Ns > st.MaxNs {
+		t.Errorf("p99 %d exceeds max %d", st.P99Ns, st.MaxNs)
+	}
+}

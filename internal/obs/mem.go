@@ -9,10 +9,15 @@ import (
 
 // CaptureMem records the process's current memory posture into gauges under
 // the given prefix: <prefix>.heap_bytes (Go heap in use), <prefix>.sys_bytes
-// (total bytes obtained from the OS by the runtime) and <prefix>.rss_bytes
-// (resident set size, when the platform exposes it). The pipeline calls this
-// after each stage so a -metrics run yields a per-stage memory trajectory
-// alongside the operation counters. Safe on a nil registry.
+// (total bytes obtained from the OS by the runtime), <prefix>.rss_bytes
+// (resident set size, when the platform exposes it), plus the collector's
+// trajectory — <prefix>.num_gc (completed GC cycles) and
+// <prefix>.gc_pause_total_ns (cumulative stop-the-world pause) — so a
+// per-stage memory series also explains GC-driven RSS dips: a stage whose
+// rss_bytes drops while num_gc jumps shed heap, it didn't do less work.
+// The pipeline calls this after each stage so a -metrics run yields a
+// per-stage memory trajectory alongside the operation counters. Safe on a
+// nil registry.
 func (r *Registry) CaptureMem(prefix string) {
 	if r == nil {
 		return
@@ -21,6 +26,8 @@ func (r *Registry) CaptureMem(prefix string) {
 	runtime.ReadMemStats(&ms)
 	r.Gauge(prefix + ".heap_bytes").Set(int64(ms.HeapInuse))
 	r.Gauge(prefix + ".sys_bytes").Set(int64(ms.Sys))
+	r.Gauge(prefix + ".num_gc").Set(int64(ms.NumGC))
+	r.Gauge(prefix + ".gc_pause_total_ns").Set(int64(ms.PauseTotalNs))
 	if rss, ok := ReadRSS(); ok {
 		r.Gauge(prefix + ".rss_bytes").Set(rss)
 	}

@@ -12,11 +12,18 @@
 // monotonic clock) and are exported either as a Chrome trace-event JSON
 // (chrome://tracing, Perfetto) or as an indented human-readable tree.
 //
-// The package deliberately has no opinion about sinks or wire formats
-// beyond those two exports; it holds everything in memory for the duration
-// of one run. That matches the pipeline's shape — a single process that
-// renders a fixed artifact set and exits — and keeps the layer dependency-
-// free so every internal package can link against it.
+// Beyond the in-memory exit-time exports, the package is a live
+// observability plane: Snapshot.WritePrometheus renders the registry in
+// the Prometheus text exposition (histogram buckets included), Sampler
+// snapshots the registry plus heap/RSS/GC gauges into a bounded
+// time-series ring (persisted as run_timeseries.json), Progress tracks
+// the run's stage DAG (pending/running/cached/done, work-counter
+// completion fractions, ETA), and StartDebugServer mounts /metrics,
+// /debug/progress, /debug/trace and /debug/pprof/* on a stdlib net/http
+// server while the run executes. Everything stays stdlib-only and
+// dependency-free so every internal package can link against it, and
+// none of it influences results — the endpoints and the sampler only read
+// snapshots.
 package obs
 
 import "context"

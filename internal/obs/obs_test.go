@@ -58,7 +58,7 @@ func TestNilSafety(t *testing.T) {
 	}
 	h := reg.Histogram("x")
 	h.Observe(time.Second)
-	if h.Stats() != (HistogramStats{}) {
+	if st := h.Stats(); st.Count != 0 || st.Buckets != nil {
 		t.Fatal("nil histogram recorded")
 	}
 	if snap := reg.Snapshot(); snap.Counters != nil || snap.Gauges != nil || snap.Histograms != nil {

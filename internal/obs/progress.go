@@ -1,0 +1,218 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// StageState is one progress stage's lifecycle position. Stages move
+// pending → running → done, or pending → cached when a result store
+// satisfied the stage without computation.
+type StageState string
+
+// The stage lifecycle states reported by /debug/progress.
+const (
+	StagePending StageState = "pending"
+	StageRunning StageState = "running"
+	StageCached  StageState = "cached"
+	StageDone    StageState = "done"
+)
+
+// Progress tracks the run's stage DAG for live reporting: every stage's
+// state, its elapsed time, and optional work counters (balls done / total
+// from the ball engines) that turn a running stage into a completion
+// fraction and an ETA. Like the rest of the package it is nil-safe — a nil
+// *Progress hands out nil stages whose every method no-ops — and all
+// methods are safe for concurrent use. Registration order is display
+// order, so the DAG reads in schedule order in /debug/progress.
+type Progress struct {
+	clock func() time.Time
+	start time.Time
+
+	mu     sync.Mutex
+	stages []*ProgressStage
+	byName map[string]*ProgressStage
+}
+
+// NewProgress returns an empty tracker on the wall clock.
+func NewProgress() *Progress {
+	return NewProgressClock(time.Now)
+}
+
+// NewProgressClock is NewProgress with an injected clock; the golden
+// /debug/progress test pins exact JSON through it.
+func NewProgressClock(clock func() time.Time) *Progress {
+	return &Progress{clock: clock, start: clock(), byName: map[string]*ProgressStage{}}
+}
+
+// Register returns the named stage, creating it in state pending on first
+// request — idempotent, so schedulers and lazy accessors can both claim
+// the same stage. Nil receivers hand out nil stages.
+func (p *Progress) Register(name string) *ProgressStage {
+	if p == nil {
+		return nil
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	st := p.byName[name]
+	if st == nil {
+		st = &ProgressStage{p: p, name: name, state: StagePending}
+		p.byName[name] = st
+		p.stages = append(p.stages, st)
+	}
+	return st
+}
+
+// ProgressStage is one tracked unit of the run. Work counters are
+// optional: stages that never call AddTotal report state and elapsed time
+// only.
+type ProgressStage struct {
+	p    *Progress
+	name string
+
+	mu      sync.Mutex
+	state   StageState
+	started time.Time
+	ended   time.Time
+
+	done  atomic.Int64
+	total atomic.Int64
+}
+
+// Run marks the stage running (recording its start time). No-op on nil.
+func (s *ProgressStage) Run() { s.transition(StageRunning) }
+
+// Done marks the stage completed. No-op on nil.
+func (s *ProgressStage) Done() { s.transition(StageDone) }
+
+// Cached marks the stage satisfied from a result store without
+// computation. No-op on nil.
+func (s *ProgressStage) Cached() { s.transition(StageCached) }
+
+func (s *ProgressStage) transition(to StageState) {
+	if s == nil {
+		return
+	}
+	now := s.p.clock()
+	s.mu.Lock()
+	switch to {
+	case StageRunning:
+		if s.state == StagePending {
+			s.state = StageRunning
+			s.started = now
+		}
+	case StageDone, StageCached:
+		if s.state != StageDone && s.state != StageCached {
+			s.state = to
+			if s.started.IsZero() {
+				s.started = now
+			}
+			s.ended = now
+		}
+	}
+	s.mu.Unlock()
+}
+
+// AddTotal grows the stage's expected work-unit count (safe from many
+// goroutines; the ball engines add each batch of scheduled centers).
+// No-op on nil.
+func (s *ProgressStage) AddTotal(n int64) {
+	if s != nil {
+		s.total.Add(n)
+	}
+}
+
+// Add records n completed work units. No-op on nil.
+func (s *ProgressStage) Add(n int64) {
+	if s != nil {
+		s.done.Add(n)
+	}
+}
+
+// StageStatus is one stage's JSON image in a ProgressSnapshot.
+type StageStatus struct {
+	Name           string     `json:"name"`
+	State          StageState `json:"state"`
+	DoneUnits      int64      `json:"done_units,omitempty"`
+	TotalUnits     int64      `json:"total_units,omitempty"`
+	Fraction       float64    `json:"fraction"`
+	ElapsedSeconds float64    `json:"elapsed_seconds,omitempty"`
+}
+
+// ProgressSnapshot is the point-in-time JSON served at /debug/progress:
+// per-stage states in registration order plus an overall completion
+// fraction (stages weighted equally — coarse, but monotone) and the ETA it
+// implies at the current rate. ETASeconds is 0 until the fraction is
+// positive.
+type ProgressSnapshot struct {
+	ElapsedSeconds float64       `json:"elapsed_seconds"`
+	Fraction       float64       `json:"fraction"`
+	ETASeconds     float64       `json:"eta_seconds,omitempty"`
+	Stages         []StageStatus `json:"stages"`
+}
+
+// Snapshot copies out the current stage states. On a nil tracker it
+// returns an empty snapshot.
+func (p *Progress) Snapshot() ProgressSnapshot {
+	var snap ProgressSnapshot
+	if p == nil {
+		return snap
+	}
+	now := p.clock()
+	snap.ElapsedSeconds = now.Sub(p.start).Seconds()
+	p.mu.Lock()
+	stages := make([]*ProgressStage, len(p.stages))
+	copy(stages, p.stages)
+	p.mu.Unlock()
+	sum := 0.0
+	for _, st := range stages {
+		ss := st.status(now)
+		sum += ss.Fraction
+		snap.Stages = append(snap.Stages, ss)
+	}
+	if len(snap.Stages) > 0 {
+		snap.Fraction = sum / float64(len(snap.Stages))
+	}
+	if snap.Fraction > 0 && snap.Fraction < 1 {
+		snap.ETASeconds = snap.ElapsedSeconds * (1 - snap.Fraction) / snap.Fraction
+	}
+	return snap
+}
+
+func (s *ProgressStage) status(now time.Time) StageStatus {
+	s.mu.Lock()
+	state := s.state
+	started, ended := s.started, s.ended
+	s.mu.Unlock()
+	ss := StageStatus{
+		Name:       s.name,
+		State:      state,
+		DoneUnits:  s.done.Load(),
+		TotalUnits: s.total.Load(),
+	}
+	switch state {
+	case StageDone, StageCached:
+		ss.Fraction = 1
+		ss.ElapsedSeconds = ended.Sub(started).Seconds()
+	case StageRunning:
+		if ss.TotalUnits > 0 {
+			ss.Fraction = float64(ss.DoneUnits) / float64(ss.TotalUnits)
+			if ss.Fraction > 1 {
+				ss.Fraction = 1
+			}
+		}
+		ss.ElapsedSeconds = now.Sub(started).Seconds()
+	}
+	return ss
+}
+
+// WriteJSON renders the snapshot as indented JSON — the /debug/progress
+// response body. No-op (empty object) on nil.
+func (p *Progress) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(p.Snapshot())
+}

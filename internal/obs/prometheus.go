@@ -1,0 +1,102 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// WritePrometheus renders the snapshot in the Prometheus text exposition
+// format (version 0.0.4): counters as `<name>_total`, gauges verbatim, and
+// duration histograms as `<name>_seconds` with cumulative power-of-two
+// `le` buckets plus `_sum` and `_count`. Metric names are sanitized to the
+// Prometheus charset (runs of other characters become one underscore, so
+// "ball.msbfs_batches" exports as "ball_msbfs_batches"). Families appear
+// in sorted-name order and the rendering is deterministic for a given set
+// of values — the golden-test contract, and what lets `/metrics` diffs
+// across runs mean something.
+func (s Snapshot) WritePrometheus(w io.Writer) error {
+	var names []string
+	for name := range s.Counters {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		n := PrometheusName(name) + "_total"
+		if _, err := fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", n, n, s.Counters[name]); err != nil {
+			return err
+		}
+	}
+	names = names[:0]
+	for name := range s.Gauges {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		n := PrometheusName(name)
+		if _, err := fmt.Fprintf(w, "# TYPE %s gauge\n%s %d\n", n, n, s.Gauges[name]); err != nil {
+			return err
+		}
+	}
+	names = names[:0]
+	for name := range s.Histograms {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		if err := writePrometheusHistogram(w, PrometheusName(name)+"_seconds", s.Histograms[name]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func writePrometheusHistogram(w io.Writer, name string, h HistogramStats) error {
+	if _, err := fmt.Fprintf(w, "# TYPE %s histogram\n", name); err != nil {
+		return err
+	}
+	cum := int64(0)
+	for i, c := range h.Buckets {
+		cum += c
+		le := strconv.FormatFloat(float64(HistBucketUpperNs(i))/1e9, 'g', -1, 64)
+		if _, err := fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", name, le, cum); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", name, h.Count); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "%s_sum %s\n", name,
+		strconv.FormatFloat(float64(h.SumNs)/1e9, 'g', -1, 64)); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "%s_count %d\n", name, h.Count)
+	return err
+}
+
+// PrometheusName sanitizes a registry metric name for the Prometheus
+// exposition: every run of characters outside [a-zA-Z0-9_:] collapses to
+// one underscore, and a leading digit gains an underscore prefix.
+func PrometheusName(name string) string {
+	var b strings.Builder
+	pendingSep := false
+	for _, r := range name {
+		ok := r == '_' || r == ':' ||
+			(r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') || (r >= '0' && r <= '9')
+		if !ok {
+			pendingSep = true
+			continue
+		}
+		if pendingSep && b.Len() > 0 {
+			b.WriteByte('_')
+		}
+		pendingSep = false
+		if b.Len() == 0 && r >= '0' && r <= '9' {
+			b.WriteByte('_')
+		}
+		b.WriteRune(r)
+	}
+	return b.String()
+}

@@ -90,12 +90,28 @@ func (h *Histogram) Observe(d time.Duration) {
 }
 
 // HistogramStats is a histogram snapshot; durations are nanoseconds so the
-// JSON form is unit-unambiguous.
+// JSON form is unit-unambiguous. Buckets holds the power-of-two bucket
+// counts, trimmed after the last non-empty bucket (Buckets[i] counts
+// observations with upper bound HistBucketUpperNs(i)); P50Ns/P95Ns/P99Ns
+// are approximate quantiles interpolated within those buckets, clamped to
+// the observed min/max.
 type HistogramStats struct {
-	Count int64 `json:"count"`
-	SumNs int64 `json:"sum_ns"`
-	MinNs int64 `json:"min_ns"`
-	MaxNs int64 `json:"max_ns"`
+	Count   int64   `json:"count"`
+	SumNs   int64   `json:"sum_ns"`
+	MinNs   int64   `json:"min_ns"`
+	MaxNs   int64   `json:"max_ns"`
+	P50Ns   int64   `json:"p50_ns,omitempty"`
+	P95Ns   int64   `json:"p95_ns,omitempty"`
+	P99Ns   int64   `json:"p99_ns,omitempty"`
+	Buckets []int64 `json:"buckets,omitempty"`
+}
+
+// HistBucketUpperNs returns the exclusive upper bound of bucket i in
+// nanoseconds: bucket 0 covers [0, 1µs), bucket i covers
+// [1µs<<(i-1), 1µs<<i). The final bucket (histBuckets-1) is unbounded;
+// its nominal bound still follows the doubling rule.
+func HistBucketUpperNs(i int) int64 {
+	return int64(time.Microsecond) << uint(i)
 }
 
 // Stats snapshots the histogram.
@@ -105,12 +121,65 @@ func (h *Histogram) Stats() HistogramStats {
 	}
 	h.mu.Lock()
 	defer h.mu.Unlock()
-	return HistogramStats{
+	st := HistogramStats{
 		Count: h.count,
 		SumNs: h.sum.Nanoseconds(),
 		MinNs: h.min.Nanoseconds(),
 		MaxNs: h.max.Nanoseconds(),
 	}
+	last := -1
+	for i, c := range h.buckets {
+		if c > 0 {
+			last = i
+		}
+	}
+	if last >= 0 {
+		st.Buckets = make([]int64, last+1)
+		copy(st.Buckets, h.buckets[:last+1])
+		st.P50Ns = h.quantileLocked(0.50)
+		st.P95Ns = h.quantileLocked(0.95)
+		st.P99Ns = h.quantileLocked(0.99)
+	}
+	return st
+}
+
+// quantileLocked approximates the q-quantile from the bucket counts by
+// linear interpolation inside the bucket holding the target rank, clamped
+// to the observed [min, max]. Called with h.mu held and h.count > 0.
+func (h *Histogram) quantileLocked(q float64) int64 {
+	rank := q * float64(h.count)
+	cum := 0.0
+	for i, c := range h.buckets {
+		if c == 0 {
+			continue
+		}
+		prev := cum
+		cum += float64(c)
+		if cum < rank {
+			continue
+		}
+		lo := int64(0)
+		if i > 0 {
+			lo = HistBucketUpperNs(i - 1)
+		}
+		hi := HistBucketUpperNs(i)
+		if hi > h.max.Nanoseconds() {
+			hi = h.max.Nanoseconds()
+		}
+		v := float64(lo)
+		if c > 0 && hi > lo {
+			v += (rank - prev) / float64(c) * float64(hi-lo)
+		}
+		ns := int64(v)
+		if minNs := h.min.Nanoseconds(); ns < minNs {
+			ns = minNs
+		}
+		if maxNs := h.max.Nanoseconds(); ns > maxNs {
+			ns = maxNs
+		}
+		return ns
+	}
+	return h.max.Nanoseconds()
 }
 
 // Registry hands out named metrics, creating each on first request and
@@ -252,7 +321,12 @@ func (s Snapshot) WriteTable(w io.Writer) error {
 	}
 	return write("histogram", names, func(n string) string {
 		h := s.Histograms[n]
-		return fmt.Sprintf("count=%d sum=%s min=%s max=%s",
+		line := fmt.Sprintf("count=%d sum=%s min=%s max=%s",
 			h.Count, time.Duration(h.SumNs), time.Duration(h.MinNs), time.Duration(h.MaxNs))
+		if h.Count > 0 {
+			line += fmt.Sprintf(" p50=%s p95=%s p99=%s",
+				time.Duration(h.P50Ns), time.Duration(h.P95Ns), time.Duration(h.P99Ns))
+		}
+		return line
 	})
 }

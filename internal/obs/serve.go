@@ -1,0 +1,94 @@
+package obs
+
+// This file is the live observability plane's HTTP surface: a stdlib
+// net/http server mounting Prometheus metrics, the progress DAG, a
+// span-tree snapshot and the runtime profiling endpoints. cmd/reproduce
+// mounts it behind -http; the topocmpd daemon (ROADMAP item 1) mounts the
+// same mux directly.
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+)
+
+// DebugServer is a running debug HTTP server. Close it to stop serving;
+// closing never affects results — the endpoints only read snapshots.
+type DebugServer struct {
+	ln  net.Listener
+	srv *http.Server
+}
+
+// NewDebugMux builds the observability mux over live sources (any of
+// which may be nil — the endpoints then serve empty bodies):
+//
+//	/metrics          Prometheus text exposition of reg, with histogram buckets
+//	/debug/progress   JSON ProgressSnapshot of prog (stage states, fractions, ETA)
+//	/debug/trace      live span-tree snapshot of tr (text; ?format=chrome for trace-event JSON)
+//	/debug/pprof/*    the standard runtime profiles
+//
+// Every handler snapshots under the sources' own locks, so serving races
+// nothing and perturbs nothing but the scheduler.
+func NewDebugMux(reg *Registry, prog *Progress, tr *Tracer) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/" {
+			http.NotFound(w, r)
+			return
+		}
+		fmt.Fprint(w, "topocmp debug server\n\n/metrics\n/debug/progress\n/debug/trace\n/debug/pprof/\n")
+	})
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		reg.Snapshot().WritePrometheus(w) //nolint:errcheck // client went away
+	})
+	mux.HandleFunc("/debug/progress", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		prog.WriteJSON(w) //nolint:errcheck // client went away
+	})
+	mux.HandleFunc("/debug/trace", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Query().Get("format") == "chrome" {
+			w.Header().Set("Content-Type", "application/json; charset=utf-8")
+			tr.WriteChromeTrace(w) //nolint:errcheck // client went away
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		tr.WriteTree(w) //nolint:errcheck // client went away
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// StartDebugServer listens on addr (host:port; port 0 picks a free one —
+// read the choice back from Addr) and serves NewDebugMux in the
+// background.
+func StartDebugServer(addr string, reg *Registry, prog *Progress, tr *Tracer) (*DebugServer, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	ds := &DebugServer{ln: ln, srv: &http.Server{Handler: NewDebugMux(reg, prog, tr)}}
+	go ds.srv.Serve(ln) //nolint:errcheck // returns ErrServerClosed on Close
+	return ds, nil
+}
+
+// Addr returns the server's bound address ("" on nil).
+func (s *DebugServer) Addr() string {
+	if s == nil {
+		return ""
+	}
+	return s.ln.Addr().String()
+}
+
+// Close stops the server immediately. No-op on nil.
+func (s *DebugServer) Close() error {
+	if s == nil {
+		return nil
+	}
+	return s.srv.Close()
+}

@@ -15,6 +15,7 @@ import (
 type Tracer struct {
 	start time.Time
 	root  *Span
+	clock func() time.Time
 
 	// OnStart and OnEnd, when set, are invoked for every span as it starts
 	// and ends (the root excepted). They run on the goroutine that starts
@@ -26,7 +27,15 @@ type Tracer struct {
 
 // NewTracer returns a tracer whose root span is open and named rootName.
 func NewTracer(rootName string) *Tracer {
-	t := &Tracer{start: time.Now()}
+	return NewTracerClock(rootName, time.Now)
+}
+
+// NewTracerClock is NewTracer with an injected clock: every span start,
+// end and live-duration read consults clock() instead of time.Now. The
+// golden export tests pin Chrome traces and span trees to exact bytes
+// through it; production callers use NewTracer.
+func NewTracerClock(rootName string, clock func() time.Time) *Tracer {
+	t := &Tracer{clock: clock, start: clock()}
 	t.root = &Span{tracer: t, name: rootName, start: t.start}
 	return t
 }
@@ -66,7 +75,7 @@ func (s *Span) Start(name string) *Span {
 	if s == nil {
 		return nil
 	}
-	c := &Span{tracer: s.tracer, parent: s, name: name, depth: s.depth + 1, start: time.Now()}
+	c := &Span{tracer: s.tracer, parent: s, name: name, depth: s.depth + 1, start: s.tracer.clock()}
 	s.mu.Lock()
 	s.children = append(s.children, c)
 	s.mu.Unlock()
@@ -88,7 +97,7 @@ func (s *Span) End() {
 		return
 	}
 	s.ended = true
-	s.dur = time.Since(s.start)
+	s.dur = s.tracer.clock().Sub(s.start)
 	s.mu.Unlock()
 	if f := s.tracer.OnEnd; f != nil {
 		f(s)
@@ -130,7 +139,7 @@ func (s *Span) Duration() time.Duration {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if !s.ended {
-		return time.Since(s.start)
+		return s.tracer.clock().Sub(s.start)
 	}
 	return s.dur
 }

@@ -4,14 +4,17 @@
 #   tier 0: gofmt -l cleanliness + go vet ./...
 #   tier 1: go build ./... && go test ./...          (ROADMAP.md tier-1)
 #   tier 2: go test -race <concurrent packages>      (ROADMAP.md tier-2)
+#   endpoint smoke: live /metrics + /debug/progress mid-run
 #   bench smoke: one iteration of the kernel benchmarks
+#   bench sentinel: benchdiff against the committed baselines
 #
 # Tier 2 runs the packages with real concurrency under the race
 # detector: the ball engine's shared caches and batched distance path
 # (ball.TestMSBFSRaceShort, ball.TestWideMSBFSRaceShort for multi-word
 # strips), the suite fan-out, the pipeline's DAG scheduler, the result
 # store, the observability layer's concurrent span/counter attachment
-# (obs.TestConcurrentSpansAndCounters), the pooled per-worker cut/flow
+# and background time-series sampler (obs.TestConcurrentSpansAndCounters,
+# obs.TestSamplerRaceShort), the pooled per-worker cut/flow
 # kernels (partition.TestResilienceRaceShort,
 # flow.TestSurfaceMaxFlowRaceShort), and the pooled Brandes/distortion
 # workspaces (metrics.TestBrandesRaceShort).
@@ -46,15 +49,36 @@ echo "== scale smoke: 1M-node streamed build + sampled expansion =="
 # expansion with confidence bounds inside an explicit time/heap budget.
 TOPOCMP_SCALE_SMOKE=1 go test -run '^TestScaleSmoke$' -timeout 10m .
 
+echo "== endpoint smoke: /metrics + /debug/progress serve mid-run =="
+# Builds the real reproduce binary, starts a -quick run with
+# -http 127.0.0.1:0, and asserts the live plane answers while the
+# pipeline is still executing: Prometheus text with histogram buckets,
+# the progress DAG with a running stage, and /debug/pprof/.
+TOPOCMP_ENDPOINT_SMOKE=1 go test -run '^TestEndpointSmoke$' -timeout 10m .
+
 echo "== bench smoke: kernel benchmarks compile and run =="
+# The root-package benchmarks rewrite their BENCH_*.json baselines as they
+# run, so snapshot the committed baselines first — the sentinel below must
+# compare fresh numbers against the tree's state, not against themselves.
+workdir=$(mktemp -d)
+trap 'rm -rf "$workdir"' EXIT
+cp BENCH_*.json "$workdir"
+bench_out="$workdir/bench.out"
 go test -run '^$' -bench 'CutSize|SurfaceMaxFlow|ResilienceMesh' \
-    -benchtime 1x ./internal/partition ./internal/metrics
+    -benchtime 1x ./internal/partition ./internal/metrics > "$bench_out"
 go test -run '^$' -bench 'BenchmarkMSBFS|BenchmarkWideMSBFS|BenchmarkBrandes' \
-    -benchtime 1x .
+    -benchtime 1x . >> "$bench_out"
 # Scale benchmarks refresh BENCH_scale.json (map-vs-streamed peak memory
 # and the size-vs-time/RSS trajectory; the full-RL pipeline row is skipped
 # here to keep the smoke fast — run the full Scale suite to update it).
 go test -run '^$' -bench 'BenchmarkScaleBuild|BenchmarkScaleTrajectory' \
-    -benchtime 1x .
+    -benchtime 1x . >> "$bench_out"
+cat "$bench_out"
+
+echo "== bench sentinel: compare against committed baselines =="
+# One -benchtime 1x iteration is noisy, so the default tolerances are
+# loose (4x time, 1.5x + 64 allocs); the sentinel catches accidental
+# order-of-magnitude regressions, not drift.
+go run ./cmd/benchdiff -baseline "$workdir/BENCH_*.json" "$bench_out"
 
 echo "verify.sh: all tiers passed"

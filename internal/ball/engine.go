@@ -296,12 +296,15 @@ func (c *CumProfile) Size(h int) int {
 	return int(c.Cum[h])
 }
 
-// msbfsDiameterCutoff routes high-diameter graphs off the bit-parallel
+// MSBFSDiameterCutoff routes high-diameter graphs off the bit-parallel
 // distance sweeps: past this estimated diameter the per-level frontiers are
 // thin and the mask strips repeat work every level, and a scalar BFS per
 // center wins (the wave-1 benchmarks measured ~2.5x regressions on
-// lattices). The double-sweep probe is cached per engine.
-const msbfsDiameterCutoff = 32
+// lattices). The double-sweep probe is cached per engine. Exported so the
+// hierarchy sweeps route their sigma batches on the same threshold — for
+// them the cutoff also guards exactness: lattice-like graphs are the ones
+// whose binomial path counts could leave float64's exact-integer range.
+const MSBFSDiameterCutoff = 32
 
 // CumProfiles returns the centers' cum-only profiles in center order. The
 // misses run through the bit-parallel MSBFS kernel in multi-word batches of
@@ -309,7 +312,7 @@ const msbfsDiameterCutoff = 32
 // no distance matrix), fanned over the worker pool — the fast path for
 // distance-only metrics (expansion, eccentricity, path lengths) that never
 // materialize ball membership. High-diameter graphs route to a scalar BFS
-// per center instead (see msbfsDiameterCutoff); level counts are integers
+// per center instead (see MSBFSDiameterCutoff); level counts are integers
 // either way, so the routing and batch width are invisible in the results.
 //
 // Cache coherence with full profiles: a completed full profile satisfies a
@@ -344,7 +347,7 @@ func (e *Engine) CumProfiles(centers []int32) []*CumProfile {
 	// centers complete instantly; "mine" completes as the kernels run.
 	e.prog.AddTotal(int64(len(centers)))
 	e.prog.Add(int64(len(centers) - len(mine)))
-	if len(mine) > 0 && e.ApproxDiameter() > msbfsDiameterCutoff {
+	if len(mine) > 0 && e.ApproxDiameter() > MSBFSDiameterCutoff {
 		e.forEach(len(mine), func(j int) {
 			idx := mine[j]
 			ws := e.scratch.Get()
@@ -402,11 +405,22 @@ func (e *Engine) CumProfiles(centers []int32) []*CumProfile {
 	return out
 }
 
-// batchWidth picks the wide sweep's mask width: as wide as the pending work
-// allows without starving the worker pool, rounded up to whole 64-bit words
-// and clamped to [MSBFSWidth, MSBFSMaxWidth].
+// batchWidth picks the wide sweep's mask width from the engine's pool size.
 func (e *Engine) batchWidth(pending int) int {
-	width := (pending + e.parallel - 1) / e.parallel
+	return BatchWidth(pending, e.parallel)
+}
+
+// BatchWidth picks a bit-parallel mask-strip width for pending work items
+// spread over parallel workers: as wide as the pending work allows without
+// starving the pool, rounded up to whole 64-bit words and clamped to
+// [MSBFSWidth, MSBFSMaxWidth]. Shared by the engine's distance sweeps and
+// the hierarchy layer's sigma batches so every batched kernel sizes strips
+// by the same rule.
+func BatchWidth(pending, parallel int) int {
+	if parallel < 1 {
+		parallel = 1
+	}
+	width := (pending + parallel - 1) / parallel
 	if width < graph.MSBFSWidth {
 		width = graph.MSBFSWidth
 	}

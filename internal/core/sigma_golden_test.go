@@ -1,0 +1,187 @@
+package core
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"topocmp/internal/gen/canonical"
+	"topocmp/internal/graph"
+	"topocmp/internal/hierarchy"
+	"topocmp/internal/obs"
+)
+
+// sigmaGoldenNets builds the paper families the link-value golden tests
+// sweep: the two measured graphs (RL reduced to its core, as the suite
+// computes link values), the generated and canonical families, plus a small
+// lattice whose diameter clears the batching cutoff — so the batched kernel
+// is exercised on a lattice shape whose binomial path counts still fit
+// float64's exact-integer range.
+func sigmaGoldenNets(t *testing.T) map[string]*graph.Graph {
+	t.Helper()
+	opts := PaperSetOptions{Seed: 1, Scale: 0.12}
+	ms := BuildMeasured(opts)
+	nets := map[string]*graph.Graph{
+		"AS": ms.AS.Graph,
+	}
+	if core, _ := ms.RL.Graph.Core(); core.NumNodes() >= 3 {
+		nets["RLcore"] = core
+	}
+	for _, name := range []string{"PLRG", "TS", "Mesh", "Tree", "Random"} {
+		nets[name] = BuildNetwork(name, opts).Graph
+	}
+	nets["SmallMesh"] = canonical.Mesh(12, 12)
+	return nets
+}
+
+// TestLinkValueGoldenScalarVsSigma byte-compares LinkValues across the
+// sigma routes: the historical scalar per-source BFS path against the
+// batched sigma-carrying MSBFS kernel, across the paper families × sampled
+// source budgets × worker counts. Path counts are exact integers in
+// float64, so the comparison is exact equality, not a tolerance. The
+// 30×30 Mesh — whose diameter sends SigmaAuto to the scalar route and
+// whose path counts are the reason that route exists — is compared
+// Auto-vs-Scalar; every other family forces both routes explicitly.
+func TestLinkValueGoldenScalarVsSigma(t *testing.T) {
+	for name, g := range sigmaGoldenNets(t) {
+		budgets := []int{48, 192}
+		if g.NumNodes() <= 700 {
+			budgets = append(budgets, 0) // full enumeration, small nets only
+		}
+		other := hierarchy.SigmaBatched
+		if name == "Mesh" {
+			other = hierarchy.SigmaAuto
+		}
+		for _, budget := range budgets {
+			lvOpts := func(mode hierarchy.SigmaMode, parallel int) hierarchy.Options {
+				return hierarchy.Options{
+					MaxSources:  budget,
+					Rand:        rand.New(rand.NewSource(7)),
+					Parallelism: parallel,
+					Sigma:       mode,
+				}
+			}
+			want := hierarchy.LinkValues(g, lvOpts(hierarchy.SigmaScalar, 1))
+			for _, parallel := range []int{1, 4} {
+				for _, mode := range []hierarchy.SigmaMode{hierarchy.SigmaScalar, other} {
+					got := hierarchy.LinkValues(g, lvOpts(mode, parallel))
+					if !reflect.DeepEqual(got.Values, want.Values) {
+						t.Errorf("%s budget=%d P=%d mode=%d: link values differ from scalar P=1",
+							name, budget, parallel, mode)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestPolicyLinkValueGoldenScalarVsSigma is the policy-routing variant of
+// the golden comparison: the batched route traverses the valley-free
+// product graph as one directed CSR (policy.ProductCSR) and must reproduce
+// the scalar per-source product BFS bit for bit.
+func TestPolicyLinkValueGoldenScalarVsSigma(t *testing.T) {
+	ms := BuildMeasured(PaperSetOptions{Seed: 1, Scale: 0.12})
+	a := ms.AS.Policy
+	if a == nil {
+		t.Fatal("AS network has no policy annotations")
+	}
+	for _, budget := range []int{48, 192} {
+		lvOpts := func(mode hierarchy.SigmaMode, parallel int) hierarchy.Options {
+			return hierarchy.Options{
+				MaxSources:  budget,
+				Rand:        rand.New(rand.NewSource(7)),
+				Parallelism: parallel,
+				Sigma:       mode,
+			}
+		}
+		want := hierarchy.PolicyLinkValues(a, lvOpts(hierarchy.SigmaScalar, 1))
+		for _, parallel := range []int{1, 4} {
+			for _, mode := range []hierarchy.SigmaMode{hierarchy.SigmaScalar, hierarchy.SigmaBatched} {
+				got := hierarchy.PolicyLinkValues(a, lvOpts(mode, parallel))
+				if !reflect.DeepEqual(got.Values, want.Values) {
+					t.Errorf("budget=%d P=%d mode=%d: policy link values differ from scalar P=1",
+						budget, parallel, mode)
+				}
+			}
+		}
+	}
+}
+
+// TestTraversalSetSizesGoldenScalarVsSigma pins the per-edge traversal-set
+// counts across the routes; counts are integer increments, so equality is
+// exact by construction and any divergence is a kernel bug.
+func TestTraversalSetSizesGoldenScalarVsSigma(t *testing.T) {
+	opts := PaperSetOptions{Seed: 1, Scale: 0.12}
+	nets := map[string]*graph.Graph{
+		"PLRG":      BuildNetwork("PLRG", opts).Graph,
+		"Tree":      BuildNetwork("Tree", opts).Graph,
+		"SmallMesh": canonical.Mesh(12, 12),
+	}
+	for name, g := range nets {
+		tsOpts := func(mode hierarchy.SigmaMode) hierarchy.Options {
+			return hierarchy.Options{
+				MaxSources: 64,
+				Rand:       rand.New(rand.NewSource(7)),
+				Sigma:      mode,
+			}
+		}
+		want := hierarchy.TraversalSetSizes(g, tsOpts(hierarchy.SigmaScalar))
+		got := hierarchy.TraversalSetSizes(g, tsOpts(hierarchy.SigmaBatched))
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("%s: batched traversal-set sizes differ from scalar", name)
+		}
+	}
+}
+
+// TestSigmaRoutingCounters asserts SigmaAuto's diameter probe actually
+// routes: the lattice family lands on the scalar fallback, the heavy-tailed
+// family on the batched kernel — both observable through the hierarchy.*
+// counters the sweeps publish.
+func TestSigmaRoutingCounters(t *testing.T) {
+	opts := PaperSetOptions{Seed: 1, Scale: 0.12}
+	cases := []struct {
+		name    string
+		g       *graph.Graph
+		counter string
+		zero    string
+	}{
+		{"Mesh", BuildNetwork("Mesh", opts).Graph, "hierarchy.sigma_scalar", "hierarchy.sigma_batches"},
+		{"PLRG", BuildNetwork("PLRG", opts).Graph, "hierarchy.sigma_batches", "hierarchy.sigma_scalar"},
+	}
+	for _, tc := range cases {
+		reg := obs.NewRegistry()
+		hierarchy.LinkValues(tc.g, hierarchy.Options{
+			MaxSources: 96,
+			Rand:       rand.New(rand.NewSource(7)),
+			Metrics:    reg,
+		})
+		if v := reg.Counter(tc.counter).Value(); v == 0 {
+			t.Errorf("%s: %s = 0, want > 0", tc.name, tc.counter)
+		}
+		if v := reg.Counter(tc.zero).Value(); v != 0 {
+			t.Errorf("%s: %s = %d, want 0", tc.name, tc.zero, v)
+		}
+	}
+}
+
+// TestRunSuiteSigmaModesIdentical runs the whole metric suite — every
+// stage, not just link values — under each forced sigma route and requires
+// identical results, the suite-level form of the byte-identity contract
+// that keeps LinkSigma out of the cache key.
+func TestRunSuiteSigmaModesIdentical(t *testing.T) {
+	opts := PaperSetOptions{Seed: 1, Scale: 0.1}
+	net := BuildNetwork("PLRG", opts)
+	base := SuiteOptions{Sources: 8, LinkSources: 64, Seed: 1, Parallelism: 2}
+	want := RunSuite(net, base)
+	for _, mode := range []hierarchy.SigmaMode{hierarchy.SigmaScalar, hierarchy.SigmaBatched} {
+		o := base
+		o.LinkSigma = mode
+		got := RunSuite(net, o)
+		if !reflect.DeepEqual(got.LinkValues, want.LinkValues) {
+			t.Errorf("mode=%d: suite link values differ from SigmaAuto", mode)
+		}
+		if !reflect.DeepEqual(got.PolicyLinkValues, want.PolicyLinkValues) {
+			t.Errorf("mode=%d: suite policy link values differ from SigmaAuto", mode)
+		}
+	}
+}

@@ -8,6 +8,7 @@ package ba
 import (
 	"fmt"
 	"math/rand"
+	"slices"
 
 	"topocmp/internal/graph"
 )
@@ -57,7 +58,15 @@ func Generate(r *rand.Rand, p Params) (*graph.Graph, error) {
 	if m0 == 0 {
 		m0 = p.M + 1
 	}
-	b := graph.NewBuilder(p.N)
+	// Streamed build: edges append to a packed log and deduplicate at
+	// freeze, so growth needs no mid-build adjacency map. Duplicate-edge
+	// rejection is a per-round local seen-set only — a re-draw of an edge
+	// added in an earlier round is accepted into the log (and the repeated
+	// endpoint list, so preference mass follows multigraph degree) and
+	// collapses at freeze. That keeps sampling O(1) per draw at
+	// million-node scale; the stationary degree distribution is unchanged.
+	b := graph.NewStreamBuilder(p.N)
+	b.Reserve(m0*(m0-1)/2 + p.M*p.N)
 	// repeated holds one entry per edge endpoint: sampling a uniform entry
 	// is sampling a node proportionally to degree.
 	repeated := make([]int32, 0, 2*p.M*p.N)
@@ -68,18 +77,18 @@ func Generate(r *rand.Rand, p Params) (*graph.Graph, error) {
 			repeated = append(repeated, int32(i), int32(j))
 		}
 	}
-	addPreferentialEdge := func(u int32, exclude map[int32]bool) bool {
+	roundSeen := make([]int32, 0, p.M)
+	addPreferentialEdge := func(u int32) {
 		for attempt := 0; attempt < 32; attempt++ {
 			v := repeated[r.Intn(len(repeated))]
-			if v == u || exclude[v] || b.HasEdge(u, v) {
+			if v == u || slices.Contains(roundSeen, v) {
 				continue
 			}
 			b.AddEdge(u, v)
 			repeated = append(repeated, u, v)
-			exclude[v] = true
-			return true
+			roundSeen = append(roundSeen, v)
+			return
 		}
-		return false
 	}
 	next := m0
 	for next < p.N {
@@ -90,23 +99,25 @@ func Generate(r *rand.Rand, p Params) (*graph.Graph, error) {
 			// endpoint, one preferential.
 			for i := 0; i < p.M; i++ {
 				u := int32(r.Intn(next))
-				addPreferentialEdge(u, map[int32]bool{})
+				roundSeen = roundSeen[:0]
+				addPreferentialEdge(u)
 			}
 		case roll < p.P+p.Q && next > m0:
 			// Rewire M links: remove a random link of a random node and
-			// re-attach preferentially. Builder cannot remove edges, so we
-			// emulate by preferential re-attachment only (adds locality
+			// re-attach preferentially. The builder cannot remove edges, so
+			// we emulate by preferential re-attachment only (adds locality
 			// churn); the stationary degree distribution is unaffected for
 			// small Q.
 			for i := 0; i < p.M; i++ {
 				u := int32(r.Intn(next))
-				addPreferentialEdge(u, map[int32]bool{})
+				roundSeen = roundSeen[:0]
+				addPreferentialEdge(u)
 			}
 		default:
 			u := int32(next)
-			exclude := map[int32]bool{}
+			roundSeen = roundSeen[:0]
 			for i := 0; i < p.M; i++ {
-				addPreferentialEdge(u, exclude)
+				addPreferentialEdge(u)
 			}
 			next++
 		}

@@ -14,6 +14,7 @@ package bt
 import (
 	"fmt"
 	"math/rand"
+	"slices"
 
 	"topocmp/internal/graph"
 )
@@ -49,7 +50,14 @@ func Generate(r *rand.Rand, p Params) (*graph.Graph, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
-	b := graph.NewBuilder(p.N)
+	// Streamed build: edges append to a packed log and deduplicate at
+	// freeze. Duplicate-edge rejection is a per-round local seen-set only;
+	// a re-draw of an edge added in an earlier round is accepted (deg then
+	// tracks multigraph degree, so preference mass follows the draw) and
+	// collapses at freeze — no mid-build adjacency map, which is what lets
+	// GLP build through the streamed CSR path at million-node scale.
+	b := graph.NewStreamBuilder(p.N)
+	b.Reserve(p.M * p.N)
 	deg := make([]float64, p.N)
 	// Seed: a small chain of M+1 nodes.
 	m0 := p.M + 1
@@ -80,29 +88,44 @@ func Generate(r *rand.Rand, p Params) (*graph.Graph, error) {
 		return int32(limit - 1)
 	}
 
+	// Per-round duplicate marks: link rounds track normalized endpoint
+	// pairs, node rounds just the neighbors drawn for the new node. M is
+	// small (1–2 at the paper's parameters), so linear scans beat any map.
+	roundPairs := make([]uint64, 0, p.M)
+	roundSeen := make([]int32, 0, p.M)
+	pairKey := func(u, v int32) uint64 {
+		if u > v {
+			u, v = v, u
+		}
+		return uint64(uint32(u))<<32 | uint64(uint32(v))
+	}
 	for count < p.N {
 		if r.Float64() < p.P {
 			// Add M links between existing preferential endpoints.
+			roundPairs = roundPairs[:0]
 			for i := 0; i < p.M; i++ {
 				for attempt := 0; attempt < 32; attempt++ {
 					u, v := pick(count), pick(count)
-					if u != v && !b.HasEdge(u, v) {
+					if u != v && !slices.Contains(roundPairs, pairKey(u, v)) {
 						b.AddEdge(u, v)
 						deg[u]++
 						deg[v]++
+						roundPairs = append(roundPairs, pairKey(u, v))
 						break
 					}
 				}
 			}
 		} else {
 			u := int32(count)
+			roundSeen = roundSeen[:0]
 			added := 0
 			for attempt := 0; added < p.M && attempt < 32*p.M; attempt++ {
 				v := pick(count)
-				if v != u && !b.HasEdge(u, v) {
+				if v != u && !slices.Contains(roundSeen, v) {
 					b.AddEdge(u, v)
 					deg[u]++
 					deg[v]++
+					roundSeen = append(roundSeen, v)
 					added++
 				}
 			}

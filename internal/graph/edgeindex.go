@@ -54,6 +54,35 @@ func (ix *EdgeIndex) ID(u, v int32) int32 {
 	return ix.base[u] + (lo - ix.upStart[u])
 }
 
+// ArcIDs returns a per-arc edge-id table parallel to the CSR adjacency:
+// for the arc at position p in node u's adjacency slice, out[p] is
+// ID(u, neighbor). One O(n+m) pass, no searches: up-arcs read their id
+// straight off the (base, upStart) prefix sums, and each down-arc is the
+// reverse of an up-arc that arrives in exactly the adjacency-prefix order
+// (adjacency is ascending, and up-arcs are visited in ascending u), so a
+// per-node cursor scatters the reverse ids sequentially. The table lets
+// tight sweep loops trade the per-hop binary search of ID for one array
+// read.
+func (ix *EdgeIndex) ArcIDs() []uint32 {
+	g := ix.g
+	n := int32(g.NumNodes())
+	out := make([]uint32, len(g.adj))
+	cur := make([]int32, n)
+	for v := int32(0); v < n; v++ {
+		cur[v] = g.off[v]
+	}
+	for u := int32(0); u < n; u++ {
+		for pos := ix.upStart[u]; pos < g.off[u+1]; pos++ {
+			v := g.adj[pos]
+			id := uint32(ix.base[u] + (pos - ix.upStart[u]))
+			out[pos] = id
+			out[cur[v]] = id
+			cur[v]++
+		}
+	}
+	return out
+}
+
 // Edge returns the (U, V) endpoints of the edge with the given id — the
 // inverse of ID, one binary search over the per-node prefix sums.
 func (ix *EdgeIndex) Edge(id int32) Edge {

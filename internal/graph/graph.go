@@ -42,6 +42,14 @@ func (g *Graph) Degree(v int32) int { return int(g.off[v+1] - g.off[v]) }
 // the graph's internal storage and must not be modified.
 func (g *Graph) Neighbors(v int32) []int32 { return g.adj[g.off[v]:g.off[v+1]] }
 
+// CSR exposes the graph's compressed-sparse-row arrays — off has length
+// NumNodes()+1 and node v's neighbors are adj[off[v]:off[v+1]], sorted
+// ascending. The slices are the graph's internal storage and must not be
+// modified; they exist so tight kernels (and arc-position tables like
+// EdgeIndex.ArcIDs) can index arcs directly instead of re-deriving
+// positions per Neighbors call.
+func (g *Graph) CSR() (off, adj []int32) { return g.off, g.adj }
+
 // AvgDegree returns the average node degree 2|E|/|V|.
 func (g *Graph) AvgDegree() float64 {
 	n := g.NumNodes()

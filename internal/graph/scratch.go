@@ -134,6 +134,16 @@ func (s *BFSScratch) Sigma(v int32) float64 {
 	return s.sigma[v]
 }
 
+// Rows returns the raw distance and path-count rows backing the last Counts
+// traversal, for hot loops that index them directly instead of paying the
+// per-read epoch guard of Dist/Sigma. Entries are valid only at nodes that
+// traversal reached — stale values persist elsewhere, so callers must gate
+// on reachability (via Dist or the returned order) before indexing. Owned by
+// the scratch until the next traversal.
+func (s *BFSScratch) Rows() (dist []int32, sigma []float64) {
+	return s.dist, s.sigma
+}
+
 // SubgraphScratch builds induced subgraphs repeatedly without the per-call
 // hash maps of Graph.Subgraph. Like BFSScratch it is epoch-stamped and not
 // safe for concurrent use.

@@ -46,7 +46,7 @@ func bruteLinkValues(g *graph.Graph) *Result {
 	// The brute stream is one (u, t)-ascending block, so a single "source"
 	// block satisfies coverValues' input-order contract.
 	values := coverValues(len(edges), n, [][]pairEntry{entries},
-		[][]int{{len(entries)}})
+		[][]int{{len(entries)}}, [][]int{{0}})
 	return &Result{Edges: edges, Values: values, N: n}
 }
 

@@ -40,10 +40,49 @@ type Options struct {
 	// Parallelism caps the source-sweep worker count; 0 uses GOMAXPROCS,
 	// 1 runs sequentially. Results are identical at every width.
 	Parallelism int
+	// Sigma selects the shortest-path-count traversal implementation.
+	// Results are byte-identical across modes on the graphs SigmaAuto
+	// batches (path counts are exact integers in float64; see the golden
+	// tests), so like Parallelism this is a performance knob, not a result
+	// parameter.
+	Sigma SigmaMode
 	// Metrics, when non-nil, counts the source sweeps performed
-	// (hierarchy.link_value_sweeps / hierarchy.policy_sweeps). Never
-	// affects results.
+	// (hierarchy.link_value_sweeps / hierarchy.policy_sweeps) and the sigma
+	// routing (hierarchy.sigma_batches / hierarchy.sigma_scalar, width
+	// gauge hierarchy.sigma_width). Never affects results.
 	Metrics *obs.Registry `json:"-"`
+}
+
+// SigmaMode picks how the sweeps obtain per-source distances and
+// shortest-path counts.
+type SigmaMode int
+
+const (
+	// SigmaAuto batches sources through the sigma-carrying MSBFS kernel
+	// unless the diameter probe flags a lattice-like graph, which keeps the
+	// scalar path (thin frontiers repeat mask work every level there, and
+	// lattices are the graphs whose binomial path counts could leave
+	// float64's exact-integer range).
+	SigmaAuto SigmaMode = iota
+	// SigmaScalar forces one scalar BFS per source — the historical path.
+	SigmaScalar
+	// SigmaBatched forces the batched kernel regardless of the probe.
+	SigmaBatched
+)
+
+// sigmaRoute resolves whether a call batches through the sigma kernel:
+// forced modes short-circuit, SigmaAuto probes the diameter with the same
+// double-sweep estimate and threshold as ball.CumProfiles.
+func (o *Options) sigmaRoute(g *graph.Graph) bool {
+	switch o.Sigma {
+	case SigmaScalar:
+		return false
+	case SigmaBatched:
+		return true
+	}
+	ws := sweepPool.Get()
+	defer sweepPool.Put(ws)
+	return graph.ApproxDiameter(g, ws.bfs) <= ball.MSBFSDiameterCutoff
 }
 
 func (o *Options) defaults() {
@@ -147,6 +186,90 @@ type pairEntry struct {
 	w    float64
 }
 
+// coverEntry is one pair entry inside a single edge's group: the edge id is
+// implicit in the grouping, so the cover passes stream 16-byte elements
+// instead of re-reading it from every entry.
+type coverEntry struct {
+	u, t int32
+	w    float64
+}
+
+// coverBucketShift sizes the edgeStream buckets: edge ids are partitioned
+// by id>>shift, 32 edges per bucket. Buckets keep the emission's write
+// streams few and sequential (cache- and TLB-resident tails) while staying
+// small enough that one bucket's entries counting-sort and cover inside L2.
+const coverBucketShift = 5
+
+// bucketChunk is the edgeStream arena chunk size in entries (a power of
+// two: the emission fast path tests the cursor against the chunk mask).
+const bucketChunk = 1024
+
+// edgeStream radix-partitions pair entries by edge-id bucket as they are
+// emitted, so the single-worker batched route never materializes the global
+// linear entry log or its full-size counting sort: the sweeps append each
+// entry to its bucket's chunk chain (a handful of hot sequential tails
+// instead of one random-write arena), and finalization re-sorts one
+// cache-resident bucket at a time into per-edge groups. A single worker
+// emits in canonical (u, t)-ascending order, and the bucket sort is stable
+// by edge, so each group reads back exactly the sequence the global
+// counting sort would hand edgeCover.
+//
+// cur is each bucket's next write index into the data arena. Chunk 0 is a
+// reserved sentinel no bucket ever owns, so cur == 0 (empty bucket) and any
+// other chunk-aligned value (full tail) both land on the one boundary test
+// at the open-coded emission sites — the hot path is three memory
+// operations on cache-resident lines.
+type edgeStream struct {
+	heads []int32 // per bucket: first chunk, -1 when empty
+	tails []int32 // per bucket: tail chunk
+	cur   []int32 // per bucket: next write index into data
+	next  []int32 // per chunk: successor, -1 at the tail
+	data  []pairEntry
+}
+
+func (es *edgeStream) reset(numEdges int) {
+	nb := (numEdges >> coverBucketShift) + 1
+	es.heads = growI32(es.heads, nb)
+	es.tails = growI32(es.tails, nb)
+	es.cur = growI32(es.cur, nb)
+	for i := 0; i < nb; i++ {
+		es.heads[i] = -1
+		es.tails[i] = -1
+		es.cur[i] = 0
+	}
+	// Reserve the sentinel chunk (its contents are never read).
+	es.next = append(es.next[:0], -1)
+	if cap(es.data) < bucketChunk {
+		es.data = make([]pairEntry, bucketChunk, 32*bucketChunk)
+	} else {
+		es.data = es.data[:bucketChunk]
+	}
+}
+
+// grow opens a new tail chunk for bucket b and writes p as its first entry;
+// reused arena capacity is left dirty (cur bounds every read).
+func (es *edgeStream) grow(b uint32, p pairEntry) {
+	ni := int32(len(es.next))
+	es.next = append(es.next, -1)
+	base := ni * bucketChunk
+	need := int(base) + bucketChunk
+	if cap(es.data) < need {
+		nd := make([]pairEntry, need, max(2*need, 32*bucketChunk))
+		copy(nd, es.data)
+		es.data = nd
+	} else {
+		es.data = es.data[:need]
+	}
+	es.data[base] = p
+	if ti := es.tails[b]; ti >= 0 {
+		es.next[ti] = ni
+	} else {
+		es.heads[b] = ni
+	}
+	es.tails[b] = ni
+	es.cur[b] = base + 1
+}
+
 // sweepScratch is one link-value worker's traversal workspace — BFS
 // scratch, the ancestor-sweep g-value accumulators and level buckets, and
 // the policy sweeps' per-edge fraction accumulators — leased through the
@@ -155,6 +278,8 @@ type pairEntry struct {
 // touched), so a leased bundle behaves exactly like a fresh one.
 type sweepScratch struct {
 	bfs     *graph.BFSScratch
+	msbfs   *graph.MSBFSScratch // sigma-batch kernel, allocated on first batched lease
+	emarks  graph.Stamp         // per-target edge dedup marks (TraversalSetSizes)
 	gval    []float64
 	touched []int32
 	buckets [][]int32
@@ -166,6 +291,22 @@ type sweepScratch struct {
 	// read by coverValues must not be returned to the pool until the values
 	// are computed.
 	entries []pairEntry
+	// Per-source shortest-path-DAG predecessor lists (batched route only):
+	// pred arcs of b are its neighbors one level closer to the source, in
+	// adjacency order, with their dense edge ids alongside. Built lazily —
+	// a node's adjacency is filtered the first time a target walk reaches
+	// it, memoized for the source's remaining targets via pstamp — so with
+	// sampled pair universes only the ancestors of sampled targets ever pay
+	// an adjacency scan or a (table-read) edge-id lookup.
+	pstamp   graph.Stamp
+	predLo   []int32 // b's pred arcs are predAdj[predLo[b]:predHi[b]]
+	predHi   []int32 // valid only where pstamp has seen b
+	predAdj  []int32 // fixed length m per source; predN is the fill cursor
+	predEdge []uint32
+	predN    int32
+	// stream is the fused per-edge entry store of the single-worker batched
+	// route, replacing the linear entry log plus coverValues' counting sort.
+	stream *edgeStream
 	// Product-space traversal buffers for policy sweeps, reused through
 	// policy.ProductCountsInto (reset via porder, so they carry their own
 	// zero-at-rest invariant).
@@ -195,10 +336,36 @@ func grownZero(b []float64, n int) []float64 {
 	return b[:n]
 }
 
+// sigmaPlan sizes the batched route: strip width from the pending sources
+// like ball.CumProfiles (never starving the pool), worker count capped at
+// the strip count, and the routing counters recorded. Returns width 0 on
+// the scalar route.
+func sigmaPlan(opts *Options, numSources, workers int, batched bool) (width, strips, w int) {
+	if !batched {
+		opts.Metrics.Counter("hierarchy.sigma_scalar").Add(int64(numSources))
+		return 0, 0, workers
+	}
+	width = ball.BatchWidth(numSources, workers)
+	strips = (numSources + width - 1) / width
+	if workers > strips {
+		workers = strips
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	opts.Metrics.Gauge("hierarchy.sigma_width").Set(int64(width))
+	opts.Metrics.Counter("hierarchy.sigma_batches").Add(int64(strips))
+	return width, strips, workers
+}
+
 // LinkValues computes link values under shortest-path routing. Source
 // sweeps run concurrently (the graph is immutable; each worker owns its
-// leased scratch), and the canonical entry ordering in coverValues makes
-// the result independent of scheduling.
+// leased scratch) and, on low-diameter graphs, in bit-parallel sigma
+// batches — one CSR sweep per mask strip of up to graph.MSBFSMaxWidth
+// sources instead of one scalar BFS each. The canonical entry ordering in
+// coverValues makes the result independent of scheduling, and path counts
+// are exact integers in float64 on the batched route, so the values are
+// byte-identical across worker counts and sigma modes.
 func LinkValues(g *graph.Graph, opts Options) *Result {
 	opts.defaults()
 	edges := g.Edges()
@@ -206,10 +373,57 @@ func LinkValues(g *graph.Graph, opts Options) *Result {
 	sources, inQ := sampleSources(g.NumNodes(), opts)
 	opts.Metrics.Counter("hierarchy.link_value_sweeps").Add(int64(len(sources)))
 
-	workers := opts.workers(len(sources))
 	n := g.NumNodes()
+	width, strips, workers := sigmaPlan(&opts, len(sources), opts.workers(len(sources)), opts.sigmaRoute(g))
+	var arcIDs []uint32
+	if width > 0 {
+		arcIDs = ix.ArcIDs() // shared, read-only across workers
+	}
+	if width > 0 && workers == 1 {
+		// Fused single-worker batched route: one worker sweeps sources in
+		// ascending order, so entries can stream straight into per-edge
+		// groups (edgeStream) in canonical order — no linear entry log, no
+		// counting sort, no replay. This is the route reproduce -j 1 takes
+		// on the paper's low-diameter families.
+		ws := sweepPool.Get()
+		defer sweepPool.Put(ws)
+		ws.gval = grownZero(ws.gval, n)
+		if ws.msbfs == nil {
+			ws.msbfs = graph.NewMSBFSScratch()
+		}
+		if ws.stream == nil {
+			ws.stream = &edgeStream{}
+		}
+		es := ws.stream
+		es.reset(len(edges))
+		off, adj := g.CSR()
+		for k := 0; k < strips; k++ {
+			lo := k * width
+			hi := min(lo+width, len(sources))
+			strip := sources[lo:hi]
+			ws.msbfs.RunSigma(g, strip)
+			for j, u := range strip {
+				dist, sigma := ws.msbfs.DistRow(j), ws.msbfs.SigmaRow(j)
+				ws.beginPreds(n, len(edges))
+				fs := newFastSweep(off, adj, arcIDs, dist, sigma, ws)
+				for t := int32(0); t < int32(n); t++ {
+					if t == u || !inQ[t] {
+						continue
+					}
+					d := dist[t]
+					if d <= 0 || d == graph.Unreached {
+						continue
+					}
+					sweepTargetStream(u, t, int(d), fs, ws, es)
+				}
+			}
+		}
+		values := coverValuesStream(len(edges), n, es)
+		return &Result{Edges: edges, Values: values, N: len(sources), Nodes: n}
+	}
 	perWorker := make([][]pairEntry, workers)
 	perEnds := make([][]int, workers)
+	perSrc := make([][]int, workers)
 	wss := make([]*sweepScratch, workers)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
@@ -220,28 +434,67 @@ func LinkValues(g *graph.Graph, opts Options) *Result {
 			wss[w] = ws
 			ws.gval = grownZero(ws.gval, n)
 			entries := ws.entries[:0]
-			var ends []int
-			for i := w; i < len(sources); i += workers {
-				u := sources[i]
-				ws.bfs.Counts(g, u)
-				// Per-target ancestor sweeps over the pair universe, in
-				// ascending target order so each source's entry block comes
-				// out (t)-sorted — coverValues' canonical-order contract.
+			var ends, srcIdx []int
+			// Per-target ancestor sweeps run over the pair universe in
+			// ascending target order so each source's entry block comes out
+			// (t)-sorted — coverValues' canonical-order contract. perSrc
+			// records each block's global source index for the replay.
+			sweepSource := func(u int32, si int, fs *fastSweep, dist []int32, sigma []float64, dt func(int32) int32) {
 				for t := int32(0); t < int32(n); t++ {
 					if t == u || !inQ[t] {
 						continue
 					}
-					entries = sweepTarget(g, u, t, ix, ws, entries)
+					d := dt(t)
+					if d <= 0 || d == graph.Unreached {
+						continue
+					}
+					if fs != nil {
+						entries = sweepTargetFast(u, t, int(d), fs, ws, entries)
+					} else {
+						entries = sweepTarget(g, u, t, int(d), ix, ws, entries, dist, sigma)
+					}
 				}
 				ends = append(ends, len(entries))
+				srcIdx = append(srcIdx, si)
+			}
+			if width > 0 {
+				if ws.msbfs == nil {
+					ws.msbfs = graph.NewMSBFSScratch()
+				}
+				off, adj := g.CSR()
+				for k := w; k < strips; k += workers {
+					lo := k * width
+					hi := min(lo+width, len(sources))
+					strip := sources[lo:hi]
+					ws.msbfs.RunSigma(g, strip)
+					for j, u := range strip {
+						dist, sigma := ws.msbfs.DistRow(j), ws.msbfs.SigmaRow(j)
+						// RunSigma pre-fills the rows, so raw reads are safe —
+						// both for the target gate and the pred build.
+						ws.beginPreds(n, len(edges))
+						fs := newFastSweep(off, adj, arcIDs, dist, sigma, ws)
+						sweepSource(u, lo+j, fs, dist, sigma, func(t int32) int32 { return dist[t] })
+					}
+				}
+			} else {
+				for i := w; i < len(sources); i += workers {
+					u := sources[i]
+					ws.bfs.Counts(g, u)
+					dist, sigma := ws.bfs.Rows()
+					// The raw rows are stale at unreached nodes, so the
+					// target gate reads the epoch-guarded accessor; inside
+					// the ancestor DAG every node is reached.
+					sweepSource(u, i, nil, dist, sigma, ws.bfs.Dist)
+				}
 			}
 			ws.entries = entries
 			perWorker[w] = entries
 			perEnds[w] = ends
+			perSrc[w] = srcIdx
 		}(w)
 	}
 	wg.Wait()
-	values := coverValues(len(edges), n, perWorker, perEnds)
+	values := coverValues(len(edges), n, perWorker, perEnds, perSrc)
 	for _, ws := range wss {
 		sweepPool.Put(ws)
 	}
@@ -250,16 +503,16 @@ func LinkValues(g *graph.Graph, opts Options) *Result {
 
 // sweepTarget walks target t's shortest-path ancestor DAG from source u,
 // computing per-edge path fractions (g values) and appending pair entries.
-// Distances and path counts come from ws.bfs's last Counts traversal;
-// gval/touched/buckets are reused across targets (gval zeroed via touched).
-func sweepTarget(g *graph.Graph, u, t int32, ix *graph.EdgeIndex,
-	ws *sweepScratch, entries []pairEntry) []pairEntry {
+// Distances and path counts are passed as raw source rows — either
+// ws.bfs.Rows() after a scalar Counts traversal or a DistRow/SigmaRow pair
+// from a sigma batch; both carry identical values, so the emitted entry
+// stream is byte-identical across routes. dt is t's (caller-gated, > 0 and
+// reached) distance; inside the DAG every node is reached, so raw row reads
+// need no epoch guard. gval/touched/buckets are reused across targets (gval
+// zeroed via touched).
+func sweepTarget(g *graph.Graph, u, t int32, dt int, ix *graph.EdgeIndex,
+	ws *sweepScratch, entries []pairEntry, dist []int32, sigma []float64) []pairEntry {
 
-	sc := ws.bfs
-	dt := int(sc.Dist(t))
-	if dt <= 0 {
-		return entries
-	}
 	// Ensure bucket capacity.
 	for len(ws.buckets) <= dt {
 		ws.buckets = append(ws.buckets, nil)
@@ -275,10 +528,10 @@ func sweepTarget(g *graph.Graph, u, t int32, ix *graph.EdgeIndex,
 		for _, b := range bs[d] {
 			gb := ws.gval[b]
 			for _, a := range g.Neighbors(b) {
-				if sc.Dist(a) != int32(d-1) {
+				if dist[a] != int32(d-1) {
 					continue
 				}
-				frac := gb * sc.Sigma(a) / sc.Sigma(b)
+				frac := gb * sigma[a] / sigma[b]
 				entries = append(entries, pairEntry{
 					edge: uint32(ix.ID(a, b)), u: u, t: t, w: frac,
 				})
@@ -297,6 +550,220 @@ func sweepTarget(g *graph.Graph, u, t int32, ix *graph.EdgeIndex,
 		ws.gval[v] = 0
 	}
 	return entries
+}
+
+// beginPreds resets the lazy predecessor state for a new source: one epoch
+// bump and a cursor reset — no per-node clearing, predLo/predHi are only
+// read where pstamp has seen the node. The arc buffers are sized to m up
+// front: an undirected edge is a pred arc in at most one direction per
+// source (its endpoints' distances differ by at most one), so m bounds a
+// source's total pred-arc count and the buffers never reallocate — which
+// lets fastSweep hold them as stable slices the hot loops read without
+// reloading.
+func (ws *sweepScratch) beginPreds(n, m int) {
+	ws.pstamp.Begin(n)
+	ws.predLo = growI32(ws.predLo, n)
+	ws.predHi = growI32(ws.predHi, n)
+	ws.predAdj = growI32(ws.predAdj, m)
+	if cap(ws.predEdge) < m {
+		ws.predEdge = make([]uint32, m)
+	} else {
+		ws.predEdge = ws.predEdge[:m]
+	}
+	ws.predN = 0
+}
+
+// fastSweep bundles one source's immutable sweep inputs — the graph CSR,
+// the arc-id table, the source's exact distance/path-count rows (the sigma
+// batch pre-fills its rows, so every node reads Unreached or a true
+// distance; the scalar route's stale rows must not be fed here), and the
+// source's pred-arc buffers (stable for the source's lifetime, see
+// beginPreds).
+type fastSweep struct {
+	off, adj []int32
+	arcIDs   []uint32
+	dist     []int32
+	sigma    []float64
+	predAdj  []int32
+	predEdge []uint32
+}
+
+func newFastSweep(off, adj []int32, arcIDs []uint32, dist []int32, sigma []float64,
+	ws *sweepScratch) *fastSweep {
+	return &fastSweep{
+		off: off, adj: adj, arcIDs: arcIDs, dist: dist, sigma: sigma,
+		predAdj: ws.predAdj, predEdge: ws.predEdge,
+	}
+}
+
+// buildPreds filters b's adjacency into its predecessor range. The lists
+// come out in adjacency order whatever the target order, so the emitted
+// entry stream stays canonical. Callers open-code the memoization check —
+// `if ws.pstamp.Visit(b) { fs.buildPreds(b, ws) }` — so the per-visit fast
+// path (an inlined epoch compare plus two range loads) never pays a call;
+// only first touches enter here.
+func (fs *fastSweep) buildPreds(b int32, ws *sweepScratch) {
+	base := fs.off[b]
+	want := fs.dist[b] - 1
+	k := ws.predN
+	for i, a := range fs.adj[base:fs.off[b+1]] {
+		if fs.dist[a] == want {
+			fs.predAdj[k] = a
+			fs.predEdge[k] = fs.arcIDs[base+int32(i)]
+			k++
+		}
+	}
+	ws.predLo[b], ws.predHi[b] = ws.predN, k
+	ws.predN = k
+}
+
+// sweepTargetFast is sweepTarget over the lazy predecessor lists: same
+// bucket walk, same g-value recurrence, same entry order (pred lists
+// preserve adjacency order) and bit-identical arithmetic (sigma[b] is
+// merely hoisted out of the arc loop), touching only the DAG arcs that
+// emit entries instead of every adjacency arc of every ancestor.
+//
+// When the pair has a unique shortest path (sigma[t] == 1), the ancestor
+// DAG is a single chain — every node on it also has path count 1, hence
+// exactly one pred — and every fraction is exactly 1*1/1 = 1, so the walk
+// degenerates to following single pred links with no g-value bookkeeping.
+// Entry order and float values are identical to the general walk's.
+func sweepTargetFast(u, t int32, dt int, fs *fastSweep, ws *sweepScratch,
+	entries []pairEntry) []pairEntry {
+
+	sigma := fs.sigma
+	if sigma[t] == 1 {
+		b := t
+		for d := dt; d >= 1; d-- {
+			if ws.pstamp.Visit(b) {
+				fs.buildPreds(b, ws)
+			}
+			lo := ws.predLo[b]
+			entries = append(entries, pairEntry{
+				edge: fs.predEdge[lo], u: u, t: t, w: 1,
+			})
+			b = fs.predAdj[lo]
+		}
+		return entries
+	}
+	for len(ws.buckets) <= dt {
+		ws.buckets = append(ws.buckets, nil)
+	}
+	bs := ws.buckets
+	for d := 0; d <= dt; d++ {
+		bs[d] = bs[d][:0]
+	}
+	ws.gval[t] = 1
+	ws.touched = append(ws.touched[:0], t)
+	bs[dt] = append(bs[dt], t)
+	for d := dt; d >= 1; d-- {
+		for _, b := range bs[d] {
+			gb := ws.gval[b]
+			sb := sigma[b]
+			if ws.pstamp.Visit(b) {
+				fs.buildPreds(b, ws)
+			}
+			lo, hi := ws.predLo[b], ws.predHi[b]
+			for i := lo; i < hi; i++ {
+				a := fs.predAdj[i]
+				frac := gb * sigma[a] / sb
+				entries = append(entries, pairEntry{
+					edge: fs.predEdge[i], u: u, t: t, w: frac,
+				})
+				if ws.gval[a] == 0 {
+					ws.touched = append(ws.touched, a)
+					if d-1 >= 1 {
+						bs[d-1] = append(bs[d-1], a)
+					}
+				}
+				ws.gval[a] += frac
+			}
+		}
+	}
+	for _, v := range ws.touched {
+		ws.gval[v] = 0
+	}
+	return entries
+}
+
+// sweepTargetStream is sweepTargetFast emitting into an edgeStream instead
+// of the linear entry log: same walk, same arithmetic, same per-pair entry
+// order — only the destination differs, each entry landing directly in its
+// edge's group. Sources (ascending) and targets (ascending per source) are
+// swept in canonical order by the single worker that uses this variant, so
+// every group accumulates exactly the sequence the counting sort would
+// hand edgeCover.
+func sweepTargetStream(u, t int32, dt int, fs *fastSweep, ws *sweepScratch,
+	es *edgeStream) {
+
+	sigma := fs.sigma
+	// The stream emission fast path is open-coded (the grow call pushes a
+	// method past the inliner's budget). cur never moves during a sweep;
+	// data is reloaded after any grow, which may reallocate the arena.
+	cur, data := es.cur, es.data
+	if sigma[t] == 1 {
+		b := t
+		for d := dt; d >= 1; d-- {
+			if ws.pstamp.Visit(b) {
+				fs.buildPreds(b, ws)
+			}
+			lo := ws.predLo[b]
+			e := fs.predEdge[lo]
+			bkt := e >> coverBucketShift
+			if c := cur[bkt]; c&(bucketChunk-1) != 0 {
+				data[c] = pairEntry{edge: e, u: u, t: t, w: 1}
+				cur[bkt] = c + 1
+			} else {
+				es.grow(bkt, pairEntry{edge: e, u: u, t: t, w: 1})
+				data = es.data
+			}
+			b = fs.predAdj[lo]
+		}
+		return
+	}
+	for len(ws.buckets) <= dt {
+		ws.buckets = append(ws.buckets, nil)
+	}
+	bs := ws.buckets
+	for d := 0; d <= dt; d++ {
+		bs[d] = bs[d][:0]
+	}
+	ws.gval[t] = 1
+	ws.touched = append(ws.touched[:0], t)
+	bs[dt] = append(bs[dt], t)
+	for d := dt; d >= 1; d-- {
+		for _, b := range bs[d] {
+			gb := ws.gval[b]
+			sb := sigma[b]
+			if ws.pstamp.Visit(b) {
+				fs.buildPreds(b, ws)
+			}
+			lo, hi := ws.predLo[b], ws.predHi[b]
+			for i := lo; i < hi; i++ {
+				a := fs.predAdj[i]
+				frac := gb * sigma[a] / sb
+				e := fs.predEdge[i]
+				bkt := e >> coverBucketShift
+				if c := cur[bkt]; c&(bucketChunk-1) != 0 {
+					data[c] = pairEntry{edge: e, u: u, t: t, w: frac}
+					cur[bkt] = c + 1
+				} else {
+					es.grow(bkt, pairEntry{edge: e, u: u, t: t, w: frac})
+					data = es.data
+				}
+				if ws.gval[a] == 0 {
+					ws.touched = append(ws.touched, a)
+					if d-1 >= 1 {
+						bs[d-1] = append(bs[d-1], a)
+					}
+				}
+				ws.gval[a] += frac
+			}
+		}
+	}
+	for _, v := range ws.touched {
+		ws.gval[v] = 0
+	}
 }
 
 // sampleSources returns the pair-universe node set Q and its membership
@@ -333,13 +800,16 @@ func sampleSources(n int, opts Options) ([]int32, []bool) {
 // order the order-dependent primal-dual needs: each worker's entry list is a
 // sequence of per-source blocks, blocks are (t)-ascending inside (the sweeps
 // iterate targets in node order), the global source sequence is
-// (u)-ascending (sampleSources sorts it), and perEnds[w][k] records where
-// worker w's k-th block ends. Replaying the blocks in global source order —
-// source index si lives in worker si%W's block si/W — feeds the scatter an
+// (u)-ascending (sampleSources sorts it), perEnds[w][k] records where worker
+// w's k-th block ends, and perSrc[w][k] which global source index it holds.
+// Replaying the blocks in ascending global source order feeds the scatter an
 // (u, t)-sorted stream, and stability plus unique (edge, u, t) keys land
-// every group fully sorted, with no comparison sort anywhere.
+// every group fully sorted, with no comparison sort anywhere. The explicit
+// perSrc map is what lets the scalar route (sources striped one at a time)
+// and the sigma route (sources striped in whole mask strips) share one
+// replay with identical output.
 func coverValues(numEdges, numNodes int, perWorker [][]pairEntry,
-	perEnds [][]int) []float64 {
+	perEnds [][]int, perSrc [][]int) []float64 {
 
 	total := 0
 	numSources := 0
@@ -366,15 +836,23 @@ func coverValues(numEdges, numNodes int, perWorker [][]pairEntry,
 	copy(cur, off[:numEdges])
 	sorted := growPairs(ws.sortA, total)
 	ws.sortA = sorted
-	W := len(perWorker)
+	blockW := growInt(ws.blockW, numSources)
+	ws.blockW = blockW
+	blockK := growInt(ws.blockK, numSources)
+	ws.blockK = blockK
+	for w, srcs := range perSrc {
+		for k, si := range srcs {
+			blockW[si], blockK[si] = w, k
+		}
+	}
 	for si := 0; si < numSources; si++ {
-		w, k := si%W, si/W
+		w, k := blockW[si], blockK[si]
 		start := 0
 		if k > 0 {
 			start = perEnds[w][k-1]
 		}
 		for _, p := range perWorker[w][start:perEnds[w][k]] {
-			sorted[cur[p.edge]] = p
+			sorted[cur[p.edge]] = coverEntry{u: p.u, t: p.t, w: p.w}
 			cur[p.edge]++
 		}
 	}
@@ -385,6 +863,73 @@ func coverValues(numEdges, numNodes int, perWorker [][]pairEntry,
 			continue
 		}
 		values[e] = edgeCover(group, ws)
+	}
+	return values
+}
+
+// coverValuesStream is coverValues over a bucket-partitioned edgeStream:
+// one bucket at a time, its log is counting-sorted by edge (stable, so each
+// group keeps the canonical emission order) into a cache-resident buffer
+// and the groups handed to the same edgeCover. The values are byte-identical
+// to the global counting-sort path's.
+func coverValuesStream(numEdges, numNodes int, es *edgeStream) []float64 {
+	ws := coverPool.Get()
+	defer coverPool.Put(ws)
+	ws.ensure(numNodes)
+	values := make([]float64, numEdges)
+	const be = 1 << coverBucketShift
+	var cnt [be + 1]int32
+	for b := range es.heads {
+		if es.heads[b] < 0 {
+			continue
+		}
+		lo := uint32(b) << coverBucketShift
+		for i := range cnt {
+			cnt[i] = 0
+		}
+		total := 0
+		for ci := es.heads[b]; ci >= 0; ci = es.next[ci] {
+			base := ci * bucketChunk
+			end := base + bucketChunk
+			if ci == es.tails[b] {
+				end = es.cur[b]
+			}
+			seg := es.data[base:end]
+			total += len(seg)
+			for i := range seg {
+				cnt[seg[i].edge-lo+1]++
+			}
+		}
+		for i := 0; i < be; i++ {
+			cnt[i+1] += cnt[i]
+		}
+		sorted := growPairs(ws.sortA, total)
+		for ci := es.heads[b]; ci >= 0; ci = es.next[ci] {
+			base := ci * bucketChunk
+			end := base + bucketChunk
+			if ci == es.tails[b] {
+				end = es.cur[b]
+			}
+			seg := es.data[base:end]
+			for i := range seg {
+				p := &seg[i]
+				c := p.edge - lo
+				sorted[cnt[c]] = coverEntry{u: p.u, t: p.t, w: p.w}
+				cnt[c]++
+			}
+		}
+		ws.sortA = sorted
+		// cnt[c] now ends group c (the scatter advanced each slot to its
+		// successor's start).
+		start := int32(0)
+		for c := 0; c < be; c++ {
+			group := sorted[start:cnt[c]]
+			start = cnt[c]
+			if len(group) == 0 {
+				continue
+			}
+			values[lo+uint32(c)] = edgeCover(group, ws)
+		}
 	}
 	return values
 }
@@ -402,17 +947,19 @@ type coverScratch struct {
 
 	nodes      []int32 // distinct nodes of the current group, first-touch order
 	coverOrder []int32
-	pcnt       []int32 // partner-list CSR offsets (per local node)
-	pcur       []int32
-	partners   []int32
+	plists     [][]int32 // per-cover-slot partner lists (capacities persist)
 
 	// coverValues' counting-sort buffers, pooled (and kept, via Keep) so the
 	// per-suite-run transient allocations — the sorted entry universe is the
 	// largest single buffer in the pipeline — and their kernel page-fault
 	// cost happen once instead of every call.
-	sortA []pairEntry
+	sortA []coverEntry
 	keys  []int
 	off   []int
+	// Block replay map: blockW/blockK[si] locate global source si's entry
+	// block (worker, block index) for the canonical-order scatter.
+	blockW []int
+	blockK []int
 }
 
 var coverPool = ball.NewPool(func() *coverScratch { return &coverScratch{} })
@@ -442,9 +989,9 @@ func growInt(b []int, n int) []int {
 	return b[:n]
 }
 
-func growPairs(b []pairEntry, n int) []pairEntry {
+func growPairs(b []coverEntry, n int) []coverEntry {
 	if cap(b) < n {
-		return make([]pairEntry, n)
+		return make([]coverEntry, n)
 	}
 	return b[:n]
 }
@@ -456,7 +1003,7 @@ func growPairs(b []pairEntry, n int) []pairEntry {
 // nodes (without the prune, ties double access-link values). Every float
 // accumulation runs in the entries' canonical order, so the value is
 // bit-deterministic across runs and worker counts.
-func edgeCover(pairs []pairEntry, ws *coverScratch) float64 {
+func edgeCover(pairs []coverEntry, ws *coverScratch) float64 {
 	nodes := ws.nodes[:0]
 	for _, p := range pairs {
 		if ws.cnt[p.u] == 0 {
@@ -470,6 +1017,14 @@ func edgeCover(pairs []pairEntry, ws *coverScratch) float64 {
 		ws.sum[p.t] += p.w
 		ws.cnt[p.t]++
 	}
+	return edgeCoverPrepared(pairs, nodes, ws)
+}
+
+// edgeCoverPrepared is edgeCover after the accumulation pass: the caller has
+// already folded every entry into ws.sum/ws.cnt (in canonical entry order)
+// and collected the group's distinct nodes in first-touch order — either via
+// edgeCover's own pass or fused into the stream gather's chunk copy.
+func edgeCoverPrepared(pairs []coverEntry, nodes []int32, ws *coverScratch) float64 {
 	for _, v := range nodes {
 		w := ws.sum[v] / float64(ws.cnt[v])
 		ws.weight[v] = w
@@ -497,45 +1052,44 @@ func edgeCover(pairs []pairEntry, ws *coverScratch) float64 {
 			coverOrder = append(coverOrder, t)
 		}
 	}
-	// Partner lists as a CSR over the group's local node ids, filled in
-	// pair order; each redundancy check runs in O(pairs containing v).
-	k := len(nodes)
-	for i, v := range nodes {
-		ws.localIdx[v] = int32(i)
-	}
-	pcnt := growI32(ws.pcnt, k+1)
-	for i := 0; i <= k; i++ {
-		pcnt[i] = 0
-	}
-	for _, p := range pairs {
-		pcnt[ws.localIdx[p.u]+1]++
-		pcnt[ws.localIdx[p.t]+1]++
-	}
-	for i := 0; i < k; i++ {
-		pcnt[i+1] += pcnt[i]
-	}
-	pcur := growI32(ws.pcur, k)
-	copy(pcur, pcnt[:k])
-	partners := growI32(ws.partners, 2*len(pairs))
-	for _, p := range pairs {
-		lu, lt := ws.localIdx[p.u], ws.localIdx[p.t]
-		partners[pcur[lu]] = p.t
-		pcur[lu]++
-		partners[pcur[lt]] = p.u
-		pcur[lt]++
-	}
-	for i := len(coverOrder) - 1; i >= 0; i-- {
-		v := coverOrder[i]
-		li := ws.localIdx[v]
-		removable := true
-		for _, w := range partners[pcnt[li]:pcnt[li+1]] {
-			if !ws.inCover[w] {
-				removable = false
-				break
+	// Redundancy prune. A lone cover node can never be removed — its
+	// partners are by construction outside the cover — so the partner-list
+	// machinery only runs for multi-node covers. Each cover node gets a
+	// local slot with an append-grown partner list (slot capacities persist
+	// across groups through the scratch), built in one pass over the pairs;
+	// only cover nodes are slotted, so slot setup is O(|cover|), not
+	// O(|nodes|).
+	if len(coverOrder) > 1 {
+		nc := len(coverOrder)
+		for len(ws.plists) < nc {
+			ws.plists = append(ws.plists, nil)
+		}
+		pl := ws.plists
+		for i, v := range coverOrder {
+			ws.localIdx[v] = int32(i)
+			pl[i] = pl[i][:0]
+		}
+		for _, p := range pairs {
+			if ws.inCover[p.u] {
+				li := ws.localIdx[p.u]
+				pl[li] = append(pl[li], p.t)
+			}
+			if ws.inCover[p.t] {
+				li := ws.localIdx[p.t]
+				pl[li] = append(pl[li], p.u)
 			}
 		}
-		if removable {
-			ws.inCover[v] = false
+		for i := nc - 1; i >= 0; i-- {
+			removable := true
+			for _, w := range pl[i] {
+				if !ws.inCover[w] {
+					removable = false
+					break
+				}
+			}
+			if removable {
+				ws.inCover[coverOrder[i]] = false
+			}
 		}
 	}
 	// Sum in coverOrder (not node order) so the float accumulation matches
@@ -554,8 +1108,5 @@ func edgeCover(pairs []pairEntry, ws *coverScratch) float64 {
 	}
 	ws.nodes = nodes
 	ws.coverOrder = coverOrder
-	ws.pcnt = pcnt
-	ws.pcur = pcur
-	ws.partners = partners
 	return value
 }

@@ -11,6 +11,13 @@ import (
 // valley-free (policy) paths instead of plain shortest paths, as the paper
 // does for the AS and RL graphs ("with policy routing, since paths are more
 // concentrated, the highest link values are larger").
+//
+// On the batched route the valley-free product graph is materialized once
+// as a directed CSR (policy.ProductCSR) and each mask strip runs one
+// bit-parallel sigma sweep over it — replacing both the per-source product
+// BFS and its per-edge relationship map lookups. Product path counts are
+// exact integers in float64, so the values are byte-identical to the
+// scalar route's.
 func PolicyLinkValues(a *policy.Annotated, opts Options) *Result {
 	opts.defaults()
 	g := a.G
@@ -21,9 +28,14 @@ func PolicyLinkValues(a *policy.Annotated, opts Options) *Result {
 
 	n := g.NumNodes()
 	ns := policy.NumStates
-	workers := opts.workers(len(sources))
+	width, strips, workers := sigmaPlan(&opts, len(sources), opts.workers(len(sources)), opts.sigmaRoute(g))
+	var poff, padj []int32
+	if width > 0 {
+		poff, padj = a.ProductCSR()
+	}
 	perWorker := make([][]pairEntry, workers)
 	perEnds := make([][]int, workers)
+	perSrc := make([][]int, workers)
 	wss := make([]*sweepScratch, workers)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
@@ -35,15 +47,13 @@ func PolicyLinkValues(a *policy.Annotated, opts Options) *Result {
 			ws.gval = grownZero(ws.gval, n*ns)
 			ws.localW = grownZero(ws.localW, len(edges))
 			entries := ws.entries[:0]
-			var ends []int
-			for i := w; i < len(sources); i += workers {
-				u := sources[i]
-				dist, sigma, order := a.ProductCountsInto(
-					ws.pdist, ws.psigma, ws.porder, u)
-				ws.pdist, ws.psigma, ws.porder = dist, sigma, order
-				// Per-node policy distance = min over states; ascending
-				// target order keeps each source block (t)-sorted for
-				// coverValues.
+			var ends, srcIdx []int
+			// Per-node policy distance = min over states; ascending target
+			// order keeps each source block (t)-sorted for coverValues. Both
+			// routes hand in fully initialized product rows (the scalar
+			// buffers by their Unreached-reset invariant, the kernel rows by
+			// RunSigma's pre-fill), so the state scan reads them raw.
+			sweepSource := func(u int32, si int, dist []int32, sigma []float64) {
 				for t := int32(0); t < int32(n); t++ {
 					if t == u || !inQ[t] {
 						continue
@@ -61,14 +71,44 @@ func PolicyLinkValues(a *policy.Annotated, opts Options) *Result {
 						ix, ws, entries)
 				}
 				ends = append(ends, len(entries))
+				srcIdx = append(srcIdx, si)
+			}
+			if width > 0 {
+				if ws.msbfs == nil {
+					ws.msbfs = graph.NewMSBFSScratch()
+				}
+				pn := n * ns
+				var psrc []int32
+				for k := w; k < strips; k += workers {
+					lo := k * width
+					hi := min(lo+width, len(sources))
+					strip := sources[lo:hi]
+					psrc = psrc[:0]
+					for _, u := range strip {
+						psrc = append(psrc, policy.ProductStart(u))
+					}
+					ws.msbfs.RunSigmaCSR(pn, poff, padj, psrc)
+					for j, u := range strip {
+						sweepSource(u, lo+j, ws.msbfs.DistRow(j), ws.msbfs.SigmaRow(j))
+					}
+				}
+			} else {
+				for i := w; i < len(sources); i += workers {
+					u := sources[i]
+					dist, sigma, order := a.ProductCountsInto(
+						ws.pdist, ws.psigma, ws.porder, u)
+					ws.pdist, ws.psigma, ws.porder = dist, sigma, order
+					sweepSource(u, i, dist, sigma)
+				}
 			}
 			ws.entries = entries
 			perWorker[w] = entries
 			perEnds[w] = ends
+			perSrc[w] = srcIdx
 		}(w)
 	}
 	wg.Wait()
-	values := coverValues(len(edges), n, perWorker, perEnds)
+	values := coverValues(len(edges), n, perWorker, perEnds, perSrc)
 	for _, ws := range wss {
 		sweepPool.Put(ws)
 	}

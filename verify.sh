@@ -16,8 +16,10 @@
 # and background time-series sampler (obs.TestConcurrentSpansAndCounters,
 # obs.TestSamplerRaceShort), the pooled per-worker cut/flow
 # kernels (partition.TestResilienceRaceShort,
-# flow.TestSurfaceMaxFlowRaceShort), and the pooled Brandes/distortion
-# workspaces (metrics.TestBrandesRaceShort).
+# flow.TestSurfaceMaxFlowRaceShort), the pooled Brandes/distortion
+# workspaces (metrics.TestBrandesRaceShort), and the sigma-batched
+# link-value sweeps leasing MSBFS workspaces from the shared pool
+# (hierarchy.TestLinkValueRaceShort).
 set -eu
 
 echo "== tier 0: gofmt cleanliness =="
@@ -41,7 +43,7 @@ echo "== tier 2: race detector on concurrent packages =="
 # per-package timeout; give the tier an explicit ceiling instead.
 go test -race -timeout 45m ./internal/core ./internal/ball ./internal/experiments \
     ./internal/cache ./internal/obs ./internal/partition ./internal/flow \
-    ./internal/metrics
+    ./internal/metrics ./internal/hierarchy
 
 echo "== scale smoke: 1M-node streamed build + sampled expansion =="
 # Builds a million-node PLRG through the streamed CSR path, checks the
@@ -66,7 +68,7 @@ cp BENCH_*.json "$workdir"
 bench_out="$workdir/bench.out"
 go test -run '^$' -bench 'CutSize|SurfaceMaxFlow|ResilienceMesh' \
     -benchtime 1x ./internal/partition ./internal/metrics > "$bench_out"
-go test -run '^$' -bench 'BenchmarkMSBFS|BenchmarkWideMSBFS|BenchmarkBrandes' \
+go test -run '^$' -bench 'BenchmarkMSBFS|BenchmarkWideMSBFS|BenchmarkBrandes|BenchmarkLinkValues' \
     -benchtime 1x . >> "$bench_out"
 # Scale benchmarks refresh BENCH_scale.json (map-vs-streamed peak memory
 # and the size-vs-time/RSS trajectory; the full-RL pipeline row is skipped

@@ -27,8 +27,12 @@ import (
 // bit-identical at every parallelism, including the sequential pool of
 // width 1.
 type Engine struct {
-	g        *graph.Graph
-	parallel int
+	g *graph.Graph
+	// parallel is the worker-pool width, atomic so a serving layer can
+	// retune a long-lived engine between (or during) requests: forEach and
+	// batchWidth read it once per call, and results are width-independent,
+	// so a concurrent change only shifts where the work runs.
+	parallel atomic.Int64
 
 	scratch *Pool[*workerScratch]
 	kernels *Pool[*Kernels]
@@ -124,8 +128,9 @@ func NewEngine(g *graph.Graph, parallelism int) *Engine {
 	if parallelism <= 0 {
 		parallelism = runtime.NumCPU()
 	}
-	e := &Engine{g: g, parallel: parallelism,
+	e := &Engine{g: g,
 		profiles: map[int32]*profileEntry{}, cums: map[int32]*cumEntry{}}
+	e.parallel.Store(int64(parallelism))
 	e.scratch = NewPool(func() *workerScratch {
 		return &workerScratch{bfs: graph.NewBFSScratch(), sub: graph.NewSubgraphScratch()}
 	})
@@ -177,7 +182,20 @@ func (e *Engine) SetProgress(st *obs.ProgressStage) { e.prog = st }
 func (e *Engine) Graph() *graph.Graph { return e.g }
 
 // Parallelism returns the worker-pool width.
-func (e *Engine) Parallelism() int { return e.parallel }
+func (e *Engine) Parallelism() int { return int(e.parallel.Load()) }
+
+// SetParallelism retunes the worker-pool width of a live engine; p <= 0
+// uses runtime.NumCPU. Safe under concurrent use: the fan-out helpers read
+// the width once per call, and results are bit-identical at every width, so
+// an in-flight call simply keeps the width it started with. The serving
+// layer uses this to grant each admitted request a share of the global
+// worker budget without rebuilding the engine (and its warm caches).
+func (e *Engine) SetParallelism(p int) {
+	if p <= 0 {
+		p = runtime.NumCPU()
+	}
+	e.parallel.Store(int64(p))
+}
 
 // ApproxDiameter returns the double-sweep diameter estimate for the
 // engine's graph, computed once on first use and cached. The batched
@@ -407,7 +425,7 @@ func (e *Engine) CumProfiles(centers []int32) []*CumProfile {
 
 // batchWidth picks the wide sweep's mask width from the engine's pool size.
 func (e *Engine) batchWidth(pending int) int {
-	return BatchWidth(pending, e.parallel)
+	return BatchWidth(pending, e.Parallelism())
 }
 
 // BatchWidth picks a bit-parallel mask-strip width for pending work items
@@ -471,13 +489,14 @@ func (e *Engine) BallSubgraph(p *Profile, h int) *graph.Graph {
 // forEach runs work(i) for i in [0, n) over the worker pool. With a pool of
 // width 1 the calls run inline in index order.
 func (e *Engine) forEach(n int, work func(i int)) {
-	if e.parallel <= 1 || n <= 1 {
+	parallel := e.Parallelism()
+	if parallel <= 1 || n <= 1 {
 		for i := 0; i < n; i++ {
 			work(i)
 		}
 		return
 	}
-	workers := e.parallel
+	workers := parallel
 	if workers > n {
 		workers = n
 	}

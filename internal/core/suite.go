@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"sync"
@@ -138,6 +139,17 @@ type SuiteResult struct {
 // at every Parallelism, including the sequential width of 1 (where the
 // metric stages also run inline instead of concurrently).
 func RunSuite(n *Network, opts SuiteOptions) *SuiteResult {
+	res, _ := RunSuiteCtx(context.Background(), n, opts)
+	return res
+}
+
+// RunSuiteCtx is RunSuite with cancellation: each metric stage checks the
+// context before it starts, so a canceled request stops scheduling work at
+// stage granularity (a stage already running finishes its balls — the
+// engine's kernels are not preemptible). On cancellation the partial result
+// is discarded and ctx.Err() is returned; a nil error means every stage ran
+// and the result is complete and bit-identical to RunSuite's.
+func RunSuiteCtx(ctx context.Context, n *Network, opts SuiteOptions) (*SuiteResult, error) {
 	opts.defaults()
 	res := &SuiteResult{Network: n}
 	g := n.Graph
@@ -168,6 +180,9 @@ func RunSuite(n *Network, opts SuiteOptions) *SuiteResult {
 	var wg sync.WaitGroup
 	stage := func(name string, f func()) {
 		run := func() {
+			if ctx.Err() != nil {
+				return // canceled: the partial result is discarded below
+			}
 			sp := opts.Span.Start(name)
 			defer sp.End()
 			f()
@@ -260,7 +275,10 @@ func RunSuite(n *Network, opts SuiteOptions) *SuiteResult {
 		})
 	}
 	wg.Wait()
-	return res
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return res, nil
 }
 
 // policyBallCurves computes resilience and distortion over policy-induced

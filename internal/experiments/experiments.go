@@ -225,7 +225,7 @@ func (r *Runner) runSuite(name string, par int, parent *obs.Span) *core.SuiteRes
 		r.mu.Unlock()
 		st.Done()
 		// Best-effort persist: a failed write only costs a recompute later.
-		r.Cache.Put(r.suiteKey(name), makeSuiteEntry(res, sum)) //nolint:errcheck
+		r.Cache.Put(r.suiteKey(name), MakeSuiteEntry(res, sum)) //nolint:errcheck
 	})
 	r.mu.Lock()
 	res := r.suites[name]

@@ -164,9 +164,18 @@ func (r *Runner) PrefetchNetworks() {
 	wg.Wait()
 }
 
+// SuiteKey is the content address of one network's suite entry under the
+// given configuration. The serving layer (internal/serve) computes the same
+// key for its singleflight dedup and its cache-backed fast path, so a store
+// warmed by a CLI run satisfies daemon requests and vice versa — the dedup
+// key contract IS the cache key contract.
+func SuiteKey(cfg Config, network string) string {
+	return cache.Key(cfg.Set.CacheKey(), cfg.Suite.CacheKey(), "net:"+network)
+}
+
 // suiteKey is the content address of one network's suite entry.
 func (r *Runner) suiteKey(name string) string {
-	return cache.Key(r.Cfg.Set.CacheKey(), r.Cfg.Suite.CacheKey(), "net:"+name)
+	return SuiteKey(r.Cfg, name)
 }
 
 // tryRestore fills the suite and summary memos for name from the cache,
@@ -178,11 +187,11 @@ func (r *Runner) tryRestore(name string) bool {
 	if done {
 		return true
 	}
-	var ent suiteEntry
+	var ent SuiteEntry
 	if !r.Cache.Get(r.suiteKey(name), &ent) {
 		return false
 	}
-	res, sum := ent.restore()
+	res, sum := ent.Restore()
 	r.mu.Lock()
 	if r.suites[name] == nil {
 		r.suites[name] = res
@@ -204,6 +213,11 @@ type NetworkSummary struct {
 	// values against the core's degrees.
 	CoreDegrees []int
 }
+
+// Summarize builds the graph-free summary of a network — the piece of a
+// SuiteEntry that MakeSuiteEntry cannot derive from the suite result alone.
+// Exported for the serving layer, which assembles entries outside a Runner.
+func Summarize(n *core.Network) *NetworkSummary { return summarize(n) }
 
 func summarize(n *core.Network) *NetworkSummary {
 	s := &NetworkSummary{Desc: n.Describe(), Degrees: n.Graph.Degrees()}
@@ -246,13 +260,16 @@ func (r *Runner) summaryOf(name string) *NetworkSummary {
 	return sum
 }
 
-// suiteEntry is the gob image of one network's suite result plus its
+// SuiteEntry is the gob image of one network's suite result plus its
 // summary. core.SuiteResult itself is not encodable — Network carries the
 // graph and policy structures, which have unexported fields — so the entry
 // holds only the series and rebuilds a stub Network (name and category are
 // all the table builders read) on restore. gob round-trips float64 bits
 // exactly, so a restored result renders byte-identically to a fresh one.
-type suiteEntry struct {
+// Exported because the serving layer stores and restores the same wire type
+// under the same SuiteKey — gob matches fields structurally, so entries
+// written by either side decode on the other.
+type SuiteEntry struct {
 	Name     string
 	Category core.Category
 	Summary  NetworkSummary
@@ -278,8 +295,10 @@ type suiteEntry struct {
 	PolicyLinkValues *hierarchy.Result
 }
 
-func makeSuiteEntry(res *core.SuiteResult, sum *NetworkSummary) *suiteEntry {
-	return &suiteEntry{
+// MakeSuiteEntry flattens a computed suite result and its summary into the
+// cacheable entry form.
+func MakeSuiteEntry(res *core.SuiteResult, sum *NetworkSummary) *SuiteEntry {
+	return &SuiteEntry{
 		Name:                 res.Network.Name,
 		Category:             res.Network.Category,
 		Summary:              *sum,
@@ -302,7 +321,9 @@ func makeSuiteEntry(res *core.SuiteResult, sum *NetworkSummary) *suiteEntry {
 	}
 }
 
-func (e *suiteEntry) restore() (*core.SuiteResult, *NetworkSummary) {
+// Restore rebuilds the in-memory suite result (with a stub Network) and the
+// network summary from the entry.
+func (e *SuiteEntry) Restore() (*core.SuiteResult, *NetworkSummary) {
 	sum := e.Summary
 	return &core.SuiteResult{
 		Network:              &core.Network{Name: e.Name, Category: e.Category},

@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"slices"
 
 	"topocmp/internal/geo"
 	"topocmp/internal/graph"
@@ -75,9 +76,16 @@ func Generate(r *rand.Rand, p Params) (*graph.Graph, error) {
 	}
 	maxDist := side * math.Sqrt2
 
-	b := graph.NewBuilder(p.N)
-	deg := make([]float64, p.N)
+	// Streamed build: edges append to a packed log and the CSR assembles at
+	// freeze, so growth needs no mid-build adjacency map. Duplicate
+	// rejection needs only a per-round seen-list — every edge incident to
+	// the new node u was added this round, so checking the round's picks is
+	// exactly the membership test the map-backed builder answered, and the
+	// RNG stream (hence the generated graph) is unchanged.
+	b := graph.NewStreamBuilder(p.N)
 	m0 := p.M + 1
+	b.Reserve(m0*(m0-1)/2 + p.M*(p.N-m0))
+	deg := make([]float64, p.N)
 	for i := 0; i < m0; i++ {
 		for j := i + 1; j < m0; j++ {
 			b.AddEdge(int32(i), int32(j))
@@ -86,6 +94,7 @@ func Generate(r *rand.Rand, p Params) (*graph.Graph, error) {
 		}
 	}
 	weights := make([]float64, 0, p.N)
+	roundSeen := make([]int32, 0, p.M)
 	for u := m0; u < p.N; u++ {
 		// Attachment weight: degree, optionally damped by distance.
 		weights = weights[:0]
@@ -99,6 +108,7 @@ func Generate(r *rand.Rand, p Params) (*graph.Graph, error) {
 			total += w
 		}
 		added := 0
+		roundSeen = roundSeen[:0]
 		for attempt := 0; added < p.M && attempt < 64*p.M; attempt++ {
 			x := r.Float64() * total
 			acc := 0.0
@@ -113,9 +123,10 @@ func Generate(r *rand.Rand, p Params) (*graph.Graph, error) {
 			if pick < 0 {
 				pick = u - 1
 			}
-			if b.HasEdge(int32(u), int32(pick)) {
+			if slices.Contains(roundSeen, int32(pick)) {
 				continue
 			}
+			roundSeen = append(roundSeen, int32(pick))
 			b.AddEdge(int32(u), int32(pick))
 			deg[u]++
 			deg[pick]++

@@ -16,6 +16,7 @@ package inet
 import (
 	"fmt"
 	"math/rand"
+	"slices"
 	"sort"
 
 	"topocmp/internal/graph"
@@ -81,7 +82,17 @@ func Generate(r *rand.Rand, p Params) (*graph.Graph, error) {
 		}
 	}
 
-	b := graph.NewBuilder(p.N)
+	// Streamed build: edges append to a packed log and deduplicate at
+	// freeze, so construction needs no mid-build adjacency map. Phases 1–2
+	// never draw duplicates (tree growth and leaf attachment touch each
+	// endpoint pair at most once). Phase 3's duplicate guard is a per-node
+	// local partner list — a slot-fill re-drawing an edge its node already
+	// got in an earlier phase is accepted into the log (decrementing both
+	// slots) and collapses at freeze, where the map-backed builder resampled
+	// instead. That shifts a few high-degree slot fills (see EXPERIMENTS.md)
+	// but keeps the build allocation-lean at scale; the generator stays
+	// deterministic per seed.
+	b := graph.NewStreamBuilder(p.N)
 	remaining := append([]int(nil), degrees...)
 
 	// Phase 1: spanning tree over degree>1 nodes.
@@ -127,13 +138,16 @@ func Generate(r *rand.Rand, p Params) (*graph.Graph, error) {
 	}
 	sort.Slice(order, func(i, j int) bool { return degrees[order[i]] > degrees[order[j]] })
 	// Pool of endpoint "slots" proportional to remaining degree.
+	partners := make([]int32, 0, 16)
 	for _, u := range order {
+		partners = partners[:0]
 		for remaining[u] > 0 {
-			v := sampleFreeSlot(r, remaining, u, b)
+			v := sampleFreeSlot(r, remaining, u, partners)
 			if v < 0 {
 				break // no partner available
 			}
 			b.AddEdge(u, v)
+			partners = append(partners, v)
 			remaining[u]--
 			remaining[v]--
 		}
@@ -196,8 +210,10 @@ func pickProportionalWithFree(r *rand.Rand, candidates []int32, degrees, remaini
 }
 
 // sampleFreeSlot picks a partner for u proportional to remaining degree,
-// avoiding self-links and existing edges. Returns -1 when no partner exists.
-func sampleFreeSlot(r *rand.Rand, remaining []int, u int32, b *graph.Builder) int32 {
+// avoiding self-links and partners u already matched in this phase (edges
+// from earlier phases collapse at freeze instead — see the builder comment
+// in Generate). Returns -1 when no partner exists.
+func sampleFreeSlot(r *rand.Rand, remaining []int, u int32, partners []int32) int32 {
 	for attempt := 0; attempt < 24; attempt++ {
 		total := 0
 		for v, rem := range remaining {
@@ -216,7 +232,7 @@ func sampleFreeSlot(r *rand.Rand, remaining []int, u int32, b *graph.Builder) in
 			}
 			acc += rem
 			if x < acc {
-				if b.HasEdge(u, int32(v)) {
+				if slices.Contains(partners, int32(v)) {
 					break // resample
 				}
 				return int32(v)

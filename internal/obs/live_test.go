@@ -406,3 +406,26 @@ func TestHistogramQuantiles(t *testing.T) {
 		t.Errorf("p99 %d exceeds max %d", st.P99Ns, st.MaxNs)
 	}
 }
+
+func TestProgressForget(t *testing.T) {
+	p := NewProgress()
+	a := p.Register("a")
+	b := p.Register("b")
+	a.Run()
+	a.Done()
+	b.Run()
+	p.Forget("a")
+	snap := p.Snapshot()
+	if len(snap.Stages) != 1 || snap.Stages[0].Name != "b" {
+		t.Fatalf("stages after Forget = %+v", snap.Stages)
+	}
+	// A held handle keeps working after Forget; re-registering the name
+	// creates a fresh stage rather than resurrecting the old one.
+	a.Add(1)
+	if got := p.Register("a"); got == a {
+		t.Fatal("Register returned the forgotten stage")
+	}
+	p.Forget("missing") // no-op
+	var nilP *Progress
+	nilP.Forget("x") // nil-safe
+}

@@ -66,6 +66,29 @@ func (p *Progress) Register(name string) *ProgressStage {
 	return st
 }
 
+// Forget removes the named stage from the DAG (no-op when absent or on a
+// nil tracker). Long-running servers prune completed per-request stages
+// with it so /debug/progress stays bounded; a ProgressStage handle held
+// across Forget keeps working, it just no longer appears in snapshots.
+func (p *Progress) Forget(name string) {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	st := p.byName[name]
+	if st == nil {
+		return
+	}
+	delete(p.byName, name)
+	for i, s := range p.stages {
+		if s == st {
+			p.stages = append(p.stages[:i], p.stages[i+1:]...)
+			break
+		}
+	}
+}
+
 // ProgressStage is one tracked unit of the run. Work counters are
 // optional: stages that never call AddTotal report state and elapsed time
 // only.

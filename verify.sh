@@ -5,6 +5,7 @@
 #   tier 1: go build ./... && go test ./...          (ROADMAP.md tier-1)
 #   tier 2: go test -race <concurrent packages>      (ROADMAP.md tier-2)
 #   endpoint smoke: live /metrics + /debug/progress mid-run
+#   serve smoke: topocmpd answers, dedups and observes end to end
 #   bench smoke: one iteration of the kernel benchmarks
 #   bench sentinel: benchdiff against the committed baselines
 #
@@ -17,9 +18,11 @@
 # obs.TestSamplerRaceShort), the pooled per-worker cut/flow
 # kernels (partition.TestResilienceRaceShort,
 # flow.TestSurfaceMaxFlowRaceShort), the pooled Brandes/distortion
-# workspaces (metrics.TestBrandesRaceShort), and the sigma-batched
+# workspaces (metrics.TestBrandesRaceShort), the sigma-batched
 # link-value sweeps leasing MSBFS workspaces from the shared pool
-# (hierarchy.TestLinkValueRaceShort).
+# (hierarchy.TestLinkValueRaceShort), and the serving layer's singleflight
+# dedup, sweep coalescer and admission semaphore under mixed concurrent
+# traffic at P=4 (serve.TestServeRaceShort).
 set -eu
 
 echo "== tier 0: gofmt cleanliness =="
@@ -43,7 +46,7 @@ echo "== tier 2: race detector on concurrent packages =="
 # per-package timeout; give the tier an explicit ceiling instead.
 go test -race -timeout 45m ./internal/core ./internal/ball ./internal/experiments \
     ./internal/cache ./internal/obs ./internal/partition ./internal/flow \
-    ./internal/metrics ./internal/hierarchy
+    ./internal/metrics ./internal/hierarchy ./internal/serve
 
 echo "== scale smoke: 1M-node streamed build + sampled expansion =="
 # Builds a million-node PLRG through the streamed CSR path, checks the
@@ -58,6 +61,14 @@ echo "== endpoint smoke: /metrics + /debug/progress serve mid-run =="
 # the progress DAG with a running stage, and /debug/pprof/.
 TOPOCMP_ENDPOINT_SMOKE=1 go test -run '^TestEndpointSmoke$' -timeout 10m .
 
+echo "== serve smoke: topocmpd answers, dedups and observes mid-run =="
+# Builds the real topocmpd daemon, starts it on a kernel-chosen port, and
+# asserts the serving layer end to end: a suite query answers, a duplicate
+# fired while the first is in flight is served from the same execution
+# (serve_dedup_hits_total moves), and /metrics + /debug/progress serve
+# mid-run.
+TOPOCMP_SERVE_SMOKE=1 go test -run '^TestServeSmoke$' -timeout 10m .
+
 echo "== bench smoke: kernel benchmarks compile and run =="
 # The root-package benchmarks rewrite their BENCH_*.json baselines as they
 # run, so snapshot the committed baselines first — the sentinel below must
@@ -68,7 +79,7 @@ cp BENCH_*.json "$workdir"
 bench_out="$workdir/bench.out"
 go test -run '^$' -bench 'CutSize|SurfaceMaxFlow|ResilienceMesh' \
     -benchtime 1x ./internal/partition ./internal/metrics > "$bench_out"
-go test -run '^$' -bench 'BenchmarkMSBFS|BenchmarkWideMSBFS|BenchmarkBrandes|BenchmarkLinkValues' \
+go test -run '^$' -bench 'BenchmarkMSBFS|BenchmarkWideMSBFS|BenchmarkBrandes|BenchmarkLinkValues|BenchmarkServe' \
     -benchtime 1x . >> "$bench_out"
 # Scale benchmarks refresh BENCH_scale.json (map-vs-streamed peak memory
 # and the size-vs-time/RSS trajectory; the full-RL pipeline row is skipped
